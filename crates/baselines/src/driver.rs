@@ -1,0 +1,75 @@
+//! Shared configuration and helpers for the baseline engines.
+
+use star_common::{ClusterConfig, ReplicationMode};
+use star_core::Workload;
+use star_storage::{Database, DatabaseBuilder};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration shared by all baselines. It deliberately reuses
+/// [`ClusterConfig`] so a benchmark sweep can hand the *same* configuration
+/// to STAR and to every baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// The cluster layout (nodes, workers, partitions, latency, iteration).
+    pub cluster: ClusterConfig,
+    /// Synchronous or asynchronous (epoch group commit) replication.
+    pub replication: ReplicationMode,
+}
+
+impl BaselineConfig {
+    /// Builds a baseline configuration from a cluster configuration.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        let replication = cluster.replication_mode;
+        BaselineConfig { cluster, replication }
+    }
+
+    /// The epoch/group-commit interval (the same iteration time STAR uses).
+    pub fn epoch_interval(&self) -> Duration {
+        self.cluster.iteration
+    }
+
+    /// One network round trip under the configured latency.
+    pub fn round_trip(&self) -> Duration {
+        self.cluster.network_latency * 2
+    }
+}
+
+/// Builds a full (all partitions) database loaded with the workload, used by
+/// the non-partitioned baseline and as the sharded store of the partitioned
+/// baselines (each partition's primary copy).
+pub fn build_full_database(workload: &dyn Workload) -> Arc<Database> {
+    let mut builder = DatabaseBuilder::new(workload.num_partitions());
+    for spec in workload.catalog() {
+        builder = builder.table(spec);
+    }
+    let db = builder.build();
+    for partition in 0..workload.num_partitions() {
+        workload.load_partition(&db, partition);
+    }
+    Arc::new(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_core::testing::KvWorkload;
+
+    #[test]
+    fn baseline_config_derives_intervals_from_cluster() {
+        let mut cluster = ClusterConfig::with_nodes(4);
+        cluster.network_latency = Duration::from_micros(250);
+        cluster.iteration = Duration::from_millis(7);
+        let config = BaselineConfig::new(cluster);
+        assert_eq!(config.round_trip(), Duration::from_micros(500));
+        assert_eq!(config.epoch_interval(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn full_database_holds_every_partition() {
+        let wl = KvWorkload::new(4);
+        let db = build_full_database(&wl);
+        assert!(db.is_full_replica());
+        assert_eq!(db.len() as u64, 4 * wl.rows_per_partition);
+    }
+}

@@ -1,0 +1,50 @@
+//! Baseline engines from the STAR evaluation (Section 7.1.2).
+//!
+//! The paper compares STAR against four systems, all re-implemented in the
+//! authors' framework so the comparison is apples-to-apples; this crate does
+//! the same on top of the shared substrates (`star-storage`, `star-occ`,
+//! `star-net`, `star-replication`):
+//!
+//! * [`PbOcc`] — a **non-partitioned** primary/backup system: a variant of
+//!   Silo's OCC protocol on a single primary node (which holds the whole
+//!   database) with one backup replica. Two nodes are used, as in the paper.
+//! * [`DistOcc`] — a **partitioning-based** system running distributed
+//!   optimistic concurrency control with two-phase commit.
+//! * [`DistS2pl`] — a partitioning-based system running distributed strict
+//!   two-phase locking with the NO_WAIT deadlock-prevention policy and
+//!   two-phase commit.
+//! * [`Calvin`] — a deterministic database with a multi-threaded lock manager
+//!   (`Calvin-x` uses `x` lock-manager threads per node; the remaining
+//!   threads execute transactions).
+//!
+//! ## Modelling note
+//!
+//! The distributed baselines execute against a sharded in-process store (one
+//! primary copy of each partition) and charge network costs explicitly
+//! through the simulated network's latency parameter: a remote read costs one
+//! round trip, a two-phase commit costs two rounds to every remote
+//! participant, and synchronous replication costs one round trip per commit.
+//! This reproduces the *relative* behaviour the paper reports (round trips
+//! dominate the baselines as the cross-partition fraction grows) without a
+//! full RPC server per node; see `DESIGN.md` for the substitution table.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calvin;
+pub mod driver;
+pub mod partitioned;
+pub mod pb_occ;
+
+pub use calvin::{Calvin, CalvinConfig};
+pub use driver::BaselineConfig;
+pub use partitioned::{DistOcc, DistS2pl};
+pub use pb_occ::PbOcc;
+
+#[cfg(test)]
+pub(crate) mod test_sync {
+    //! Comparative-performance tests measure wall-clock throughput, so they
+    //! must not run concurrently with each other inside this test binary.
+    use parking_lot::Mutex;
+    pub static PERF_TEST_LOCK: Mutex<()> = Mutex::new(());
+}

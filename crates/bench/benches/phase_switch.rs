@@ -1,0 +1,37 @@
+//! Benchmark of one full phase-switching iteration (partitioned phase +
+//! fence + single-master phase + fence) — the overhead measured in Figure 14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine(iteration: Duration) -> StarEngine {
+    let mut config = ClusterConfig::with_nodes(4);
+    config.partitions = 4;
+    config.workers_per_node = 1;
+    config.iteration = iteration;
+    config.network_latency = Duration::from_micros(20);
+    let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
+        partitions: 4,
+        rows_per_partition: 500,
+        cross_partition_fraction: 0.10,
+        ..Default::default()
+    }));
+    StarEngine::new(config, workload).unwrap()
+}
+
+fn bench_phase_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_switch");
+    group.sample_size(10);
+    for ms in [1u64, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("iteration", ms), &ms, |b, &ms| {
+            let mut eng = engine(Duration::from_millis(ms));
+            b.iter(|| eng.run_iteration());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_switch);
+criterion_main!(benches);

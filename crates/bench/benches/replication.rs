@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the replication pipeline: building log entries under
+//! the value vs operation strategies, the binary codec, and applying entries
+//! with the Thomas write rule (the Section 5 cost model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use star::common::row::row;
+use star::common::{FieldValue, Operation, ReplicationStrategy, Tid};
+use star::occ::WriteEntry;
+use star::replication::strategy::{build_log_entries, ExecutionPhase};
+use star::replication::{LogEntry, Payload};
+use star::storage::{DatabaseBuilder, TableSpec};
+
+fn payment_like_write_set() -> Vec<WriteEntry> {
+    // A TPC-C Payment-style customer update: heavy C_DATA field, cheap op.
+    vec![WriteEntry {
+        table: 0,
+        partition: 0,
+        key: 1,
+        row: row([
+            FieldValue::U64(1),
+            FieldValue::F64(-42.0),
+            FieldValue::Str("x".repeat(500)),
+        ]),
+        operation: Some(Operation::Multi {
+            ops: vec![
+                Operation::AddF64 { field: 1, delta: -42.0 },
+                Operation::ConcatStr { field: 2, prefix: "1 2 3 4 5 42.00|".into(), max_len: 500 },
+            ],
+        }),
+        insert: false,
+    }]
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    let write_set = payment_like_write_set();
+
+    group.bench_function("build_entries_value", |b| {
+        b.iter(|| {
+            build_log_entries(
+                &write_set,
+                Tid::new(1, 1),
+                ReplicationStrategy::Value,
+                ExecutionPhase::Partitioned,
+            )
+        })
+    });
+
+    group.bench_function("build_entries_operation", |b| {
+        b.iter(|| {
+            build_log_entries(
+                &write_set,
+                Tid::new(1, 1),
+                ReplicationStrategy::Hybrid,
+                ExecutionPhase::Partitioned,
+            )
+        })
+    });
+
+    let value_entry = LogEntry {
+        table: 0,
+        partition: 0,
+        key: 1,
+        tid: Tid::new(1, 1),
+        payload: Payload::Value(row([FieldValue::Str("x".repeat(500))])),
+    };
+    group.bench_function("codec_roundtrip_value_500B", |b| {
+        b.iter(|| {
+            let mut bytes = value_entry.encode_to_bytes();
+            LogEntry::decode(&mut bytes).unwrap()
+        })
+    });
+
+    let db = DatabaseBuilder::new(1).table(TableSpec::new("t")).build();
+    db.insert(0, 0, 1, row([FieldValue::Str("x".repeat(500))])).unwrap();
+    group.bench_function("apply_thomas_value", |b| {
+        let mut seq = 1u64;
+        b.iter(|| {
+            let entry = LogEntry {
+                table: 0,
+                partition: 0,
+                key: 1,
+                tid: Tid::new(1, seq),
+                payload: Payload::Value(row([FieldValue::Str("y".repeat(500))])),
+            };
+            seq += 1;
+            entry.apply(&db).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

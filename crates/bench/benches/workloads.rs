@@ -1,0 +1,76 @@
+//! Benchmarks of the workload generators and stored procedures themselves
+//! (TPC-C NewOrder / Payment execution, YCSB transaction generation), which
+//! bound the per-transaction work every engine performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use star::core::Workload as _;
+use star::occ::TxnCtx;
+use star::prelude::*;
+use star::storage::DatabaseBuilder;
+use std::sync::Arc;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+
+    // YCSB generation + execution.
+    let ycsb = Arc::new(YcsbWorkload::new(YcsbConfig {
+        partitions: 4,
+        rows_per_partition: 5_000,
+        ..Default::default()
+    }));
+    let mut builder = DatabaseBuilder::new(4);
+    for spec in ycsb.catalog() {
+        builder = builder.table(spec);
+    }
+    let ycsb_db = builder.build();
+    for p in 0..4 {
+        ycsb.load_partition(&ycsb_db, p);
+    }
+    group.bench_function("ycsb_generate", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| ycsb.single_partition_transaction(&mut rng, 0));
+    });
+    group.bench_function("ycsb_execute", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let txn = ycsb.single_partition_transaction(&mut rng, 1);
+            let mut ctx = TxnCtx::new(&ycsb_db);
+            txn.execute(&mut ctx).unwrap();
+            ctx.into_sets()
+        });
+    });
+
+    // TPC-C generation + execution.
+    let tpcc = Arc::new(TpccWorkload::new(TpccConfig {
+        warehouses: 4,
+        ..Default::default()
+    }));
+    let mut builder = DatabaseBuilder::new(4);
+    for spec in tpcc.catalog() {
+        builder = builder.table(spec);
+    }
+    let tpcc_db = builder.build();
+    for p in 0..4 {
+        tpcc.load_partition(&tpcc_db, p);
+    }
+    group.bench_function("tpcc_generate", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| tpcc.single_partition_transaction(&mut rng, 0));
+    });
+    group.bench_function("tpcc_execute_mix", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let txn = tpcc.mixed_transaction(&mut rng, 2);
+            let mut ctx = TxnCtx::new(&tpcc_db);
+            let _ = txn.execute(&mut ctx);
+            ctx.into_sets()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

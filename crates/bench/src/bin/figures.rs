@@ -1,0 +1,57 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```bash
+//! cargo run --release -p star-bench --bin figures -- all
+//! cargo run --release -p star-bench --bin figures -- fig11a fig11b
+//! cargo run --release -p star-bench --bin figures -- --quick all
+//! cargo run --release -p star-bench --bin figures -- --json results.json fig12
+//! ```
+
+use star_bench::{FigureRunner, Scale};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut json_path: Option<String> = None;
+
+    let mut figures = Vec::new();
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--quick" => {
+                scale = Scale::Quick;
+                args.remove(0);
+            }
+            "--json" => {
+                args.remove(0);
+                if args.is_empty() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+                json_path = Some(args.remove(0));
+            }
+            _ => {
+                figures.push(args.remove(0));
+            }
+        }
+    }
+    if figures.is_empty() {
+        eprintln!("usage: figures [--quick] [--json PATH] <figure>...");
+        eprintln!("figures: {} all", FigureRunner::all_figures().join(" "));
+        std::process::exit(2);
+    }
+
+    let mut runner = FigureRunner::new(scale);
+    for figure in &figures {
+        if !runner.run(figure) {
+            eprintln!("unknown figure: {figure}");
+            eprintln!("figures: {} all", FigureRunner::all_figures().join(" "));
+            std::process::exit(2);
+        }
+        println!();
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, runner.to_json()).expect("cannot write JSON results");
+        println!("wrote {} data points to {path}", runner.points.len());
+    }
+}

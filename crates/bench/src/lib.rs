@@ -1,0 +1,21 @@
+//! Benchmark harness for the STAR reproduction.
+//!
+//! The [`figures`](crate::figures) module regenerates every table and figure
+//! of the paper's evaluation (Section 7) from the engines in this workspace;
+//! the `figures` binary drives it from the command line:
+//!
+//! ```bash
+//! cargo run --release -p star-bench --bin figures -- all        # everything
+//! cargo run --release -p star-bench --bin figures -- fig11a     # one figure
+//! cargo run --release -p star-bench --bin figures -- --quick all
+//! ```
+//!
+//! Criterion micro-benchmarks (`cargo bench -p star-bench`) cover the
+//! component costs behind those figures: the OCC commit path, replication
+//! encode/apply, the phase-switch fence and the workload generators.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{FigureRunner, Scale};

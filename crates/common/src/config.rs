@@ -1,0 +1,295 @@
+//! Cluster, engine and replication configuration.
+//!
+//! The defaults mirror the experimental setup in Section 7.1 of the paper,
+//! scaled down so that every figure can be regenerated on a laptop: the paper
+//! runs 4 nodes × 12 workers over a 4.8 Gbit/s network; the defaults here run
+//! 4 simulated nodes × 2 workers with a microsecond-scale latency model.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which replication strategy is used for the writes of committed
+/// transactions (Section 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationStrategy {
+    /// Ship the full row for every write. Safe to apply in any order under
+    /// the Thomas write rule; required whenever a partition can be updated by
+    /// multiple threads (the single-master phase).
+    Value,
+    /// Ship the operation (delta) only. Requires the per-partition stream to
+    /// be produced by a single thread and applied in order (the partitioned
+    /// phase).
+    Operation,
+    /// STAR's hybrid: value replication in the single-master phase, operation
+    /// replication in the partitioned phase.
+    Hybrid,
+}
+
+/// Whether replication of committed writes is synchronous (the primary holds
+/// write locks until replicas acknowledge) or asynchronous with an epoch-based
+/// group commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationMode {
+    /// Asynchronous replication + epoch-based group commit (STAR's default and
+    /// the stronger configuration of the baselines).
+    Async,
+    /// Synchronous replication: every transaction waits for a replication
+    /// round trip before releasing its locks.
+    Sync,
+}
+
+/// Which engine a benchmark run drives. Used by the benchmark harness to
+/// label series exactly as the paper's figures do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The STAR engine (phase switching over asymmetric replication).
+    Star,
+    /// Primary/backup Silo-style OCC on a single primary (non-partitioned).
+    PbOcc,
+    /// Distributed OCC with two-phase commit (partitioning-based).
+    DistOcc,
+    /// Distributed strict two-phase locking, NO_WAIT, with two-phase commit.
+    DistS2pl,
+    /// Calvin with a multi-threaded lock manager (`Calvin-x`).
+    Calvin,
+}
+
+impl EngineKind {
+    /// Label used in figure output, matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Star => "STAR",
+            EngineKind::PbOcc => "PB. OCC",
+            EngineKind::DistOcc => "Dist. OCC",
+            EngineKind::DistS2pl => "Dist. S2PL",
+            EngineKind::Calvin => "Calvin",
+        }
+    }
+}
+
+/// Configuration of a (simulated) STAR cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Total number of nodes, `n = f + k`.
+    pub num_nodes: usize,
+    /// Number of nodes holding a full replica (`f` in the paper). STAR
+    /// requires `f >= 1`; the designated master is chosen among these.
+    pub full_replicas: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Number of partitions in the database. The paper sets this to the total
+    /// number of worker threads.
+    pub partitions: usize,
+    /// Iteration time `e = τp + τs` of the phase-switching algorithm.
+    pub iteration: Duration,
+    /// Replication strategy for committed writes.
+    pub replication_strategy: ReplicationStrategy,
+    /// Synchronous or asynchronous replication.
+    pub replication_mode: ReplicationMode,
+    /// Number of replicas of each partition (primary + backups). The paper's
+    /// experiments use 2.
+    pub replication_factor: usize,
+    /// One-way network latency applied by the simulated network to every
+    /// message between distinct nodes.
+    pub network_latency: Duration,
+    /// Whether the write-ahead log is enabled (Figure 15(b)).
+    pub disk_logging: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_nodes: 4,
+            full_replicas: 1,
+            workers_per_node: 2,
+            partitions: 8,
+            iteration: Duration::from_millis(10),
+            replication_strategy: ReplicationStrategy::Hybrid,
+            replication_mode: ReplicationMode::Async,
+            replication_factor: 2,
+            network_latency: Duration::from_micros(100),
+            disk_logging: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `n` nodes and the default per-node settings, keeping the
+    /// paper's convention `partitions = total workers`.
+    pub fn with_nodes(num_nodes: usize) -> Self {
+        let mut c = ClusterConfig { num_nodes, ..Default::default() };
+        c.partitions = c.num_nodes * c.workers_per_node;
+        c
+    }
+
+    /// Number of partial-replica nodes (`k` in the paper).
+    pub fn partial_replicas(&self) -> usize {
+        self.num_nodes.saturating_sub(self.full_replicas)
+    }
+
+    /// Total number of worker threads in the cluster.
+    pub fn total_workers(&self) -> usize {
+        self.num_nodes * self.workers_per_node
+    }
+
+    /// Which node owns (is primary for) a partition during the partitioned
+    /// phase. Partitions are assigned round-robin across all nodes, as in
+    /// Figure 2 of the paper where every node masters a portion of the
+    /// database.
+    pub fn partition_primary(&self, partition: usize) -> usize {
+        partition % self.num_nodes
+    }
+
+    /// The node that holds the backup (secondary) copy of a partition. The
+    /// paper hashes primary and secondary to two different nodes and requires
+    /// that the `k` partial replicas *together* contain at least one full
+    /// copy of the database; the layout here guarantees that by always
+    /// placing the secondary of a partition mastered on a full-replica node
+    /// onto a partial-replica node (full-replica nodes already hold every
+    /// partition, so a second full copy there would be wasted).
+    pub fn partition_secondary(&self, partition: usize) -> usize {
+        let primary = self.partition_primary(partition);
+        let k = self.partial_replicas();
+        if k == 0 {
+            // Every node is a full replica; any other node works.
+            return (primary + 1) % self.num_nodes;
+        }
+        if primary < self.full_replicas {
+            // Primary on a full replica: the secondary must be a partial
+            // replica so that the partial replicas cover this partition.
+            self.full_replicas + (partition % k)
+        } else if k == 1 {
+            // Only one partial node, which is already the primary: fall back
+            // to a full replica (coverage is provided by the primary).
+            (primary + 1) % self.num_nodes
+        } else {
+            // Primary on a partial replica: the next partial replica.
+            let offset = primary - self.full_replicas;
+            self.full_replicas + ((offset + 1) % k)
+        }
+    }
+
+    /// The designated master node for the single-master phase: the first
+    /// full-replica node.
+    pub fn master_node(&self) -> usize {
+        0
+    }
+
+    /// True if `node` holds a full replica.
+    pub fn is_full_replica(&self, node: usize) -> bool {
+        node < self.full_replicas
+    }
+
+    /// Partitions whose primary is `node`.
+    pub fn partitions_of(&self, node: usize) -> Vec<usize> {
+        (0..self.partitions).filter(|p| self.partition_primary(*p) == node).collect()
+    }
+
+    /// True if `node` stores (a primary or secondary copy of) `partition`.
+    pub fn node_stores_partition(&self, node: usize, partition: usize) -> bool {
+        self.is_full_replica(node)
+            || self.partition_primary(partition) == node
+            || self.partition_secondary(partition) == node
+    }
+
+    /// Validates the configuration, returning a human-readable reason if it
+    /// is not runnable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_nodes == 0 {
+            return Err("cluster must have at least one node".into());
+        }
+        if self.full_replicas == 0 {
+            return Err("STAR requires at least one full replica (f >= 1)".into());
+        }
+        if self.full_replicas > self.num_nodes {
+            return Err(format!(
+                "full_replicas ({}) exceeds num_nodes ({})",
+                self.full_replicas, self.num_nodes
+            ));
+        }
+        if self.workers_per_node == 0 {
+            return Err("workers_per_node must be positive".into());
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be positive".into());
+        }
+        if self.replication_factor < 1 {
+            return Err("replication_factor must be at least 1".into());
+        }
+        if self.iteration.is_zero() {
+            return Err("iteration time must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_paper_shape() {
+        let c = ClusterConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.num_nodes, 4);
+        assert_eq!(c.full_replicas, 1);
+        assert_eq!(c.partial_replicas(), 3);
+        assert_eq!(c.iteration, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn with_nodes_scales_partitions() {
+        let c = ClusterConfig::with_nodes(8);
+        assert_eq!(c.num_nodes, 8);
+        assert_eq!(c.partitions, 8 * c.workers_per_node);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn partition_layout_round_robin() {
+        let c = ClusterConfig::with_nodes(4);
+        assert_eq!(c.partition_primary(0), 0);
+        assert_eq!(c.partition_primary(1), 1);
+        assert_eq!(c.partition_primary(5), 1);
+        assert_ne!(c.partition_primary(3), c.partition_secondary(3));
+        let mine = c.partitions_of(2);
+        assert!(mine.iter().all(|p| c.partition_primary(*p) == 2));
+    }
+
+    #[test]
+    fn full_replica_stores_everything() {
+        let c = ClusterConfig::with_nodes(4);
+        for p in 0..c.partitions {
+            assert!(c.node_stores_partition(0, p));
+        }
+        // a partial replica node stores only its own + secondary partitions
+        let stored: Vec<_> =
+            (0..c.partitions).filter(|p| c.node_stores_partition(2, *p)).collect();
+        assert!(stored.len() < c.partitions);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ClusterConfig::default();
+        c.full_replicas = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.num_nodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.full_replicas = 9;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.iteration = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn engine_labels_match_paper() {
+        assert_eq!(EngineKind::Star.label(), "STAR");
+        assert_eq!(EngineKind::PbOcc.label(), "PB. OCC");
+        assert_eq!(EngineKind::DistOcc.label(), "Dist. OCC");
+        assert_eq!(EngineKind::DistS2pl.label(), "Dist. S2PL");
+        assert_eq!(EngineKind::Calvin.label(), "Calvin");
+    }
+}

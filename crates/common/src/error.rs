@@ -1,0 +1,139 @@
+//! Error and abort types shared across the workspace.
+
+use std::fmt;
+
+/// Why a transaction aborted.
+///
+/// STAR distinguishes aborts required by the application logic (e.g. TPC-C
+/// NewOrder with an invalid item id — roughly 1% of NewOrders) from aborts
+/// caused by concurrency control; the former are counted as "completed" by the
+/// TPC-C specification while the latter are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The stored procedure itself decided to abort (user abort).
+    User,
+    /// OCC read validation failed: a record in the read set changed or was
+    /// locked by a concurrent transaction.
+    ValidationFailed,
+    /// A lock could not be acquired under the NO_WAIT policy (baselines).
+    LockConflict,
+    /// A remote node involved in the transaction failed or a network request
+    /// timed out.
+    NodeFailure,
+    /// Two-phase commit voted to abort.
+    PrepareFailed,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::User => "user abort",
+            AbortReason::ValidationFailed => "read validation failed",
+            AbortReason::LockConflict => "lock conflict (NO_WAIT)",
+            AbortReason::NodeFailure => "node failure",
+            AbortReason::PrepareFailed => "2PC prepare failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Top-level error type for the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A transaction aborted; the caller decides whether to retry.
+    Abort(AbortReason),
+    /// A key was not found in the table it was expected in.
+    KeyNotFound {
+        /// Table that was probed.
+        table: u32,
+        /// Missing key.
+        key: u64,
+    },
+    /// A table id is not present in the catalog.
+    NoSuchTable(u32),
+    /// A partition id is out of range for the database layout.
+    NoSuchPartition(usize),
+    /// The engine or cluster was asked to do something inconsistent with its
+    /// configuration (e.g. master node without a full replica).
+    Config(String),
+    /// Failure in the (simulated) network substrate, e.g. sending to a node
+    /// that was marked failed.
+    Network(String),
+    /// A durability / recovery component failed (WAL write, checkpoint load).
+    Durability(String),
+    /// An operation-replication entry could not be applied.
+    Operation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Abort(r) => write!(f, "transaction aborted: {r}"),
+            Error::KeyNotFound { table, key } => {
+                write!(f, "key {key} not found in table {table}")
+            }
+            Error::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            Error::NoSuchPartition(p) => write!(f, "no such partition: {p}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Network(msg) => write!(f, "network error: {msg}"),
+            Error::Durability(msg) => write!(f, "durability error: {msg}"),
+            Error::Operation(msg) => write!(f, "operation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<crate::row::OperationError> for Error {
+    fn from(e: crate::row::OperationError) -> Self {
+        Error::Operation(e.message)
+    }
+}
+
+impl Error {
+    /// True if this error is a transaction abort (as opposed to a system
+    /// error).
+    pub fn is_abort(&self) -> bool {
+        matches!(self, Error::Abort(_))
+    }
+
+    /// The abort reason, if this error is an abort.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            Error::Abort(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_helpers() {
+        let e = Error::Abort(AbortReason::ValidationFailed);
+        assert!(e.is_abort());
+        assert_eq!(e.abort_reason(), Some(AbortReason::ValidationFailed));
+        let e = Error::NoSuchTable(3);
+        assert!(!e.is_abort());
+        assert_eq!(e.abort_reason(), None);
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::KeyNotFound { table: 2, key: 9 }.to_string().contains("table 2"));
+        assert!(Error::Abort(AbortReason::LockConflict).to_string().contains("NO_WAIT"));
+        assert!(Error::Config("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn operation_error_converts() {
+        let oe = crate::row::OperationError { message: "boom".into() };
+        let e: Error = oe.into();
+        assert!(matches!(e, Error::Operation(m) if m == "boom"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Workload random-number helpers: uniform keys, Zipfian skew and the TPC-C
+//! `NURand` non-uniform distribution.
+//!
+//! The YCSB experiments in the paper use a uniform access distribution; the
+//! Zipfian generator is included because it is the standard YCSB knob for
+//! skewed runs and is used by the extension benchmarks in this repository.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta`, using the
+/// Gray et al. rejection-free computation popularised by the YCSB driver.
+///
+/// `theta = 0` degenerates to uniform; YCSB's default skew is `0.99`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipfian distribution over `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For the sizes used in benchmarks (<= a few million) the direct sum
+        // is fine and exact.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a value in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Exposes the precomputed `zeta(2)` for tests of numerical stability.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// TPC-C `NURand(A, x, y)` non-uniform random distribution (clause 2.1.6).
+///
+/// `c` is the per-run constant; the constant-load rules of clause 2.1.6.1 are
+/// not modelled because we never reuse a database across runs.
+pub fn nurand<R: Rng + ?Sized>(rng: &mut R, a: u64, x: u64, y: u64, c: u64) -> u64 {
+    let lhs = rng.gen_range(0..=a) | rng.gen_range(x..=y);
+    (lhs + c) % (y - x + 1) + x
+}
+
+/// Uniform integer in `[lo, hi]` (inclusive), mirroring the TPC-C spec's
+/// `random(x, y)` helper.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    rng.gen_range(lo..=hi)
+}
+
+/// Random alphanumeric string of length in `[lo, hi]`, as used by TPC-C data
+/// generation (`a-string`).
+pub fn astring<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> String {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let len = rng.gen_range(lo..=hi);
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+/// Random numeric string of length in `[lo, hi]` (`n-string` in TPC-C).
+pub fn nstring<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> String {
+    let len = rng.gen_range(lo..=hi);
+    (0..len).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect()
+}
+
+/// Random byte payload of exactly `len` bytes (YCSB column values).
+pub fn random_bytes<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    rng.fill(&mut buf[..]);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_stays_in_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(1000, 0.99);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipf::new(10_000, 0.99);
+        let mut head = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the hottest 1% of keys should absorb far more than
+        // 1% of accesses (empirically ~35-60%).
+        assert!(head > total / 5, "head hits = {head}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(100, 0.0);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max < min * 2, "min={min} max={max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    fn nurand_respects_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, 1, 3000, 259);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn strings_have_requested_lengths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = astring(&mut rng, 8, 16);
+            assert!((8..=16).contains(&s.len()));
+            let n = nstring(&mut rng, 4, 4);
+            assert_eq!(n.len(), 4);
+            assert!(n.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn random_bytes_exact_length() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(random_bytes(&mut rng, 10).len(), 10);
+        assert_eq!(random_bytes(&mut rng, 0).len(), 0);
+    }
+
+    #[test]
+    fn uniform_is_inclusive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = uniform(&mut rng, 3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

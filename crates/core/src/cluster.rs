@@ -1,0 +1,181 @@
+//! Construction of a simulated STAR cluster: replicas + network.
+
+use crate::messages::ReplicationBatch;
+use crate::workload::Workload;
+use star_common::{ClusterConfig, Error, NodeId, PartitionId, Result};
+use star_net::{Endpoint, NetworkConfig, SimNetwork};
+use star_storage::{Database, DatabaseBuilder};
+use std::sync::Arc;
+
+/// One node of the simulated cluster.
+pub struct ClusterNode {
+    /// Node id.
+    pub id: NodeId,
+    /// This node's replica of the database (full or partial).
+    pub db: Arc<Database>,
+    /// This node's endpoint on the simulated network.
+    pub endpoint: Arc<Endpoint<ReplicationBatch>>,
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("id", &self.id)
+            .field("full_replica", &self.db.is_full_replica())
+            .field("held_partitions", &self.db.held_partitions().len())
+            .finish()
+    }
+}
+
+/// A simulated STAR cluster: `f` full replicas, `k` partial replicas, and the
+/// network connecting them.
+pub struct StarCluster {
+    config: ClusterConfig,
+    nodes: Vec<ClusterNode>,
+    network: SimNetwork,
+}
+
+impl std::fmt::Debug for StarCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StarCluster")
+            .field("nodes", &self.nodes.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl StarCluster {
+    /// Builds the cluster for a workload: creates every replica with the
+    /// workload's catalog, assigns partitions per the configuration's layout
+    /// (Figure 2) and loads the initial data into every replica that holds
+    /// each partition.
+    pub fn build(config: &ClusterConfig, workload: &dyn Workload) -> Result<Self> {
+        config.validate().map_err(Error::Config)?;
+        if workload.num_partitions() != config.partitions {
+            return Err(Error::Config(format!(
+                "workload has {} partitions but the cluster is configured for {}",
+                workload.num_partitions(),
+                config.partitions
+            )));
+        }
+        let net_config = NetworkConfig::with_latency(config.network_latency);
+        let (network, endpoints) = SimNetwork::new::<ReplicationBatch>(config.num_nodes, net_config);
+
+        let mut nodes = Vec::with_capacity(config.num_nodes);
+        for (id, endpoint) in endpoints.into_iter().enumerate() {
+            let mut builder = DatabaseBuilder::new(config.partitions);
+            for spec in workload.catalog() {
+                builder = builder.table(spec);
+            }
+            if !config.is_full_replica(id) {
+                let held: Vec<PartitionId> = (0..config.partitions)
+                    .filter(|p| {
+                        config.partition_primary(*p) == id || config.partition_secondary(*p) == id
+                    })
+                    .collect();
+                builder = builder.holding(held);
+            }
+            let db = Arc::new(builder.build());
+            for p in db.held_partitions() {
+                workload.load_partition(&db, p);
+            }
+            nodes.push(ClusterNode { id, db, endpoint: Arc::new(endpoint) });
+        }
+        Ok(StarCluster { config: config.clone(), nodes, network })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// One node.
+    pub fn node(&self, id: NodeId) -> Option<&ClusterNode> {
+        self.nodes.get(id)
+    }
+
+    /// The designated master node (first full replica).
+    pub fn master(&self) -> &ClusterNode {
+        &self.nodes[self.config.master_node()]
+    }
+
+    /// The simulated network (failure injection, traffic statistics).
+    pub fn network(&self) -> &SimNetwork {
+        &self.network
+    }
+
+    /// Nodes (other than `from`) that must receive the writes of a committed
+    /// transaction touching `partition`: every full replica plus the
+    /// partition's primary and secondary.
+    pub fn replica_targets(&self, from: NodeId, partition: PartitionId) -> Vec<NodeId> {
+        (0..self.config.num_nodes)
+            .filter(|&n| n != from && self.config.node_stores_partition(n, partition))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{kv_key, KvWorkload};
+
+    #[test]
+    fn build_assigns_full_and_partial_replicas() {
+        let config = ClusterConfig { partitions: 8, ..ClusterConfig::with_nodes(4) };
+        let wl = KvWorkload { partitions: 8, rows_per_partition: 10, cross_partition_fraction: 0.1 };
+        let cluster = StarCluster::build(&config, &wl).unwrap();
+        assert_eq!(cluster.nodes().len(), 4);
+        assert!(cluster.node(0).unwrap().db.is_full_replica());
+        for id in 1..4 {
+            assert!(!cluster.node(id).unwrap().db.is_full_replica());
+        }
+        // Every replica holds loaded data for each partition it stores.
+        for node in cluster.nodes() {
+            for p in node.db.held_partitions() {
+                assert!(node.db.get(0, p, kv_key(p, 0)).is_ok());
+            }
+        }
+        assert_eq!(cluster.master().id, 0);
+    }
+
+    #[test]
+    fn partition_count_mismatch_is_rejected() {
+        let config = ClusterConfig { partitions: 8, ..ClusterConfig::with_nodes(4) };
+        let wl = KvWorkload::new(4);
+        assert!(matches!(StarCluster::build(&config, &wl), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn replica_targets_cover_full_replicas_and_secondary() {
+        let config = ClusterConfig { partitions: 8, ..ClusterConfig::with_nodes(4) };
+        let wl = KvWorkload::new(8);
+        let cluster = StarCluster::build(&config, &wl).unwrap();
+        // Partition 1 is primary on node 1, secondary on node 2; node 0 is a
+        // full replica. From node 1, targets are {0, 2}.
+        let targets = cluster.replica_targets(1, 1);
+        assert_eq!(targets, vec![0, 2]);
+        // From the master (node 0), targets for partition 1 are {1, 2}.
+        let targets = cluster.replica_targets(0, 1);
+        assert_eq!(targets, vec![1, 2]);
+    }
+
+    #[test]
+    fn writes_are_replicated_at_least_f_plus_one_times() {
+        // Paper invariant: writes of committed transactions are replicated at
+        // least f+1 times on a cluster of f+k nodes.
+        let config = ClusterConfig { partitions: 8, ..ClusterConfig::with_nodes(4) };
+        let wl = KvWorkload::new(8);
+        let cluster = StarCluster::build(&config, &wl).unwrap();
+        for p in 0..8 {
+            let holders = (0..4)
+                .filter(|&n| cluster.config().node_stores_partition(n, p))
+                .count();
+            assert!(holders >= cluster.config().full_replicas + 1);
+        }
+    }
+}

@@ -1,0 +1,887 @@
+//! The phase-switching execution engine.
+//!
+//! [`StarEngine`] drives a [`StarCluster`] through alternating partitioned
+//! and single-master phases separated by replication fences, exactly as in
+//! Figure 5 of the paper:
+//!
+//! 1. derive `τp` and `τs` from the iteration time, the cross-partition
+//!    fraction and the measured phase throughputs (Equations 1–2);
+//! 2. run the partitioned phase: one worker per partition executes
+//!    single-partition transactions with no concurrency control, replicating
+//!    committed writes asynchronously (operation replication under the hybrid
+//!    strategy);
+//! 3. replication fence: every healthy replica applies all outstanding
+//!    writes, failures are detected, the epoch is advanced;
+//! 4. run the single-master phase: worker threads on the designated master
+//!    (a full replica) execute cross-partition transactions under the Silo
+//!    OCC protocol, replicating committed writes as full rows (value
+//!    replication);
+//! 5. another replication fence.
+//!
+//! Transactions are only released to clients at the fence that closes their
+//! epoch, so commit latency is dominated by the iteration time — this is the
+//! epoch-based group commit the latency table (Figure 12) reports.
+
+use crate::cluster::StarCluster;
+use crate::failure::FailureCase;
+use crate::messages::ReplicationBatch;
+use crate::phase::PhasePlan;
+use crate::workload::Workload;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
+use star_common::{
+    ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, Result, TidGenerator,
+};
+use star_net::Message as _;
+use star_occ::{commit_partitioned, commit_single_master, TxnCtx};
+use star_replication::{build_log_entries, ExecutionPhase, LogEntry, Payload, WalWriter};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Re-export of the replication mode used to configure synchronous vs
+/// asynchronous replication in the single-master phase (`SYNC STAR` vs
+/// `STAR` in Figure 15(a)).
+pub type SyncReplication = ReplicationMode;
+
+/// Sampling rate for commit-latency measurements (one in `LATENCY_SAMPLE`
+/// commits records its commit instant; latency is measured to the fence that
+/// closes the epoch).
+const LATENCY_SAMPLE: u64 = 8;
+
+/// Per-partition worker state that survives across iterations.
+struct PartitionWorkerState {
+    tid_gen: TidGenerator,
+    rng: StdRng,
+}
+
+/// Per-master-worker state that survives across iterations.
+struct MasterWorkerState {
+    tid_gen: TidGenerator,
+    rng: StdRng,
+}
+
+/// Result of one phase execution.
+struct PhaseResult {
+    committed: u64,
+    elapsed: Duration,
+    /// Commit instants of sampled transactions (latency is closed at the next
+    /// fence).
+    samples: Vec<Instant>,
+}
+
+/// The STAR engine.
+pub struct StarEngine {
+    cluster: StarCluster,
+    workload: Arc<dyn Workload>,
+    plan: PhasePlan,
+    epoch: Epoch,
+    last_committed_epoch: Epoch,
+    counters: Arc<RunCounters>,
+    latency: LatencyHistogram,
+    partition_workers: Vec<PartitionWorkerState>,
+    master_workers: Vec<MasterWorkerState>,
+    failed: Vec<bool>,
+    /// For each currently failed node, the last epoch that had committed when
+    /// its failure was detected; used to discard its in-flight writes when it
+    /// recovers.
+    failed_at_committed_epoch: Vec<Option<Epoch>>,
+    wal: Option<Vec<Arc<Mutex<WalWriter>>>>,
+}
+
+impl std::fmt::Debug for StarEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StarEngine")
+            .field("epoch", &self.epoch)
+            .field("nodes", &self.cluster.nodes().len())
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl StarEngine {
+    /// Builds the engine: constructs the cluster and loads the workload into
+    /// every replica.
+    pub fn new(config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
+        let cluster = StarCluster::build(&config, workload.as_ref())?;
+        let partition_workers = (0..config.partitions)
+            .map(|p| PartitionWorkerState {
+                tid_gen: TidGenerator::new(),
+                rng: StdRng::seed_from_u64(0x5747_u64 ^ (p as u64)),
+            })
+            .collect();
+        let master_workers = (0..config.workers_per_node)
+            .map(|w| MasterWorkerState {
+                tid_gen: TidGenerator::new(),
+                rng: StdRng::seed_from_u64(0xCA11_u64 ^ (w as u64)),
+            })
+            .collect();
+        let wal = if config.disk_logging {
+            let dir = std::env::temp_dir().join(format!("star-wal-{}", std::process::id()));
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| Error::Durability(format!("cannot create WAL dir: {e}")))?;
+            let writers = (0..config.num_nodes)
+                .map(|n| {
+                    let path = dir.join(format!("node-{n}.wal"));
+                    WalWriter::open(path).map(|w| Arc::new(Mutex::new(w)))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Some(writers)
+        } else {
+            None
+        };
+        let plan = PhasePlan::new(workload.mix().cross_partition_fraction);
+        let failed = vec![false; config.num_nodes];
+        let failed_at_committed_epoch = vec![None; config.num_nodes];
+        Ok(StarEngine {
+            cluster,
+            workload,
+            plan,
+            epoch: 1,
+            last_committed_epoch: 0,
+            counters: Arc::new(RunCounters::new()),
+            latency: LatencyHistogram::new(),
+            partition_workers,
+            master_workers,
+            failed,
+            failed_at_committed_epoch,
+            wal,
+        })
+    }
+
+    /// The underlying cluster (replicas, network).
+    pub fn cluster(&self) -> &StarCluster {
+        &self.cluster
+    }
+
+    /// The current global epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The shared run counters.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// The current failure classification of the cluster.
+    pub fn failure_case(&self) -> FailureCase {
+        FailureCase::classify(self.cluster.config(), &self.failed)
+    }
+
+    /// Marks a node as failed in the simulated network. The failure is
+    /// *detected* (and the database reverted to the last committed epoch) at
+    /// the next replication fence, mirroring the paper's coordinator-driven
+    /// detection.
+    pub fn inject_failure(&mut self, node: NodeId) {
+        self.cluster.network().fail_node(node);
+    }
+
+    /// Which nodes are currently known (detected) to be failed.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f)
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// The node currently acting as the designated master: the first healthy
+    /// full replica, if any.
+    pub fn current_master(&self) -> Option<NodeId> {
+        (0..self.cluster.config().full_replicas).find(|&n| !self.failed[n])
+    }
+
+    /// The effective primary node of a partition: its configured primary if
+    /// healthy, otherwise the first healthy node holding the partition
+    /// (re-mastering of Case 3).
+    pub fn effective_primary(&self, partition: PartitionId) -> Option<NodeId> {
+        let config = self.cluster.config();
+        let primary = config.partition_primary(partition);
+        if !self.failed[primary] {
+            return Some(primary);
+        }
+        (0..config.num_nodes)
+            .find(|&n| !self.failed[n] && config.node_stores_partition(n, partition))
+    }
+
+    /// Runs the engine for (at least) `duration`, returning a report with the
+    /// throughput, latency distribution and traffic counters of the window.
+    pub fn run_for(&mut self, duration: Duration) -> RunReport {
+        let start = Instant::now();
+        let before = self.counters.snapshot();
+        while start.elapsed() < duration {
+            self.run_iteration();
+        }
+        let elapsed = start.elapsed();
+        let after = self.counters.snapshot();
+        let mut window = after;
+        window.committed -= before.committed;
+        window.aborted -= before.aborted;
+        window.user_aborted -= before.user_aborted;
+        window.replication_bytes -= before.replication_bytes;
+        window.coordination_bytes -= before.coordination_bytes;
+        window.fences -= before.fences;
+        window.fence_time_us -= before.fence_time_us;
+        window.wal_bytes -= before.wal_bytes;
+        RunReport::new(
+            "STAR",
+            self.workload.name(),
+            self.workload.mix().percentage(),
+            elapsed,
+            window,
+            std::mem::take(&mut self.latency),
+        )
+    }
+
+    /// Executes exactly one iteration (partitioned phase, fence,
+    /// single-master phase, fence). Exposed for tests and for the
+    /// phase-overhead benchmark.
+    pub fn run_iteration(&mut self) {
+        let iteration = self.cluster.config().iteration;
+        let (tau_p, tau_s) = self.plan.split(iteration);
+
+        let partitioned = if !tau_p.is_zero() && self.failure_case().available() {
+            Some(self.run_partitioned_phase(tau_p))
+        } else {
+            None
+        };
+        let fence_end = self.replication_fence();
+        if let Some(result) = partitioned {
+            self.plan.observe_partitioned(result.committed, result.elapsed);
+            self.close_latency_samples(&result.samples, fence_end);
+        }
+
+        let single_master = if !tau_s.is_zero() && self.current_master().is_some() {
+            Some(self.run_single_master_phase(tau_s))
+        } else {
+            None
+        };
+        let fence_end = self.replication_fence();
+        if let Some(result) = single_master {
+            self.plan.observe_single_master(result.committed, result.elapsed);
+            self.close_latency_samples(&result.samples, fence_end);
+        }
+    }
+
+    fn close_latency_samples(&mut self, samples: &[Instant], fence_end: Instant) {
+        for &commit_instant in samples {
+            self.latency.record(fence_end.saturating_duration_since(commit_instant));
+        }
+    }
+
+    /// Runs the partitioned phase for `tau_p`.
+    fn run_partitioned_phase(&mut self, tau_p: Duration) -> PhaseResult {
+        let config = self.cluster.config().clone();
+        let deadline = Instant::now() + tau_p;
+        let start = Instant::now();
+        let epoch = self.epoch;
+        let strategy = config.replication_strategy;
+        let mut total_committed = 0u64;
+        let mut samples = Vec::new();
+
+        // Precompute, per partition, the node that will execute it and the
+        // replica targets, so the scoped workers only capture owned data.
+        let assignments: Vec<Option<(NodeId, Vec<NodeId>)>> = (0..config.partitions)
+            .map(|p| {
+                self.effective_primary(p).map(|primary| {
+                    let targets: Vec<NodeId> = self
+                        .cluster
+                        .replica_targets(primary, p)
+                        .into_iter()
+                        .filter(|n| !self.failed[*n])
+                        .collect();
+                    (primary, targets)
+                })
+            })
+            .collect();
+
+        let cluster = &self.cluster;
+        let workload = &self.workload;
+        let counters = &self.counters;
+        let wal = &self.wal;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (partition, state) in self.partition_workers.iter_mut().enumerate() {
+                let Some((primary, targets)) = assignments[partition].clone() else {
+                    continue;
+                };
+                let node = &cluster.nodes()[primary];
+                let db = Arc::clone(&node.db);
+                let endpoint = Arc::clone(&node.endpoint);
+                let workload = Arc::clone(workload);
+                let counters = Arc::clone(counters);
+                let wal = wal.as_ref().map(|w| Arc::clone(&w[primary]));
+                handles.push(scope.spawn(move || {
+                    let mut committed = 0u64;
+                    let mut attempts = 0u64;
+                    let mut samples = Vec::new();
+                    // Always attempt at least one transaction per phase so a
+                    // heavily loaded host cannot starve a worker out of an
+                    // entire (very short) phase.
+                    while attempts == 0 || Instant::now() < deadline {
+                        attempts += 1;
+                        let proc = workload.single_partition_transaction(&mut state.rng, partition);
+                        let mut ctx = TxnCtx::new_single_threaded(db.as_ref());
+                        match proc.execute(&mut ctx) {
+                            Ok(()) => {}
+                            Err(Error::Abort(star_common::AbortReason::User)) => {
+                                counters.add_user_abort();
+                                continue;
+                            }
+                            Err(_) => {
+                                counters.add_abort();
+                                continue;
+                            }
+                        }
+                        let (read_set, write_set) = ctx.into_sets();
+                        let Ok(output) =
+                            commit_partitioned(&db, read_set, write_set, epoch, &mut state.tid_gen)
+                        else {
+                            counters.add_abort();
+                            continue;
+                        };
+                        let entries = build_log_entries(
+                            &output.write_set,
+                            output.tid,
+                            strategy,
+                            ExecutionPhase::Partitioned,
+                        );
+                        if !entries.is_empty() {
+                            let batch = ReplicationBatch {
+                                from_node: primary,
+                                epoch,
+                                entries: entries.clone(),
+                            };
+                            for &target in &targets {
+                                counters.add_replication_bytes(batch.wire_size() as u64);
+                                let _ = endpoint.send(target, batch.clone());
+                            }
+                        }
+                        if let Some(wal) = &wal {
+                            let mut wal = wal.lock();
+                            for w in &output.write_set {
+                                let entry = LogEntry {
+                                    table: w.table,
+                                    partition: w.partition,
+                                    key: w.key,
+                                    tid: output.tid,
+                                    payload: Payload::Value(w.row.clone()),
+                                };
+                                let _ = wal.append_value(&entry);
+                                counters.add_wal_bytes(entry.wire_size() as u64);
+                            }
+                        }
+                        counters.add_commit();
+                        committed += 1;
+                        if committed % LATENCY_SAMPLE == 0 {
+                            samples.push(Instant::now());
+                        }
+                    }
+                    (committed, samples)
+                }));
+            }
+            for handle in handles {
+                let (committed, mut worker_samples) = handle.join().expect("partition worker panicked");
+                total_committed += committed;
+                samples.append(&mut worker_samples);
+            }
+        });
+
+        PhaseResult { committed: total_committed, elapsed: start.elapsed(), samples }
+    }
+
+    /// Runs the single-master phase for `tau_s`.
+    fn run_single_master_phase(&mut self, tau_s: Duration) -> PhaseResult {
+        let config = self.cluster.config().clone();
+        let Some(master) = self.current_master() else {
+            return PhaseResult { committed: 0, elapsed: Duration::ZERO, samples: Vec::new() };
+        };
+        let deadline = Instant::now() + tau_s;
+        let start = Instant::now();
+        let epoch = self.epoch;
+        let strategy = config.replication_strategy;
+        let sync_replication = config.replication_mode == ReplicationMode::Sync;
+        let round_trip = config.network_latency * 2;
+        let mut total_committed = 0u64;
+        let mut samples = Vec::new();
+
+        let healthy: Vec<NodeId> =
+            (0..config.num_nodes).filter(|&n| n != master && !self.failed[n]).collect();
+        let cluster = &self.cluster;
+        let workload = &self.workload;
+        let counters = &self.counters;
+        let wal = &self.wal;
+        let master_node = &cluster.nodes()[master];
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (worker_id, state) in self.master_workers.iter_mut().enumerate() {
+                let db = Arc::clone(&master_node.db);
+                let endpoint = Arc::clone(&master_node.endpoint);
+                let workload = Arc::clone(workload);
+                let counters = Arc::clone(counters);
+                let wal = wal.as_ref().map(|w| Arc::clone(&w[master]));
+                let healthy = healthy.clone();
+                let config = config.clone();
+                handles.push(scope.spawn(move || {
+                    let mut committed = 0u64;
+                    let mut attempts = 0u64;
+                    let mut samples = Vec::new();
+                    let partitions = config.partitions;
+                    while attempts == 0 || Instant::now() < deadline {
+                        attempts += 1;
+                        use rand::Rng;
+                        let home = (state.rng.gen::<usize>() ^ worker_id) % partitions;
+                        let proc = workload.cross_partition_transaction(&mut state.rng, home);
+                        let mut ctx = TxnCtx::new(db.as_ref());
+                        match proc.execute(&mut ctx) {
+                            Ok(()) => {}
+                            Err(Error::Abort(star_common::AbortReason::User)) => {
+                                counters.add_user_abort();
+                                continue;
+                            }
+                            Err(_) => {
+                                counters.add_abort();
+                                continue;
+                            }
+                        }
+                        let (read_set, write_set) = ctx.into_sets();
+                        let output = match commit_single_master(
+                            &db,
+                            read_set,
+                            write_set,
+                            epoch,
+                            &mut state.tid_gen,
+                        ) {
+                            Ok(output) => output,
+                            Err(Error::Abort(_)) => {
+                                counters.add_abort();
+                                continue;
+                            }
+                            Err(_) => {
+                                counters.add_abort();
+                                continue;
+                            }
+                        };
+                        let entries = build_log_entries(
+                            &output.write_set,
+                            output.tid,
+                            strategy,
+                            ExecutionPhase::SingleMaster,
+                        );
+                        for &target in &healthy {
+                            let relevant: Vec<LogEntry> = entries
+                                .iter()
+                                .filter(|e| config.node_stores_partition(target, e.partition))
+                                .cloned()
+                                .collect();
+                            if relevant.is_empty() {
+                                continue;
+                            }
+                            let batch =
+                                ReplicationBatch { from_node: master, epoch, entries: relevant };
+                            counters.add_replication_bytes(batch.wire_size() as u64);
+                            let _ = endpoint.send(target, batch);
+                        }
+                        if sync_replication && !healthy.is_empty() {
+                            // Synchronous replication: the write locks are
+                            // held for a round trip to the replicas before
+                            // the transaction can release them.
+                            std::thread::sleep(round_trip);
+                        }
+                        if let Some(wal) = &wal {
+                            let mut wal = wal.lock();
+                            for w in &output.write_set {
+                                let entry = LogEntry {
+                                    table: w.table,
+                                    partition: w.partition,
+                                    key: w.key,
+                                    tid: output.tid,
+                                    payload: Payload::Value(w.row.clone()),
+                                };
+                                let _ = wal.append_value(&entry);
+                                counters.add_wal_bytes(entry.wire_size() as u64);
+                            }
+                        }
+                        counters.add_commit();
+                        committed += 1;
+                        if committed % LATENCY_SAMPLE == 0 {
+                            samples.push(Instant::now());
+                        }
+                    }
+                    (committed, samples)
+                }));
+            }
+            for handle in handles {
+                let (committed, mut worker_samples) = handle.join().expect("master worker panicked");
+                total_committed += committed;
+                samples.append(&mut worker_samples);
+            }
+        });
+
+        PhaseResult { committed: total_committed, elapsed: start.elapsed(), samples }
+    }
+
+    /// Executes a replication fence: detect failures, apply all outstanding
+    /// replication messages on every healthy replica, advance the epoch.
+    /// Returns the instant the fence completed (the group-commit point of the
+    /// epoch that just closed).
+    fn replication_fence(&mut self) -> Instant {
+        let start = Instant::now();
+        let config = self.cluster.config().clone();
+
+        // Failure detection: the coordinator notices nodes that stopped
+        // responding. Newly failed nodes trigger an epoch revert on every
+        // healthy replica (Figure 6) before the fence proceeds.
+        let newly_failed: Vec<NodeId> = (0..config.num_nodes)
+            .filter(|&n| self.cluster.network().is_failed(n) && !self.failed[n])
+            .collect();
+        let reverting = !newly_failed.is_empty();
+        if reverting {
+            for &n in &newly_failed {
+                self.failed[n] = true;
+                self.failed_at_committed_epoch[n] = Some(self.last_committed_epoch);
+            }
+            for (n, node) in self.cluster.nodes().iter().enumerate() {
+                if !self.failed[n] {
+                    node.db.revert_to_epoch(self.last_committed_epoch);
+                }
+            }
+        }
+
+        // Apply outstanding replication streams on every healthy node,
+        // ignoring messages that originated at failed nodes. When a failure
+        // was just detected, the whole in-flight epoch is being discarded
+        // (Figure 6), so its replication messages must be dropped as well —
+        // applying them would resurrect writes the primaries just reverted.
+        for (n, node) in self.cluster.nodes().iter().enumerate() {
+            if self.failed[n] {
+                continue;
+            }
+            for envelope in node.endpoint.drain() {
+                if self.failed[envelope.from] {
+                    continue;
+                }
+                if reverting && envelope.payload.epoch > self.last_committed_epoch {
+                    continue;
+                }
+                for entry in &envelope.payload.entries {
+                    if node.db.holds(entry.partition) {
+                        let _ = entry.apply(&node.db);
+                    }
+                }
+            }
+        }
+
+        // Epoch commit: drop stashed versions, flush WALs, advance the epoch.
+        for (n, node) in self.cluster.nodes().iter().enumerate() {
+            if !self.failed[n] {
+                node.db.commit_epoch();
+            }
+        }
+        if let Some(wal) = &self.wal {
+            for (n, writer) in wal.iter().enumerate() {
+                if !self.failed[n] {
+                    let _ = writer.lock().flush();
+                }
+            }
+        }
+        self.last_committed_epoch = self.epoch;
+        self.epoch += 1;
+        let end = Instant::now();
+        self.counters.add_fence(end - start);
+        end
+    }
+
+    /// Recovers a previously failed node: the node copies the partitions it
+    /// holds from healthy replicas (preferring a full replica), is healed in
+    /// the network and rejoins the cluster. Corresponds to the per-node
+    /// recovery path shared by Cases 1–3.
+    pub fn recover_node(&mut self, node: NodeId) -> Result<usize> {
+        if node >= self.failed.len() {
+            return Err(Error::Config(format!("no such node {node}")));
+        }
+        if !self.failed[node] {
+            return Ok(0);
+        }
+        // The failed node's replica may still contain writes from the epoch
+        // that was in flight when it crashed; that epoch was discarded by the
+        // rest of the cluster (Figure 6), so discard it here too before
+        // catching up.
+        let target_db = Arc::clone(&self.cluster.nodes()[node].db);
+        if let Some(committed) = self.failed_at_committed_epoch[node].take() {
+            target_db.revert_to_epoch(committed);
+        }
+        let mut copied = 0usize;
+        for partition in target_db.held_partitions() {
+            let source = (0..self.cluster.config().num_nodes).find(|&n| {
+                n != node && !self.failed[n] && self.cluster.nodes()[n].db.holds(partition)
+            });
+            let Some(source) = source else {
+                return Err(Error::Config(format!(
+                    "no healthy replica holds partition {partition}; recover from disk instead"
+                )));
+            };
+            let source_db = &self.cluster.nodes()[source].db;
+            source_db.for_each_record(|table, p, key, rec| {
+                if p != partition {
+                    return;
+                }
+                let read = rec.read();
+                if target_db.apply_value_write(table, p, key, read.row, read.tid).unwrap_or(false) {
+                    copied += 1;
+                }
+            });
+        }
+        self.cluster.network().heal_node(node);
+        self.failed[node] = false;
+        Ok(copied)
+    }
+
+    /// Checks that every pair of healthy replicas agrees on the contents of
+    /// the partitions they both hold. Intended for tests: run some load, then
+    /// assert consistency after a fence.
+    pub fn verify_replica_consistency(&self) -> Result<()> {
+        use std::collections::HashMap;
+        let config = self.cluster.config();
+        type Snapshot = HashMap<(u32, usize, u64), (star_common::Tid, star_common::Row)>;
+        let snapshots: Vec<Option<Snapshot>> = self
+            .cluster
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(n, node)| {
+                if self.failed[n] {
+                    return None;
+                }
+                let mut map = HashMap::new();
+                node.db.for_each_record(|table, partition, key, rec| {
+                    let read = rec.read();
+                    map.insert((table, partition, key), (read.tid, read.row));
+                });
+                Some(map)
+            })
+            .collect();
+        for partition in 0..config.partitions {
+            let holders: Vec<usize> = (0..config.num_nodes)
+                .filter(|&n| !self.failed[n] && self.cluster.nodes()[n].db.holds(partition))
+                .collect();
+            let Some(&reference) = holders.first() else { continue };
+            let reference_map = snapshots[reference].as_ref().unwrap();
+            for &other in &holders[1..] {
+                let other_map = snapshots[other].as_ref().unwrap();
+                for ((table, p, key), (tid, row)) in reference_map {
+                    if *p != partition {
+                        continue;
+                    }
+                    match other_map.get(&(*table, *p, *key)) {
+                        Some((other_tid, other_row)) if other_tid == tid && other_row == row => {}
+                        Some((other_tid, _)) => {
+                            return Err(Error::Config(format!(
+                                "replica divergence: node {other} has tid {other_tid} for \
+                                 ({table},{p},{key}) but node {reference} has {tid}"
+                            )));
+                        }
+                        None => {
+                            return Err(Error::Config(format!(
+                                "replica divergence: node {other} is missing ({table},{p},{key})"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{kv_key, KvWorkload};
+
+    fn small_config() -> ClusterConfig {
+        ClusterConfig {
+            num_nodes: 4,
+            full_replicas: 1,
+            workers_per_node: 2,
+            partitions: 4,
+            iteration: Duration::from_millis(5),
+            network_latency: Duration::from_micros(10),
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn workload(cross_fraction: f64) -> Arc<KvWorkload> {
+        Arc::new(KvWorkload {
+            partitions: 4,
+            rows_per_partition: 32,
+            cross_partition_fraction: cross_fraction,
+        })
+    }
+
+    #[test]
+    fn engine_commits_transactions_and_advances_epochs() {
+        let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
+        assert_eq!(engine.epoch(), 1);
+        let report = engine.run_for(Duration::from_millis(30));
+        assert!(report.counters.committed > 0, "no transactions committed");
+        assert!(engine.epoch() > 1, "epoch did not advance");
+        assert!(report.throughput > 0.0);
+        assert_eq!(report.engine, "STAR");
+        assert_eq!(report.workload, "kv");
+    }
+
+    #[test]
+    fn replicas_converge_after_a_fence() {
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(30));
+        engine.verify_replica_consistency().expect("replicas diverged");
+    }
+
+    #[test]
+    fn replication_traffic_is_accounted() {
+        let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.replication_bytes > 0);
+        assert!(report.counters.fences >= 2);
+        // The simulated network saw actual messages.
+        assert!(engine.cluster().network().stats().bytes() > 0);
+    }
+
+    #[test]
+    fn pure_single_partition_workload_skips_single_master_phase() {
+        let mut engine = StarEngine::new(small_config(), workload(0.0)).unwrap();
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.committed > 0);
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn pure_cross_partition_workload_runs_only_on_master() {
+        let mut engine = StarEngine::new(small_config(), workload(1.0)).unwrap();
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.committed > 0);
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn failure_is_detected_at_the_fence_and_classified() {
+        let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        assert_eq!(engine.failure_case(), FailureCase::NoFailure);
+        engine.inject_failure(2);
+        // Detection happens at the next fence.
+        engine.run_iteration();
+        assert!(engine.failed_nodes().contains(&2));
+        assert_eq!(engine.failure_case(), FailureCase::FullAndPartialRemain);
+        // The system keeps committing transactions (Case 1).
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.committed > 0);
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn master_failure_disables_phase_switching_until_recovery() {
+        let mut engine = StarEngine::new(small_config(), workload(0.5)).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.inject_failure(0);
+        engine.run_iteration();
+        assert_eq!(engine.failure_case(), FailureCase::OnlyPartialRemains);
+        assert_eq!(engine.current_master(), None);
+        // Single-partition work still proceeds on the partial replicas.
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.committed > 0);
+    }
+
+    #[test]
+    fn failed_node_recovers_and_rejoins() {
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(15));
+        engine.inject_failure(1);
+        engine.run_iteration();
+        assert!(engine.failed_nodes().contains(&1));
+        // More work happens while node 1 is down.
+        engine.run_for(Duration::from_millis(15));
+        let copied = engine.recover_node(1).unwrap();
+        assert!(copied > 0, "recovery should copy missed writes");
+        assert!(engine.failed_nodes().is_empty());
+        // After another fence-closed window, all replicas agree again.
+        engine.run_for(Duration::from_millis(15));
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn recover_node_is_a_noop_for_healthy_nodes() {
+        let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
+        assert_eq!(engine.recover_node(2).unwrap(), 0);
+        assert!(engine.recover_node(99).is_err());
+    }
+
+    #[test]
+    fn effective_primary_fails_over_to_a_holder() {
+        let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
+        assert_eq!(engine.effective_primary(1), Some(1));
+        engine.inject_failure(1);
+        engine.run_iteration();
+        let fallback = engine.effective_primary(1).unwrap();
+        assert_ne!(fallback, 1);
+        assert!(engine.cluster().config().node_stores_partition(fallback, 1));
+    }
+
+    #[test]
+    fn disk_logging_writes_wal_bytes() {
+        let mut config = small_config();
+        config.disk_logging = true;
+        let mut engine = StarEngine::new(config, workload(0.1)).unwrap();
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.wal_bytes > 0);
+    }
+
+    #[test]
+    fn sync_replication_mode_still_converges() {
+        let mut config = small_config();
+        config.replication_mode = ReplicationMode::Sync;
+        let mut engine = StarEngine::new(config, workload(0.5)).unwrap();
+        let report = engine.run_for(Duration::from_millis(20));
+        assert!(report.counters.committed > 0);
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn serializability_smoke_total_increments_equal_commits() {
+        // Every KvRmw increments two counters by one; after a fence the sum
+        // of all counters on the master replica must equal twice the number
+        // of committed transactions (minus nothing, since there are no user
+        // aborts in this workload).
+        let config = ClusterConfig {
+            num_nodes: 2,
+            full_replicas: 1,
+            workers_per_node: 2,
+            partitions: 2,
+            iteration: Duration::from_millis(5),
+            network_latency: Duration::from_micros(10),
+            ..ClusterConfig::default()
+        };
+        let wl = Arc::new(KvWorkload {
+            partitions: 2,
+            rows_per_partition: 16,
+            cross_partition_fraction: 0.3,
+        });
+        let mut engine = StarEngine::new(config, wl.clone()).unwrap();
+        let report = engine.run_for(Duration::from_millis(40));
+        let master_db = &engine.cluster().master().db;
+        let mut total = 0u64;
+        for p in 0..2usize {
+            for offset in 0..wl.rows_per_partition {
+                let rec = master_db.get(0, p, kv_key(p, offset)).unwrap();
+                total += rec.read().row.field(0).unwrap().as_u64().unwrap();
+            }
+        }
+        assert_eq!(total, report.counters.committed * 2);
+    }
+}

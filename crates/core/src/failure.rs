@@ -1,0 +1,187 @@
+//! Failure-scenario classification and recovery helpers (Section 4.5).
+//!
+//! When the replication fence detects failed nodes, the behaviour of the
+//! surviving cluster depends on which *kinds* of replicas remain. The paper
+//! enumerates four cases (Figure 7); [`FailureCase::classify`] reproduces
+//! that classification and the engine uses it to decide whether it can keep
+//! running the phase-switching algorithm, must fall back to distributed
+//! concurrency control, or must stop and recover from disk.
+
+use star_common::ClusterConfig;
+
+/// The four failure scenarios of Section 4.5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCase {
+    /// No node failed at all.
+    NoFailure,
+    /// Case 1: at least one full replica and one complete partial replica
+    /// remain — the phase-switching algorithm keeps running unchanged.
+    FullAndPartialRemain,
+    /// Case 2: no full replica remains, but the partial replicas still cover
+    /// the database — the system falls back to distributed concurrency
+    /// control (e.g. Dist. OCC) until a full replica is restored.
+    OnlyPartialRemains,
+    /// Case 3: the partial replicas no longer cover the database, but a full
+    /// replica remains — lost partitions are re-mastered onto the full
+    /// replica and phase switching continues (degenerating to single-node
+    /// execution if every partial replica is gone).
+    OnlyFullRemains,
+    /// Case 4: neither a full replica nor a complete partial replica remains
+    /// — the system loses availability and must recover from checkpoints and
+    /// logs on disk.
+    NothingRemains,
+}
+
+impl FailureCase {
+    /// Classifies the state of a cluster given which nodes have failed.
+    ///
+    /// `failed[n]` is true if node `n` is currently failed. Nodes
+    /// `0..config.full_replicas` hold full replicas; the remaining nodes hold
+    /// the partitions assigned to them by the layout (primary + secondary).
+    pub fn classify(config: &ClusterConfig, failed: &[bool]) -> FailureCase {
+        assert_eq!(failed.len(), config.num_nodes, "failure vector length mismatch");
+        if failed.iter().all(|f| !f) {
+            return FailureCase::NoFailure;
+        }
+        let full_remains = (0..config.full_replicas).any(|n| !failed[n]);
+        let partial_covers = (0..config.partitions).all(|p| {
+            (config.full_replicas..config.num_nodes)
+                .any(|n| !failed[n] && config.node_stores_partition(n, p))
+        });
+        match (full_remains, partial_covers) {
+            (true, true) => FailureCase::FullAndPartialRemain,
+            (false, true) => FailureCase::OnlyPartialRemains,
+            (true, false) => FailureCase::OnlyFullRemains,
+            (false, false) => FailureCase::NothingRemains,
+        }
+    }
+
+    /// Whether the phase-switching algorithm can keep running in this state
+    /// (Cases 1 and 3; Case 2 requires the distributed fallback and Case 4
+    /// halts the system).
+    pub fn phase_switching_available(self) -> bool {
+        matches!(
+            self,
+            FailureCase::NoFailure | FailureCase::FullAndPartialRemain | FailureCase::OnlyFullRemains
+        )
+    }
+
+    /// Whether the system keeps serving transactions at all.
+    pub fn available(self) -> bool {
+        !matches!(self, FailureCase::NothingRemains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::ClusterConfig;
+
+    /// A hand-checkable miniature of Figure 7: f = 2 full replicas (nodes 0
+    /// and 1), k = 2 partial replicas (nodes 2 and 3), 4 partitions.
+    ///
+    /// With the default layout the partial holders of each partition are:
+    /// partition 0 → {2}, partition 1 → {3}, partition 2 → {2, 3},
+    /// partition 3 → {2, 3}.
+    fn mini_config() -> ClusterConfig {
+        let mut c = ClusterConfig::with_nodes(4);
+        c.full_replicas = 2;
+        c.partitions = 4;
+        c
+    }
+
+    fn failed(nodes: &[usize], total: usize) -> Vec<bool> {
+        let mut v = vec![false; total];
+        for &n in nodes {
+            v[n] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn no_failure() {
+        let c = mini_config();
+        let case = FailureCase::classify(&c, &failed(&[], 4));
+        assert_eq!(case, FailureCase::NoFailure);
+        assert!(case.phase_switching_available());
+        assert!(case.available());
+    }
+
+    #[test]
+    fn case1_full_and_partial_remain() {
+        let c = mini_config();
+        // One full replica fails; the other full replica and both partial
+        // replicas survive, so phase switching continues unchanged.
+        let case = FailureCase::classify(&c, &failed(&[1], 4));
+        assert_eq!(case, FailureCase::FullAndPartialRemain);
+        assert!(case.phase_switching_available());
+    }
+
+    #[test]
+    fn case2_only_partial_remains() {
+        let c = mini_config();
+        // Both full replicas fail; the partial replicas still cover every
+        // partition, so the system falls back to distributed CC.
+        let case = FailureCase::classify(&c, &failed(&[0, 1], 4));
+        assert_eq!(case, FailureCase::OnlyPartialRemains);
+        assert!(!case.phase_switching_available());
+        assert!(case.available());
+    }
+
+    #[test]
+    fn case3_only_full_remains() {
+        let c = mini_config();
+        // Node 2 is the only partial holder of partition 0; losing it breaks
+        // partial coverage even though node 3 is still alive.
+        let case = FailureCase::classify(&c, &failed(&[2], 4));
+        assert_eq!(case, FailureCase::OnlyFullRemains);
+        assert!(case.phase_switching_available());
+    }
+
+    #[test]
+    fn case3_all_partials_lost() {
+        let c = mini_config();
+        let case = FailureCase::classify(&c, &failed(&[2, 3], 4));
+        assert_eq!(case, FailureCase::OnlyFullRemains);
+    }
+
+    #[test]
+    fn case4_nothing_remains() {
+        let c = mini_config();
+        // Both full replicas and the sole partial holder of partition 0 fail.
+        let case = FailureCase::classify(&c, &failed(&[0, 1, 2], 4));
+        assert_eq!(case, FailureCase::NothingRemains);
+        assert!(!case.available());
+    }
+
+    #[test]
+    fn partial_layout_covers_every_partition_when_healthy() {
+        // Sanity-check the layout invariant the classification relies on: the
+        // partial replicas together contain a full copy of the database.
+        for nodes in 2..10usize {
+            for f in 1..nodes {
+                let mut c = ClusterConfig::with_nodes(nodes);
+                c.full_replicas = f;
+                c.partitions = nodes * 3;
+                let healthy = failed(&[], nodes);
+                let case = FailureCase::classify(&c, &healthy);
+                assert_eq!(case, FailureCase::NoFailure);
+                if f < nodes {
+                    for p in 0..c.partitions {
+                        assert!(
+                            (f..nodes).any(|n| c.node_stores_partition(n, p)),
+                            "partition {p} not covered by partials (n={nodes}, f={f})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_vector_length_panics() {
+        let c = mini_config();
+        let _ = FailureCase::classify(&c, &[false; 3]);
+    }
+}

@@ -1,0 +1,45 @@
+//! The STAR engine: phase-switching transaction execution over asymmetric
+//! replication.
+//!
+//! This crate contains the paper's primary contribution:
+//!
+//! * [`model`] — the analytical model of Section 6.3 (Equations 3–5 and the
+//!   improvement/speedup formulas plotted in Figures 3 and 10).
+//! * [`phase`] — the phase-switching plan: how the iteration time `e` is
+//!   split into `τp` (partitioned phase) and `τs` (single-master phase) from
+//!   the measured throughputs and the cross-partition percentage
+//!   (Equations 1–2, Figure 5).
+//! * [`workload`] — the workload abstraction the engines execute
+//!   (single-partition vs cross-partition stored procedures); implemented by
+//!   `star-workloads` for YCSB and TPC-C.
+//! * [`cluster`] — construction of a simulated cluster: one [`star_storage`]
+//!   replica per node (full replicas on the first `f` nodes, partial replicas
+//!   elsewhere), connected by a [`star_net`] simulated network.
+//! * [`engine`] — the phase-switching execution loop itself: partitioned
+//!   phase, replication fence, single-master phase, replication fence,
+//!   epoch advancement, statistics.
+//! * [`failure`] — failure-scenario classification (the four recovery cases
+//!   of Section 4.5.3), epoch revert and node recovery.
+//!
+//! The cluster is simulated in one process (see `DESIGN.md` for the
+//! substitution argument); all the protocol logic — TID rules, Thomas write
+//! rule, replication fences, hybrid replication — is the real thing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod engine;
+pub mod failure;
+pub mod messages;
+pub mod model;
+pub mod phase;
+pub mod testing;
+pub mod workload;
+
+pub use cluster::StarCluster;
+pub use engine::{StarEngine, SyncReplication};
+pub use failure::FailureCase;
+pub use model::AnalyticalModel;
+pub use phase::PhasePlan;
+pub use workload::{Workload, WorkloadMix};

@@ -1,0 +1,45 @@
+//! Messages exchanged between nodes of the simulated STAR cluster.
+
+use star_net::Message;
+use star_replication::LogEntry;
+
+/// A batch of replicated writes shipped from the node that committed them to
+/// a node holding a secondary copy of the affected partitions.
+#[derive(Debug, Clone)]
+pub struct ReplicationBatch {
+    /// Node that produced (mastered) the writes.
+    pub from_node: usize,
+    /// Epoch the writes belong to.
+    pub epoch: u32,
+    /// The writes themselves.
+    pub entries: Vec<LogEntry>,
+}
+
+impl Message for ReplicationBatch {
+    fn wire_size(&self) -> usize {
+        // from_node + epoch header, then the entries.
+        8 + self.entries.iter().map(LogEntry::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::{FieldValue, Tid};
+    use star_replication::Payload;
+
+    #[test]
+    fn wire_size_sums_entries() {
+        let entry = LogEntry {
+            table: 0,
+            partition: 0,
+            key: 1,
+            tid: Tid::new(1, 1),
+            payload: Payload::Value(row([FieldValue::U64(1)])),
+        };
+        let batch =
+            ReplicationBatch { from_node: 0, epoch: 1, entries: vec![entry.clone(), entry.clone()] };
+        assert_eq!(batch.wire_size(), 8 + 2 * entry.wire_size());
+    }
+}

@@ -1,0 +1,154 @@
+//! The analytical model of Section 6.3.
+//!
+//! The model compares the time to run a workload of `ns` single-partition and
+//! `nc` cross-partition transactions under three architectures:
+//!
+//! * partitioning-based: `T = (ns·ts + nc·tc) / n`               (Eq. 3)
+//! * non-partitioned:    `T = (ns + nc)·ts`                       (Eq. 4)
+//! * STAR:               `T = (ns/n + nc)·ts`                     (Eq. 5)
+//!
+//! With `K = tc/ts` (how much more expensive a cross-partition transaction
+//! is) and `P = nc/(nc+ns)` (the cross-partition fraction), the paper derives
+//! the improvement ratios plotted in Figure 10 and the speedup over a single
+//! node plotted in Figure 3. Those closed forms are reproduced here and used
+//! by the `fig3` / `fig10` benchmark harness targets.
+
+/// Closed-form performance model of STAR vs the two conventional designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticalModel {
+    /// Fraction of cross-partition transactions in the workload, `P ∈ [0,1]`.
+    pub cross_partition_fraction: f64,
+    /// Cost ratio `K = tc/ts` of a cross-partition transaction to a
+    /// single-partition transaction in a partitioning-based system.
+    pub cross_partition_cost_ratio: f64,
+}
+
+impl AnalyticalModel {
+    /// Creates a model; `p` is clamped into `[0, 1]` and `k` must be >= 1.
+    pub fn new(p: f64, k: f64) -> Self {
+        AnalyticalModel {
+            cross_partition_fraction: p.clamp(0.0, 1.0),
+            cross_partition_cost_ratio: k.max(1.0),
+        }
+    }
+
+    /// Relative execution time of a partitioning-based system on `n` nodes
+    /// (Eq. 3), normalised so that a single-partition transaction costs 1.
+    pub fn time_partitioning_based(&self, n: usize) -> f64 {
+        let p = self.cross_partition_fraction;
+        let k = self.cross_partition_cost_ratio;
+        ((1.0 - p) + p * k) / n as f64
+    }
+
+    /// Relative execution time of a non-partitioned (primary/backup) system
+    /// (Eq. 4). Independent of `n`: backups do not add throughput.
+    pub fn time_non_partitioned(&self, _n: usize) -> f64 {
+        1.0
+    }
+
+    /// Relative execution time of STAR on `n` nodes (Eq. 5).
+    pub fn time_star(&self, n: usize) -> f64 {
+        let p = self.cross_partition_fraction;
+        (1.0 - p) / n as f64 + p
+    }
+
+    /// Improvement of STAR over a partitioning-based system on `n` nodes,
+    /// `I_partitioning(n) = (KP - P + 1) / (nP - P + 1)`.
+    pub fn improvement_over_partitioning(&self, n: usize) -> f64 {
+        let p = self.cross_partition_fraction;
+        let k = self.cross_partition_cost_ratio;
+        (k * p - p + 1.0) / (n as f64 * p - p + 1.0)
+    }
+
+    /// Improvement of STAR over a non-partitioned system on `n` nodes,
+    /// `I_non-partitioned(n) = n / (nP - P + 1)`.
+    pub fn improvement_over_non_partitioned(&self, n: usize) -> f64 {
+        let p = self.cross_partition_fraction;
+        n as f64 / (n as f64 * p - p + 1.0)
+    }
+
+    /// Speedup of STAR with `n` nodes over STAR with a single node,
+    /// `I(n) = n / (nP - P + 1)` (Figure 3).
+    pub fn speedup_over_single_node(&self, n: usize) -> f64 {
+        self.improvement_over_non_partitioned(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cross_partition_transactions_scale_linearly() {
+        let m = AnalyticalModel::new(0.0, 4.0);
+        for n in 1..=16 {
+            assert!((m.speedup_over_single_node(n) - n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_cross_partition_transactions_do_not_scale() {
+        let m = AnalyticalModel::new(1.0, 4.0);
+        for n in 1..=16 {
+            assert!((m.speedup_over_single_node(n) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure3_shape_10pct_cross_partition() {
+        // With P=10%, the model predicts a speedup of about 6.4x on 16 nodes
+        // (16 / (16*0.1 - 0.1 + 1) = 16 / 2.5).
+        let m = AnalyticalModel::new(0.10, 4.0);
+        let s16 = m.speedup_over_single_node(16);
+        assert!((s16 - 6.4).abs() < 1e-9, "s16={s16}");
+        // Lower cross-partition percentages give higher speedups.
+        let m1 = AnalyticalModel::new(0.01, 4.0);
+        assert!(m1.speedup_over_single_node(16) > s16);
+    }
+
+    #[test]
+    fn star_beats_non_partitioned_whenever_single_partition_work_exists() {
+        for p in [0.0, 0.1, 0.5, 0.9] {
+            let m = AnalyticalModel::new(p, 8.0);
+            let improvement = m.improvement_over_non_partitioned(4);
+            if p < 1.0 {
+                assert!(improvement > 1.0, "P={p} improvement={improvement}");
+            } else {
+                assert!((improvement - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn star_beats_partitioning_only_when_k_exceeds_n() {
+        // Section 6.3: to outperform partitioning-based systems, K > n.
+        let n = 4;
+        for p in [0.1, 0.3, 0.7] {
+            let cheap = AnalyticalModel::new(p, 2.0); // K < n
+            assert!(cheap.improvement_over_partitioning(n) < 1.0);
+            let expensive = AnalyticalModel::new(p, 16.0); // K > n
+            assert!(expensive.improvement_over_partitioning(n) > 1.0);
+            let breakeven = AnalyticalModel::new(p, n as f64);
+            assert!((breakeven.improvement_over_partitioning(n) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn times_are_consistent_with_improvements() {
+        let m = AnalyticalModel::new(0.2, 8.0);
+        let n = 4;
+        let ratio = m.time_partitioning_based(n) / m.time_star(n);
+        assert!((ratio - m.improvement_over_partitioning(n)).abs() < 1e-12);
+        let ratio = m.time_non_partitioned(n) / m.time_star(n);
+        assert!((ratio - m.improvement_over_non_partitioned(n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_clamps_inputs() {
+        let m = AnalyticalModel::new(1.5, 0.5);
+        assert_eq!(m.cross_partition_fraction, 1.0);
+        assert_eq!(m.cross_partition_cost_ratio, 1.0);
+        let m = AnalyticalModel::new(-0.5, 3.0);
+        assert_eq!(m.cross_partition_fraction, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Phase-switching plan: splitting the iteration time between the
+//! partitioned and single-master phases.
+//!
+//! Equations (1) and (2) of the paper:
+//!
+//! ```text
+//! τp + τs = e
+//! τs·ts / (τp·tp + τs·ts) = P
+//! ```
+//!
+//! where `tp` and `ts` are the measured throughputs of the two phases and `P`
+//! is the cross-partition fraction of the workload. Solving for `τp`, `τs`
+//! gives the per-iteration time budget; the engine re-solves each iteration
+//! with exponentially smoothed throughput estimates, so the split adapts
+//! online as the workload changes (the "adaptivity" the evaluation
+//! highlights).
+
+use std::time::Duration;
+
+/// Planner that tracks phase throughputs and computes the `τp` / `τs` split.
+#[derive(Debug, Clone)]
+pub struct PhasePlan {
+    /// Smoothed partitioned-phase throughput (txns/sec).
+    tp: f64,
+    /// Smoothed single-master-phase throughput (txns/sec).
+    ts: f64,
+    /// Cross-partition fraction of the workload, `P ∈ [0, 1]`.
+    cross_partition_fraction: f64,
+    /// Exponential smoothing factor for throughput updates.
+    alpha: f64,
+}
+
+impl PhasePlan {
+    /// Creates a planner for a workload with the given cross-partition
+    /// fraction. Until both phases have been observed at least once the
+    /// planner falls back to splitting the iteration proportionally to `P`.
+    pub fn new(cross_partition_fraction: f64) -> Self {
+        PhasePlan {
+            tp: 0.0,
+            ts: 0.0,
+            cross_partition_fraction: cross_partition_fraction.clamp(0.0, 1.0),
+            alpha: 0.5,
+        }
+    }
+
+    /// The cross-partition fraction the plan is targeting.
+    pub fn cross_partition_fraction(&self) -> f64 {
+        self.cross_partition_fraction
+    }
+
+    /// Updates the target cross-partition fraction (workload shift).
+    pub fn set_cross_partition_fraction(&mut self, p: f64) {
+        self.cross_partition_fraction = p.clamp(0.0, 1.0);
+    }
+
+    /// Records an observation of the partitioned phase: `committed`
+    /// transactions over `elapsed`.
+    pub fn observe_partitioned(&mut self, committed: u64, elapsed: Duration) {
+        if elapsed.is_zero() {
+            return;
+        }
+        let rate = committed as f64 / elapsed.as_secs_f64();
+        self.tp = if self.tp == 0.0 { rate } else { self.alpha * rate + (1.0 - self.alpha) * self.tp };
+    }
+
+    /// Records an observation of the single-master phase.
+    pub fn observe_single_master(&mut self, committed: u64, elapsed: Duration) {
+        if elapsed.is_zero() {
+            return;
+        }
+        let rate = committed as f64 / elapsed.as_secs_f64();
+        self.ts = if self.ts == 0.0 { rate } else { self.alpha * rate + (1.0 - self.alpha) * self.ts };
+    }
+
+    /// Current smoothed throughput estimates `(tp, ts)`.
+    pub fn estimates(&self) -> (f64, f64) {
+        (self.tp, self.ts)
+    }
+
+    /// Splits an iteration time `e` into `(τp, τs)` per Equations (1)–(2).
+    ///
+    /// Special cases follow the paper: with `P = 0` the whole iteration is
+    /// spent in the partitioned phase (`ts` is not even defined); with
+    /// `P = 1` the whole iteration is the single-master phase. Before any
+    /// throughput has been observed the split defaults to `τs = P·e`.
+    pub fn split(&self, e: Duration) -> (Duration, Duration) {
+        let p = self.cross_partition_fraction;
+        if p <= 0.0 {
+            return (e, Duration::ZERO);
+        }
+        if p >= 1.0 {
+            return (Duration::ZERO, e);
+        }
+        let fraction_s = if self.tp > 0.0 && self.ts > 0.0 {
+            // From τs·ts / (τp·tp + τs·ts) = P with τp = e - τs:
+            //   τs = P·tp·e / (ts - P·ts + P·tp)
+            let denominator = self.ts - p * self.ts + p * self.tp;
+            if denominator <= 0.0 {
+                p
+            } else {
+                (p * self.tp / denominator).clamp(0.0, 1.0)
+            }
+        } else {
+            p
+        };
+        let tau_s = e.mul_f64(fraction_s);
+        let tau_p = e.saturating_sub(tau_s);
+        (tau_p, tau_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn pure_single_partition_workload_spends_everything_in_partitioned_phase() {
+        let plan = PhasePlan::new(0.0);
+        assert_eq!(plan.split(E), (E, Duration::ZERO));
+    }
+
+    #[test]
+    fn pure_cross_partition_workload_spends_everything_in_single_master_phase() {
+        let plan = PhasePlan::new(1.0);
+        assert_eq!(plan.split(E), (Duration::ZERO, E));
+    }
+
+    #[test]
+    fn default_split_is_proportional_to_p() {
+        let plan = PhasePlan::new(0.3);
+        let (tau_p, tau_s) = plan.split(E);
+        assert_eq!(tau_s, E.mul_f64(0.3));
+        assert_eq!(tau_p + tau_s, E);
+    }
+
+    #[test]
+    fn split_solves_the_papers_equations() {
+        let mut plan = PhasePlan::new(0.10);
+        // Partitioned phase is 4x faster than the single-master phase.
+        plan.observe_partitioned(4_000, Duration::from_millis(10));
+        plan.observe_single_master(1_000, Duration::from_millis(10));
+        let (tau_p, tau_s) = plan.split(E);
+        assert_eq!(tau_p + tau_s, E);
+        // Verify Eq. (2): τs·ts / (τp·tp + τs·ts) = P.
+        let (tp, ts) = plan.estimates();
+        let lhs = tau_s.as_secs_f64() * ts / (tau_p.as_secs_f64() * tp + tau_s.as_secs_f64() * ts);
+        assert!((lhs - 0.10).abs() < 1e-6, "lhs={lhs}");
+        // The single-master phase is slower per transaction, so satisfying a
+        // 10% share of commits needs more than 10% of the wall-clock time.
+        assert!(tau_s > E.mul_f64(0.10));
+    }
+
+    #[test]
+    fn throughput_observations_are_smoothed() {
+        let mut plan = PhasePlan::new(0.5);
+        plan.observe_partitioned(1_000, Duration::from_millis(10));
+        let (tp1, _) = plan.estimates();
+        plan.observe_partitioned(3_000, Duration::from_millis(10));
+        let (tp2, _) = plan.estimates();
+        assert!(tp2 > tp1);
+        assert!(tp2 < 300_000.0, "smoothing should damp the jump");
+        // Zero-duration observations are ignored.
+        plan.observe_partitioned(1, Duration::ZERO);
+        assert_eq!(plan.estimates().0, tp2);
+    }
+
+    #[test]
+    fn fraction_updates_take_effect() {
+        let mut plan = PhasePlan::new(0.0);
+        assert_eq!(plan.split(E).1, Duration::ZERO);
+        plan.set_cross_partition_fraction(1.0);
+        assert_eq!(plan.split(E).0, Duration::ZERO);
+        assert_eq!(plan.cross_partition_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The workload abstraction executed by the engines.
+//!
+//! A workload knows its catalog, how to load a partition, and how to generate
+//! stored procedures. The engines request transactions by class:
+//!
+//! * single-partition transactions for a given partition (partitioned phase,
+//!   where each partition is served by its own worker);
+//! * cross-partition transactions (single-master phase);
+//! * an unconstrained mix (baselines, which do not separate the classes).
+//!
+//! `star-workloads` implements this trait for YCSB and TPC-C.
+
+use rand::rngs::StdRng;
+use star_common::PartitionId;
+use star_occ::Procedure;
+use star_storage::{Database, TableSpec};
+
+/// The transaction mix knob shared by all workloads: what fraction of
+/// generated transactions should be cross-partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMix {
+    /// Fraction of cross-partition transactions, in `[0, 1]`.
+    pub cross_partition_fraction: f64,
+}
+
+impl WorkloadMix {
+    /// Creates a mix from a percentage (0–100), as the paper's figures are
+    /// labelled.
+    pub fn from_percentage(pct: f64) -> Self {
+        WorkloadMix { cross_partition_fraction: (pct / 100.0).clamp(0.0, 1.0) }
+    }
+
+    /// The percentage form of the fraction.
+    pub fn percentage(&self) -> f64 {
+        self.cross_partition_fraction * 100.0
+    }
+}
+
+/// A benchmark workload (YCSB, TPC-C, ...) that engines can drive.
+pub trait Workload: Send + Sync {
+    /// A short label for reports (e.g. `"YCSB"`).
+    fn name(&self) -> &'static str;
+
+    /// Tables of the workload, in table-id order.
+    fn catalog(&self) -> Vec<TableSpec>;
+
+    /// Number of partitions in the workload's layout.
+    fn num_partitions(&self) -> usize;
+
+    /// The transaction mix (cross-partition fraction) this workload is
+    /// configured for.
+    fn mix(&self) -> WorkloadMix;
+
+    /// Populates one partition of a replica with the workload's initial data.
+    /// Called once per `(replica, partition)` pair the replica holds.
+    fn load_partition(&self, db: &Database, partition: PartitionId);
+
+    /// Generates a single-partition transaction homed on `partition`.
+    fn single_partition_transaction(
+        &self,
+        rng: &mut StdRng,
+        partition: PartitionId,
+    ) -> Box<dyn Procedure>;
+
+    /// Generates a cross-partition transaction whose home is `partition`.
+    /// Implementations should touch at least one other partition; if the
+    /// layout has a single partition they may fall back to a single-partition
+    /// transaction.
+    fn cross_partition_transaction(
+        &self,
+        rng: &mut StdRng,
+        partition: PartitionId,
+    ) -> Box<dyn Procedure>;
+
+    /// Generates a transaction according to the configured mix, homed on
+    /// `partition`. This is what the baselines (which do not separate
+    /// classes) execute.
+    fn mixed_transaction(&self, rng: &mut StdRng, partition: PartitionId) -> Box<dyn Procedure> {
+        use rand::Rng;
+        if rng.gen::<f64>() < self.mix().cross_partition_fraction {
+            self.cross_partition_transaction(rng, partition)
+        } else {
+            self.single_partition_transaction(rng, partition)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_percentage_roundtrip() {
+        let mix = WorkloadMix::from_percentage(15.0);
+        assert!((mix.cross_partition_fraction - 0.15).abs() < 1e-12);
+        assert!((mix.percentage() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_is_clamped() {
+        assert_eq!(WorkloadMix::from_percentage(150.0).cross_partition_fraction, 1.0);
+        assert_eq!(WorkloadMix::from_percentage(-10.0).cross_partition_fraction, 0.0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Endpoints of the simulated network.
+
+use crate::stats::NetStats;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Anything that can be shipped over the simulated network.
+///
+/// `wire_size` is the number of bytes the message would occupy on a real
+/// network; it feeds the bandwidth accounting used to reproduce the
+/// replication-cost results.
+pub trait Message: Send + 'static {
+    /// Serialized size of the message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Latency model of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// One-way latency between two distinct nodes.
+    pub latency: Duration,
+    /// Latency for a node sending to itself (loopback). Defaults to zero.
+    pub loopback_latency: Duration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: Duration::from_micros(100),
+            loopback_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A network with the given one-way latency and zero loopback latency.
+    pub fn with_latency(latency: Duration) -> Self {
+        NetworkConfig { latency, loopback_latency: Duration::ZERO }
+    }
+
+    /// An idealised zero-latency network (useful in unit tests).
+    pub fn instantaneous() -> Self {
+        NetworkConfig { latency: Duration::ZERO, loopback_latency: Duration::ZERO }
+    }
+}
+
+/// A message in flight, tagged with its origin and delivery deadline.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: usize,
+    /// The payload.
+    pub payload: M,
+    deliver_at: Instant,
+}
+
+/// Error returned by [`Endpoint::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination node id is not part of the cluster.
+    NoSuchNode(usize),
+    /// The destination (or the sender itself) has been marked failed.
+    NodeFailed(usize),
+    /// The destination endpoint has been dropped.
+    Disconnected(usize),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            SendError::NodeFailed(n) => write!(f, "node {n} is marked failed"),
+            SendError::Disconnected(n) => write!(f, "node {n} endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error returned by the receive calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message was available before the timeout elapsed.
+    Timeout,
+    /// All senders have been dropped.
+    Disconnected,
+}
+
+/// Shared state of a simulated cluster network.
+///
+/// Construction hands out one [`Endpoint`] per node; the `SimNetwork` handle
+/// itself is kept by the test / engine driver for failure injection and for
+/// reading traffic statistics.
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: NetworkConfig,
+    stats: Arc<NetStats>,
+    failed: Arc<Vec<AtomicBool>>,
+    num_nodes: usize,
+}
+
+impl SimNetwork {
+    /// Creates a network of `num_nodes` nodes, returning the shared handle
+    /// and one endpoint per node (in node-id order).
+    pub fn new<M: Message>(num_nodes: usize, config: NetworkConfig) -> (Self, Vec<Endpoint<M>>) {
+        let stats = Arc::new(NetStats::new(num_nodes));
+        let failed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..num_nodes).map(|_| AtomicBool::new(false)).collect());
+        let mut senders = Vec::with_capacity(num_nodes);
+        let mut receivers = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(node, receiver)| Endpoint {
+                node,
+                config,
+                senders: senders.clone(),
+                receiver,
+                stats: Arc::clone(&stats),
+                failed: Arc::clone(&failed),
+            })
+            .collect();
+        (SimNetwork { config, stats, failed, num_nodes }, endpoints)
+    }
+
+    /// The latency model in use.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Marks a node as failed: subsequent sends to or from it fail, modelling
+    /// a crashed process or a partitioned machine.
+    pub fn fail_node(&self, node: usize) {
+        if let Some(flag) = self.failed.get(node) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Clears the failure flag of a node (the node has been repaired and is
+    /// rejoining the cluster).
+    pub fn heal_node(&self, node: usize) {
+        if let Some(flag) = self.failed.get(node) {
+            flag.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether a node is currently marked failed.
+    pub fn is_failed(&self, node: usize) -> bool {
+        self.failed.get(node).map(|f| f.load(Ordering::SeqCst)).unwrap_or(false)
+    }
+}
+
+/// One node's handle onto the simulated network.
+#[derive(Debug)]
+pub struct Endpoint<M> {
+    node: usize,
+    config: NetworkConfig,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    stats: Arc<NetStats>,
+    failed: Arc<Vec<AtomicBool>>,
+}
+
+impl<M: Message> Endpoint<M> {
+    /// The node id this endpoint belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn node_failed(&self, node: usize) -> bool {
+        self.failed.get(node).map(|f| f.load(Ordering::SeqCst)).unwrap_or(false)
+    }
+
+    /// Sends a message to `to`, applying the latency model and recording the
+    /// traffic.
+    pub fn send(&self, to: usize, payload: M) -> Result<(), SendError> {
+        if to >= self.senders.len() {
+            return Err(SendError::NoSuchNode(to));
+        }
+        if self.node_failed(self.node) {
+            return Err(SendError::NodeFailed(self.node));
+        }
+        if self.node_failed(to) {
+            return Err(SendError::NodeFailed(to));
+        }
+        let latency = if to == self.node { self.config.loopback_latency } else { self.config.latency };
+        let bytes = payload.wire_size() as u64;
+        let envelope = Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
+        self.senders[to].send(envelope).map_err(|_| SendError::Disconnected(to))?;
+        // Loopback traffic never touches the wire.
+        if to != self.node {
+            self.stats.record(self.node, bytes);
+        }
+        Ok(())
+    }
+
+    /// Sends a message to every other node (not to itself). Returns the list
+    /// of nodes the message could not be delivered to (failed nodes), which
+    /// the replication fence uses for failure detection.
+    pub fn broadcast(&self, payload: M) -> Vec<usize>
+    where
+        M: Clone,
+    {
+        let mut unreachable = Vec::new();
+        for to in 0..self.senders.len() {
+            if to == self.node {
+                continue;
+            }
+            if self.send(to, payload.clone()).is_err() {
+                unreachable.push(to);
+            }
+        }
+        unreachable
+    }
+
+    fn wait_for_delivery(envelope: Envelope<M>) -> Envelope<M> {
+        let now = Instant::now();
+        if envelope.deliver_at > now {
+            std::thread::sleep(envelope.deliver_at - now);
+        }
+        envelope
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        match self.receiver.recv() {
+            Ok(env) => Ok(Self::wait_for_delivery(env)),
+            Err(_) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Receive with a timeout. The timeout covers queue wait only; an already
+    /// queued message may add up to one latency of sleep on top.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => Ok(Self::wait_for_delivery(env)),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive; returns `Timeout` when the queue is empty.
+    pub fn try_recv(&self) -> Result<Envelope<M>, RecvError> {
+        match self.receiver.try_recv() {
+            Ok(env) => Ok(Self::wait_for_delivery(env)),
+            Err(TryRecvError::Empty) => Err(RecvError::Timeout),
+            Err(TryRecvError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Drains every currently queued message without waiting for more.
+    pub fn drain(&self) -> Vec<Envelope<M>> {
+        let mut out = Vec::new();
+        while let Ok(env) = self.receiver.try_recv() {
+            out.push(Self::wait_for_delivery(env));
+        }
+        out
+    }
+
+    /// Whether this endpoint's own node has been marked failed.
+    pub fn is_self_failed(&self) -> bool {
+        self.node_failed(self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestMsg(u64, usize);
+
+    impl Message for TestMsg {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    fn cluster(n: usize) -> (SimNetwork, Vec<Endpoint<TestMsg>>) {
+        SimNetwork::new(n, NetworkConfig::instantaneous())
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (_net, eps) = cluster(3);
+        eps[0].send(1, TestMsg(42, 10)).unwrap();
+        let env = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, 0);
+        assert_eq!(env.payload, TestMsg(42, 10));
+    }
+
+    #[test]
+    fn bytes_are_accounted_per_sender() {
+        let (net, eps) = cluster(2);
+        eps[0].send(1, TestMsg(1, 100)).unwrap();
+        eps[0].send(1, TestMsg(2, 50)).unwrap();
+        eps[1].send(0, TestMsg(3, 25)).unwrap();
+        assert_eq!(net.stats().bytes(), 175);
+        assert_eq!(net.stats().bytes_from(0), 150);
+        assert_eq!(net.stats().bytes_from(1), 25);
+        assert_eq!(net.stats().messages(), 3);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let (net, eps) = cluster(2);
+        eps[0].send(0, TestMsg(1, 1000)).unwrap();
+        assert_eq!(net.stats().bytes(), 0);
+        assert!(eps[0].recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_self() {
+        let (_net, eps) = cluster(4);
+        let unreachable = eps[2].broadcast(TestMsg(7, 8));
+        assert!(unreachable.is_empty());
+        for (i, ep) in eps.iter().enumerate() {
+            if i == 2 {
+                assert!(ep.try_recv().is_err());
+            } else {
+                assert_eq!(ep.recv_timeout(Duration::from_secs(1)).unwrap().payload, TestMsg(7, 8));
+            }
+        }
+    }
+
+    #[test]
+    fn failed_nodes_reject_traffic() {
+        let (net, eps) = cluster(3);
+        net.fail_node(1);
+        assert!(net.is_failed(1));
+        assert_eq!(eps[0].send(1, TestMsg(1, 1)), Err(SendError::NodeFailed(1)));
+        assert_eq!(eps[1].send(0, TestMsg(1, 1)), Err(SendError::NodeFailed(1)));
+        assert!(eps[1].is_self_failed());
+        let unreachable = eps[0].broadcast(TestMsg(2, 2));
+        assert_eq!(unreachable, vec![1]);
+        net.heal_node(1);
+        assert!(eps[0].send(1, TestMsg(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn send_to_unknown_node_errors() {
+        let (_net, eps) = cluster(2);
+        assert_eq!(eps[0].send(5, TestMsg(1, 1)), Err(SendError::NoSuchNode(5)));
+    }
+
+    #[test]
+    fn latency_is_enforced_on_delivery() {
+        let config = NetworkConfig::with_latency(Duration::from_millis(5));
+        let (_net, eps) = SimNetwork::new::<TestMsg>(2, config);
+        let start = Instant::now();
+        eps[0].send(1, TestMsg(1, 1)).unwrap();
+        let _ = eps[1].recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let (_net, eps) = cluster(2);
+        for i in 0..5 {
+            eps[0].send(1, TestMsg(i, 1)).unwrap();
+        }
+        let drained = eps[1].drain();
+        assert_eq!(drained.len(), 5);
+        assert!(eps[1].try_recv().is_err());
+        // FIFO order per link.
+        let ids: Vec<u64> = drained.iter().map(|e| e.payload.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_recv_times_out_when_empty() {
+        let (_net, eps) = cluster(2);
+        assert_eq!(eps[0].try_recv().err(), Some(RecvError::Timeout));
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(1)).err(),
+            Some(RecvError::Timeout)
+        );
+    }
+}

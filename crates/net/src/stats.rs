@@ -1,0 +1,72 @@
+//! Byte and message accounting for the simulated network.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative traffic counters for one [`crate::SimNetwork`].
+///
+/// Counters are global (not reset between phases); callers snapshot before
+/// and after a measured window and subtract.
+#[derive(Debug)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    /// Bytes indexed by sending node (flattened `from` dimension).
+    per_node_bytes: Vec<AtomicU64>,
+}
+
+impl NetStats {
+    /// Creates zeroed counters for a cluster of `num_nodes`.
+    pub fn new(num_nodes: usize) -> Self {
+        NetStats {
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            per_node_bytes: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records a message of `bytes` bytes sent by `from`.
+    pub fn record(&self, from: usize, bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(counter) = self.per_node_bytes.get(from) {
+            counter.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent by one node.
+    pub fn bytes_from(&self, node: usize) -> u64 {
+        self.per_node_bytes.get(node).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::new(3);
+        s.record(0, 100);
+        s.record(0, 50);
+        s.record(2, 25);
+        assert_eq!(s.messages(), 3);
+        assert_eq!(s.bytes(), 175);
+        assert_eq!(s.bytes_from(0), 150);
+        assert_eq!(s.bytes_from(1), 0);
+        assert_eq!(s.bytes_from(2), 25);
+        // out-of-range node is tolerated
+        s.record(9, 10);
+        assert_eq!(s.bytes_from(9), 0);
+        assert_eq!(s.bytes(), 185);
+    }
+}

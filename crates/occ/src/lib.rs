@@ -1,0 +1,38 @@
+//! Silo-variant optimistic concurrency control for the STAR reproduction.
+//!
+//! This crate provides the transaction-execution building blocks shared by
+//! the STAR engine and by the baselines:
+//!
+//! * [`procedure::Procedure`] — the stored-procedure abstraction: workloads
+//!   (YCSB, TPC-C) express their transactions against this trait, engines
+//!   execute them.
+//! * [`context::TxnCtx`] — the execution context handed to a stored
+//!   procedure; it accumulates the read set and write set, provides
+//!   read-your-own-writes, and reads records through a [`context::DataSource`]
+//!   so that the same procedure code runs on a local replica (STAR, PB. OCC)
+//!   or over the network (distributed baselines).
+//! * [`silo`] — the commit protocols:
+//!   [`silo::commit_single_master`] implements the Silo OCC commit used in
+//!   STAR's single-master phase and in PB. OCC (lock write set in global
+//!   order → validate reads → assign TID → install writes), while
+//!   [`silo::commit_partitioned`] implements the partitioned-phase commit,
+//!   which needs neither locks nor validation because each partition is
+//!   touched by exactly one worker thread.
+//!
+//! The TID assignment rules and the Thomas write rule live in
+//! `star-common`/`star-storage`; this crate glues them into full commit
+//! paths and is where the serializability argument of Section 4.4 is
+//! enforced in code.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod context;
+pub mod procedure;
+pub mod rwset;
+pub mod silo;
+
+pub use context::{DataSource, TxnCtx};
+pub use procedure::{Procedure, ProcedureOutcome};
+pub use rwset::{ReadEntry, ReadSet, WriteEntry, WriteSet};
+pub use silo::{commit_partitioned, commit_single_master, CommitOutput};

@@ -1,0 +1,131 @@
+//! The stored-procedure abstraction.
+//!
+//! As in most high-performance transactional systems (H-Store, Silo, TicToc),
+//! clients interact with STAR by invoking pre-defined stored procedures with
+//! parameters. A workload crate implements [`Procedure`] for each transaction
+//! type (YCSB multi-get/put, TPC-C NewOrder, TPC-C Payment) and the engines
+//! execute them through a [`crate::TxnCtx`].
+
+use crate::context::TxnCtx;
+use star_common::{PartitionId, Result};
+
+/// Outcome of running a stored procedure body once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcedureOutcome {
+    /// The body ran to completion; the engine should try to commit.
+    Completed,
+    /// The body requested an application abort (counted separately from
+    /// concurrency-control aborts and never retried).
+    UserAbort,
+}
+
+/// A transaction expressed as a stored procedure.
+///
+/// Procedures must be deterministic given the database state: engines may
+/// execute a procedure more than once (OCC retries after validation failure,
+/// Calvin re-executes deterministically), so any randomness must be fixed in
+/// the procedure's parameters at generation time.
+pub trait Procedure: Send + Sync {
+    /// A short label for statistics (e.g. `"NewOrder"`).
+    fn name(&self) -> &'static str;
+
+    /// The partitions this procedure will touch. The router uses this to
+    /// decide whether it is a single-partition transaction (runs in the
+    /// partitioned phase on the partition's primary) or a cross-partition
+    /// transaction (deferred to the single-master phase).
+    fn partitions(&self) -> Vec<PartitionId>;
+
+    /// Convenience: whether the procedure touches a single partition.
+    fn is_single_partition(&self) -> bool {
+        self.partitions().len() == 1
+    }
+
+    /// The "home" partition of the procedure — the first touched partition,
+    /// used to route single-partition transactions to a worker.
+    fn home_partition(&self) -> PartitionId {
+        *self.partitions().first().unwrap_or(&0)
+    }
+
+    /// Executes the procedure body against a transaction context.
+    ///
+    /// Returning `Err` with an abort error maps to [`ProcedureOutcome`]
+    /// according to the abort reason; other errors are surfaced to the
+    /// engine.
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::{Error, FieldValue};
+    use star_storage::{Database, DatabaseBuilder, TableSpec};
+
+    struct Transfer {
+        from: (PartitionId, u64),
+        to: (PartitionId, u64),
+        amount: u64,
+    }
+
+    impl Procedure for Transfer {
+        fn name(&self) -> &'static str {
+            "Transfer"
+        }
+
+        fn partitions(&self) -> Vec<PartitionId> {
+            let mut ps = vec![self.from.0, self.to.0];
+            ps.sort_unstable();
+            ps.dedup();
+            ps
+        }
+
+        fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<()> {
+            let src = ctx.read(0, self.from.0, self.from.1)?;
+            let balance = src.field(0).unwrap().as_u64().unwrap();
+            if balance < self.amount {
+                return Err(ctx.abort());
+            }
+            let dst = ctx.read(0, self.to.0, self.to.1)?;
+            let dst_balance = dst.field(0).unwrap().as_u64().unwrap();
+            ctx.update(0, self.from.0, self.from.1, row([FieldValue::U64(balance - self.amount)]));
+            ctx.update(0, self.to.0, self.to.1, row([FieldValue::U64(dst_balance + self.amount)]));
+            Ok(())
+        }
+    }
+
+    fn db() -> Database {
+        let d = DatabaseBuilder::new(2).table(TableSpec::new("accounts")).build();
+        d.insert(0, 0, 1, row([FieldValue::U64(100)])).unwrap();
+        d.insert(0, 1, 2, row([FieldValue::U64(0)])).unwrap();
+        d
+    }
+
+    #[test]
+    fn partition_classification() {
+        let single = Transfer { from: (0, 1), to: (0, 1), amount: 1 };
+        assert!(single.is_single_partition());
+        assert_eq!(single.home_partition(), 0);
+        let cross = Transfer { from: (0, 1), to: (1, 2), amount: 1 };
+        assert!(!cross.is_single_partition());
+        assert_eq!(cross.partitions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn execute_builds_read_and_write_sets() {
+        let d = db();
+        let p = Transfer { from: (0, 1), to: (1, 2), amount: 30 };
+        let mut ctx = TxnCtx::new(&d);
+        p.execute(&mut ctx).unwrap();
+        assert_eq!(ctx.read_set().len(), 2);
+        assert_eq!(ctx.write_set().len(), 2);
+    }
+
+    #[test]
+    fn user_abort_propagates() {
+        let d = db();
+        let p = Transfer { from: (0, 1), to: (1, 2), amount: 1000 };
+        let mut ctx = TxnCtx::new(&d);
+        let err = p.execute(&mut ctx).unwrap_err();
+        assert!(matches!(err, Error::Abort(star_common::AbortReason::User)));
+    }
+}

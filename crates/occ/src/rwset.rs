@@ -1,0 +1,111 @@
+//! Read and write sets accumulated during transaction execution.
+
+use star_common::{Key, Operation, PartitionId, Row, TableId, Tid};
+
+/// One entry of the read set: which version of which record the transaction
+/// observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadEntry {
+    /// Table the record belongs to.
+    pub table: TableId,
+    /// Partition the record lives in.
+    pub partition: PartitionId,
+    /// Primary key.
+    pub key: Key,
+    /// TID of the version that was read; validated at commit time.
+    pub tid: Tid,
+}
+
+/// One entry of the write set: the new full row plus, optionally, the cheaper
+/// operation that produced it (used by operation replication in the
+/// partitioned phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteEntry {
+    /// Table the record belongs to.
+    pub table: TableId,
+    /// Partition the record lives in.
+    pub partition: PartitionId,
+    /// Primary key.
+    pub key: Key,
+    /// Full new row (always present; what value replication ships and what
+    /// the WAL logs).
+    pub row: Row,
+    /// The operation that produced the new row, when the stored procedure
+    /// registered one; `None` means "whole row changed".
+    pub operation: Option<Operation>,
+    /// Whether this write creates the record (insert) rather than updating an
+    /// existing one.
+    pub insert: bool,
+}
+
+/// The ordered list of reads performed by a transaction.
+pub type ReadSet = Vec<ReadEntry>;
+
+/// The ordered list of writes performed by a transaction.
+pub type WriteSet = Vec<WriteEntry>;
+
+/// Sort key used to lock the write set in a deadlock-free global order.
+pub fn write_lock_order(entry: &WriteEntry) -> (TableId, PartitionId, Key) {
+    (entry.table, entry.partition, entry.key)
+}
+
+/// The largest TID observed across a read set (the floor for the commit TID,
+/// rule (a) of the TID assignment).
+pub fn max_read_tid(reads: &ReadSet) -> Tid {
+    reads.iter().map(|r| r.tid).max().unwrap_or(Tid::ZERO)
+}
+
+/// Number of distinct partitions touched by a write set.
+pub fn partitions_written(writes: &WriteSet) -> Vec<PartitionId> {
+    let mut ps: Vec<PartitionId> = writes.iter().map(|w| w.partition).collect();
+    ps.sort_unstable();
+    ps.dedup();
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::FieldValue;
+
+    fn w(table: TableId, partition: PartitionId, key: Key) -> WriteEntry {
+        WriteEntry {
+            table,
+            partition,
+            key,
+            row: row([FieldValue::U64(key)]),
+            operation: None,
+            insert: false,
+        }
+    }
+
+    #[test]
+    fn lock_order_is_table_partition_key() {
+        let mut ws = vec![w(1, 0, 5), w(0, 3, 1), w(0, 1, 9), w(0, 1, 2)];
+        ws.sort_by_key(write_lock_order);
+        let order: Vec<_> = ws.iter().map(|e| (e.table, e.partition, e.key)).collect();
+        assert_eq!(order, vec![(0, 1, 2), (0, 1, 9), (0, 3, 1), (1, 0, 5)]);
+    }
+
+    #[test]
+    fn max_read_tid_of_empty_set_is_zero() {
+        assert_eq!(max_read_tid(&Vec::new()), Tid::ZERO);
+    }
+
+    #[test]
+    fn max_read_tid_picks_largest() {
+        let reads = vec![
+            ReadEntry { table: 0, partition: 0, key: 1, tid: Tid::new(1, 5) },
+            ReadEntry { table: 0, partition: 1, key: 2, tid: Tid::new(2, 1) },
+            ReadEntry { table: 1, partition: 0, key: 3, tid: Tid::new(1, 9) },
+        ];
+        assert_eq!(max_read_tid(&reads), Tid::new(2, 1));
+    }
+
+    #[test]
+    fn partitions_written_deduplicates() {
+        let ws = vec![w(0, 3, 1), w(0, 1, 2), w(1, 3, 3), w(0, 1, 4)];
+        assert_eq!(partitions_written(&ws), vec![1, 3]);
+    }
+}

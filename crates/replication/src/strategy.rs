@@ -1,0 +1,148 @@
+//! Choosing between value and operation replication (the hybrid strategy).
+
+use crate::entry::{LogEntry, Payload};
+use star_common::{ReplicationStrategy, Tid};
+use star_occ::WriteSet;
+
+/// Which phase the committing transaction ran in. The hybrid strategy keys
+/// off this: value replication in the single-master phase, operation
+/// replication in the partitioned phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPhase {
+    /// Partitioned phase: each partition is written by exactly one thread and
+    /// the replication stream is applied in order.
+    Partitioned,
+    /// Single-master phase: partitions may be written by multiple threads and
+    /// entries may be applied out of order (Thomas write rule).
+    SingleMaster,
+}
+
+/// Builds the replication log entries for a committed write set.
+///
+/// `strategy` is the configured replication strategy; `phase` is the phase
+/// the transaction executed in. Operation payloads are only emitted when both
+/// the strategy and the phase allow them *and* the stored procedure
+/// registered an operation for the write; otherwise the full row is shipped.
+pub fn build_log_entries(
+    write_set: &WriteSet,
+    tid: Tid,
+    strategy: ReplicationStrategy,
+    phase: ExecutionPhase,
+) -> Vec<LogEntry> {
+    let allow_operations = match strategy {
+        ReplicationStrategy::Value => false,
+        ReplicationStrategy::Operation => true,
+        ReplicationStrategy::Hybrid => phase == ExecutionPhase::Partitioned,
+    };
+    write_set
+        .iter()
+        .map(|w| {
+            let payload = match (&w.operation, allow_operations) {
+                (Some(op), true) => Payload::Operation(op.clone()),
+                _ => Payload::Value(w.row.clone()),
+            };
+            LogEntry { table: w.table, partition: w.partition, key: w.key, tid, payload }
+        })
+        .collect()
+}
+
+/// Total wire size of a batch of entries — the replication bandwidth cost.
+pub fn batch_wire_size(entries: &[LogEntry]) -> usize {
+    entries.iter().map(LogEntry::wire_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::{FieldValue, Operation};
+    use star_occ::WriteEntry;
+
+    fn write_set() -> WriteSet {
+        vec![
+            WriteEntry {
+                table: 0,
+                partition: 0,
+                key: 1,
+                row: row([FieldValue::Str("x".repeat(500))]),
+                operation: Some(Operation::ConcatStr {
+                    field: 0,
+                    prefix: "p|".into(),
+                    max_len: 500,
+                }),
+                insert: false,
+            },
+            WriteEntry {
+                table: 0,
+                partition: 0,
+                key: 2,
+                row: row([FieldValue::U64(9)]),
+                operation: None,
+                insert: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn value_strategy_always_ships_rows() {
+        let entries = build_log_entries(
+            &write_set(),
+            Tid::new(1, 1),
+            ReplicationStrategy::Value,
+            ExecutionPhase::Partitioned,
+        );
+        assert!(entries.iter().all(|e| matches!(e.payload, Payload::Value(_))));
+    }
+
+    #[test]
+    fn hybrid_uses_operations_only_in_partitioned_phase() {
+        let partitioned = build_log_entries(
+            &write_set(),
+            Tid::new(1, 1),
+            ReplicationStrategy::Hybrid,
+            ExecutionPhase::Partitioned,
+        );
+        assert!(matches!(partitioned[0].payload, Payload::Operation(_)));
+        // The write without a registered operation still ships the row.
+        assert!(matches!(partitioned[1].payload, Payload::Value(_)));
+
+        let single_master = build_log_entries(
+            &write_set(),
+            Tid::new(1, 1),
+            ReplicationStrategy::Hybrid,
+            ExecutionPhase::SingleMaster,
+        );
+        assert!(single_master.iter().all(|e| matches!(e.payload, Payload::Value(_))));
+    }
+
+    #[test]
+    fn operation_strategy_reduces_bandwidth() {
+        let ops = build_log_entries(
+            &write_set(),
+            Tid::new(1, 1),
+            ReplicationStrategy::Operation,
+            ExecutionPhase::Partitioned,
+        );
+        let values = build_log_entries(
+            &write_set(),
+            Tid::new(1, 1),
+            ReplicationStrategy::Value,
+            ExecutionPhase::Partitioned,
+        );
+        assert!(batch_wire_size(&ops) * 5 < batch_wire_size(&values));
+    }
+
+    #[test]
+    fn entries_carry_tid_and_location() {
+        let entries = build_log_entries(
+            &write_set(),
+            Tid::new(3, 9),
+            ReplicationStrategy::Value,
+            ExecutionPhase::SingleMaster,
+        );
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.tid == Tid::new(3, 9)));
+        assert_eq!(entries[0].key, 1);
+        assert_eq!(entries[1].key, 2);
+    }
+}

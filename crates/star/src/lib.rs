@@ -1,0 +1,68 @@
+//! # STAR — Scaling Transactions through Asymmetric Replication
+//!
+//! A from-scratch Rust reproduction of *STAR: Scaling Transactions through
+//! Asymmetric Replication* (Lu, Yu, Madden — VLDB 2019). This facade crate
+//! re-exports the whole workspace behind one dependency:
+//!
+//! * [`core`](star_core) — the STAR engine: phase-switching execution over
+//!   asymmetric replication, the analytical model, failure handling.
+//! * [`baselines`](star_baselines) — the evaluation's comparison systems:
+//!   PB. OCC, Dist. OCC, Dist. S2PL and Calvin.
+//! * [`workloads`](star_workloads) — YCSB and TPC-C (NewOrder + Payment).
+//! * [`storage`](star_storage), [`occ`](star_occ),
+//!   [`replication`](star_replication), [`net`](star_net),
+//!   [`common`](star_common) — the substrates everything is built on.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use star::prelude::*;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! // A 4-node cluster: 1 full replica + 3 partial replicas.
+//! let mut config = ClusterConfig::with_nodes(4);
+//! config.partitions = 8;
+//! config.iteration = Duration::from_millis(5);
+//!
+//! // YCSB with 10% cross-partition transactions, scaled down for the doctest.
+//! let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
+//!     partitions: 8,
+//!     rows_per_partition: 200,
+//!     cross_partition_fraction: 0.10,
+//!     ..Default::default()
+//! }));
+//!
+//! let mut engine = StarEngine::new(config, workload).unwrap();
+//! let report = engine.run_for(Duration::from_millis(25));
+//! assert!(report.counters.committed > 0);
+//! engine.verify_replica_consistency().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use star_baselines as baselines;
+pub use star_common as common;
+pub use star_core as core;
+pub use star_net as net;
+pub use star_occ as occ;
+pub use star_replication as replication;
+pub use star_storage as storage;
+pub use star_workloads as workloads;
+
+/// The most commonly used types, re-exported for `use star::prelude::*`.
+pub mod prelude {
+    pub use star_baselines::{BaselineConfig, Calvin, CalvinConfig, DistOcc, DistS2pl, PbOcc};
+    pub use star_common::stats::{CounterSnapshot, LatencyHistogram, RunReport};
+    pub use star_common::{
+        ClusterConfig, EngineKind, Epoch, Error, FieldValue, Operation, ReplicationMode,
+        ReplicationStrategy, Result, Row, Tid,
+    };
+    pub use star_core::{
+        AnalyticalModel, FailureCase, PhasePlan, StarCluster, StarEngine, Workload, WorkloadMix,
+    };
+    pub use star_occ::{Procedure, TxnCtx};
+    pub use star_storage::{Database, DatabaseBuilder, TableSpec};
+    pub use star_workloads::{TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};
+}

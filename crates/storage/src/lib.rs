@@ -1,0 +1,27 @@
+//! Partitioned in-memory storage for the STAR reproduction.
+//!
+//! Tables are collections of hash tables, as in the paper (Section 3): each
+//! table has one primary hash table per partition plus optional secondary
+//! indexes. Every record carries
+//!
+//! * an atomic *meta word* packing the TID of the last writer and a lock bit
+//!   (the Silo layout), used by the OCC protocol and by the Thomas write rule;
+//! * the row data;
+//! * an optional *stable version* — the most recent version from an earlier
+//!   epoch, kept so that the database can be reverted to the last committed
+//!   epoch when a failure is detected (Section 4.5.2, Figure 6).
+//!
+//! A [`Database`] is one replica: the full-replica nodes hold every partition,
+//! partial-replica nodes hold a subset. Which partitions a database holds is
+//! fixed at construction time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod database;
+pub mod record;
+pub mod table;
+
+pub use database::{Database, DatabaseBuilder, TableSpec};
+pub use record::{ReadResult, Record, RecordMeta};
+pub use table::{Partition, SecondaryIndex, Table};

@@ -1,0 +1,379 @@
+//! A single versioned record with a Silo-style meta word.
+
+use parking_lot::{Mutex, RwLock};
+use star_common::{Epoch, Row, Tid};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit in the meta word marking the record as locked by a committing
+/// transaction.
+const LOCK_BIT: u64 = 1 << 63;
+
+/// Decoded view of a record's meta word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// TID of the last committed writer.
+    pub tid: Tid,
+    /// Whether the record is currently locked.
+    pub locked: bool,
+}
+
+impl RecordMeta {
+    fn from_word(word: u64) -> Self {
+        RecordMeta { tid: Tid::from_raw(word & !LOCK_BIT), locked: word & LOCK_BIT != 0 }
+    }
+}
+
+/// Result of an optimistic read: the row value and the TID it was read at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadResult {
+    /// Copy of the row at the time of the read.
+    pub row: Row,
+    /// TID of the version that was read.
+    pub tid: Tid,
+}
+
+/// A record stored in a table partition.
+///
+/// The meta word uses bit 63 as the lock bit and the remaining bits as the
+/// raw TID, which restricts epochs to 23 bits — ~8 million phase switches,
+/// far more than any run performs.
+#[derive(Debug)]
+pub struct Record {
+    meta: AtomicU64,
+    data: RwLock<Row>,
+    /// Most recent version from an epoch earlier than the current one, kept
+    /// for epoch revert during recovery. `None` when the record has not been
+    /// written in the current epoch.
+    stable: Mutex<Option<(Tid, Row)>>,
+}
+
+impl Record {
+    /// Creates a record with an initial row, tagged [`Tid::ZERO`] (loaded
+    /// data, never written by a transaction).
+    pub fn new(row: Row) -> Self {
+        Record {
+            meta: AtomicU64::new(Tid::ZERO.raw()),
+            data: RwLock::new(row),
+            stable: Mutex::new(None),
+        }
+    }
+
+    /// Creates a record that already carries a TID (used by recovery replay
+    /// and by checkpoint loading).
+    pub fn with_tid(row: Row, tid: Tid) -> Self {
+        Record {
+            meta: AtomicU64::new(tid.raw()),
+            data: RwLock::new(row),
+            stable: Mutex::new(None),
+        }
+    }
+
+    /// Decoded meta word (TID + lock bit).
+    pub fn meta(&self) -> RecordMeta {
+        RecordMeta::from_word(self.meta.load(Ordering::Acquire))
+    }
+
+    /// TID of the last committed writer.
+    pub fn tid(&self) -> Tid {
+        self.meta().tid
+    }
+
+    /// Whether the record is currently locked by a committing transaction.
+    pub fn is_locked(&self) -> bool {
+        self.meta().locked
+    }
+
+    /// Optimistic, consistent read of the record (Silo's read protocol):
+    /// re-reads the meta word after copying the data and retries if a
+    /// concurrent writer was active.
+    pub fn read(&self) -> ReadResult {
+        loop {
+            let before = self.meta.load(Ordering::Acquire);
+            if before & LOCK_BIT != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let row = self.data.read().clone();
+            let after = self.meta.load(Ordering::Acquire);
+            if before == after {
+                return ReadResult { row, tid: Tid::from_raw(before) };
+            }
+        }
+    }
+
+    /// Reads the row without the consistency loop. Only safe when the caller
+    /// knows there are no concurrent writers — i.e. the partitioned phase,
+    /// where a partition is touched by exactly one worker thread.
+    pub fn read_unsynchronized(&self) -> ReadResult {
+        ReadResult { row: self.data.read().clone(), tid: self.tid() }
+    }
+
+    /// Attempts to acquire the commit lock. Returns `false` if the record is
+    /// already locked.
+    pub fn try_lock(&self) -> bool {
+        let cur = self.meta.load(Ordering::Acquire);
+        if cur & LOCK_BIT != 0 {
+            return false;
+        }
+        self.meta
+            .compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Spins until the commit lock is acquired. Used by the single-master
+    /// phase commit path after sorting the write set in a global order, which
+    /// rules out deadlock.
+    pub fn lock(&self) {
+        while !self.try_lock() {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Releases the commit lock without changing the TID (abort path).
+    pub fn unlock(&self) {
+        let cur = self.meta.load(Ordering::Acquire);
+        debug_assert!(cur & LOCK_BIT != 0, "unlock of unlocked record");
+        self.meta.store(cur & !LOCK_BIT, Ordering::Release);
+    }
+
+    /// Installs a new version and releases the lock. Must only be called
+    /// while holding the commit lock.
+    ///
+    /// The previous version is stashed as the stable version if it belongs to
+    /// an earlier epoch, so that a failure during the current epoch can be
+    /// rolled back.
+    pub fn write_and_unlock(&self, new_row: Row, new_tid: Tid) {
+        let cur = self.meta.load(Ordering::Acquire);
+        debug_assert!(cur & LOCK_BIT != 0, "write without lock");
+        let old_tid = Tid::from_raw(cur & !LOCK_BIT);
+        {
+            let mut data = self.data.write();
+            if old_tid.epoch() < new_tid.epoch() {
+                *self.stable.lock() = Some((old_tid, data.clone()));
+            }
+            *data = new_row;
+        }
+        self.meta.store(new_tid.raw(), Ordering::Release);
+    }
+
+    /// Unsynchronized write used in the partitioned phase (single writer per
+    /// partition): no lock acquisition, but the same epoch stash is kept.
+    pub fn write_unsynchronized(&self, new_row: Row, new_tid: Tid) {
+        let old_tid = self.tid();
+        {
+            let mut data = self.data.write();
+            if old_tid.epoch() < new_tid.epoch() {
+                *self.stable.lock() = Some((old_tid, data.clone()));
+            }
+            *data = new_row;
+        }
+        self.meta.store(new_tid.raw(), Ordering::Release);
+    }
+
+    /// Applies a replicated full-row write under the **Thomas write rule**:
+    /// the write is installed only if its TID is larger than the record's
+    /// current TID. Returns `true` if the write was applied.
+    ///
+    /// Replication streams in the single-master phase may deliver writes out
+    /// of order; because conflicting TIDs are assigned in serial-equivalent
+    /// order, dropping stale writes is correct (Section 3).
+    pub fn apply_value_thomas(&self, row: Row, tid: Tid) -> bool {
+        loop {
+            let cur = self.meta.load(Ordering::Acquire);
+            if cur & LOCK_BIT != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let cur_tid = Tid::from_raw(cur);
+            if tid <= cur_tid {
+                return false;
+            }
+            if !self.try_lock() {
+                continue;
+            }
+            // Re-check under the lock: another applier may have advanced it.
+            let cur_tid = Tid::from_raw(self.meta.load(Ordering::Acquire) & !LOCK_BIT);
+            if tid <= cur_tid {
+                self.unlock();
+                return false;
+            }
+            self.write_and_unlock(row, tid);
+            return true;
+        }
+    }
+
+    /// The stable (pre-current-epoch) version, if one is stashed.
+    pub fn stable_version(&self) -> Option<(Tid, Row)> {
+        self.stable.lock().clone()
+    }
+
+    /// Reverts the record to its stable version if its current version was
+    /// written in an epoch **later than** `committed_epoch`. Returns `true`
+    /// if a revert happened.
+    ///
+    /// This implements the "revert to the last committed epoch" step of
+    /// failure handling (Figure 6): versions written in the in-flight epoch
+    /// were never released to clients and are discarded.
+    pub fn revert_to_epoch(&self, committed_epoch: Epoch) -> bool {
+        let cur_tid = self.tid();
+        if cur_tid.epoch() <= committed_epoch {
+            return false;
+        }
+        let mut stable = self.stable.lock();
+        if let Some((old_tid, old_row)) = stable.take() {
+            debug_assert!(old_tid.epoch() <= committed_epoch);
+            *self.data.write() = old_row;
+            self.meta.store(old_tid.raw(), Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops the stashed stable version. Called at the replication fence once
+    /// the epoch has durably committed: the current version becomes the new
+    /// stable baseline.
+    pub fn commit_epoch(&self) {
+        *self.stable.lock() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::FieldValue;
+    use std::sync::Arc;
+
+    fn r(v: u64) -> Row {
+        row([FieldValue::U64(v)])
+    }
+
+    #[test]
+    fn new_record_has_zero_tid_and_is_unlocked() {
+        let rec = Record::new(r(1));
+        assert_eq!(rec.tid(), Tid::ZERO);
+        assert!(!rec.is_locked());
+        assert_eq!(rec.read().row, r(1));
+    }
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let rec = Record::new(r(1));
+        assert!(rec.try_lock());
+        assert!(rec.is_locked());
+        assert!(!rec.try_lock());
+        rec.unlock();
+        assert!(!rec.is_locked());
+    }
+
+    #[test]
+    fn write_and_unlock_updates_tid_and_data() {
+        let rec = Record::new(r(1));
+        rec.lock();
+        rec.write_and_unlock(r(2), Tid::new(1, 5));
+        assert_eq!(rec.tid(), Tid::new(1, 5));
+        assert!(!rec.is_locked());
+        assert_eq!(rec.read().row, r(2));
+    }
+
+    #[test]
+    fn thomas_rule_rejects_stale_writes() {
+        let rec = Record::new(r(1));
+        assert!(rec.apply_value_thomas(r(10), Tid::new(1, 10)));
+        // An older write arriving later must be dropped.
+        assert!(!rec.apply_value_thomas(r(5), Tid::new(1, 5)));
+        assert_eq!(rec.read().row, r(10));
+        // A newer write is applied.
+        assert!(rec.apply_value_thomas(r(20), Tid::new(1, 20)));
+        assert_eq!(rec.read().row, r(20));
+    }
+
+    #[test]
+    fn thomas_rule_out_of_order_converges() {
+        // Applying the same set of writes in any order must converge to the
+        // value of the largest TID.
+        let writes = [(Tid::new(1, 3), r(3)), (Tid::new(1, 1), r(1)), (Tid::new(1, 2), r(2))];
+        let rec = Record::new(r(0));
+        for (tid, row) in writes.iter() {
+            rec.apply_value_thomas(row.clone(), *tid);
+        }
+        assert_eq!(rec.read().row, r(3));
+        assert_eq!(rec.tid(), Tid::new(1, 3));
+    }
+
+    #[test]
+    fn epoch_revert_restores_previous_version() {
+        let rec = Record::new(r(1));
+        // Commit in epoch 1.
+        rec.lock();
+        rec.write_and_unlock(r(10), Tid::new(1, 1));
+        rec.commit_epoch();
+        // Write in epoch 2, which then fails before the fence.
+        rec.lock();
+        rec.write_and_unlock(r(20), Tid::new(2, 1));
+        assert_eq!(rec.read().row, r(20));
+        assert!(rec.revert_to_epoch(1));
+        assert_eq!(rec.read().row, r(10));
+        assert_eq!(rec.tid(), Tid::new(1, 1));
+    }
+
+    #[test]
+    fn revert_is_noop_for_committed_epochs() {
+        let rec = Record::new(r(1));
+        rec.lock();
+        rec.write_and_unlock(r(10), Tid::new(1, 1));
+        rec.commit_epoch();
+        assert!(!rec.revert_to_epoch(1));
+        assert_eq!(rec.read().row, r(10));
+    }
+
+    #[test]
+    fn unsynchronized_path_matches_synchronized() {
+        let rec = Record::new(r(1));
+        rec.write_unsynchronized(r(7), Tid::new(1, 1));
+        assert_eq!(rec.read_unsynchronized().row, r(7));
+        assert_eq!(rec.read().tid, Tid::new(1, 1));
+    }
+
+    #[test]
+    fn concurrent_thomas_appliers_converge_to_max_tid() {
+        let rec = Arc::new(Record::new(r(0)));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for s in 1..200u64 {
+                    rec.apply_value_thomas(r(t * 1000 + s), Tid::new(1, s * 4 + t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The winning TID must be the maximum of all applied ones: s=199,t=3.
+        assert_eq!(rec.tid(), Tid::new(1, 199 * 4 + 3));
+        assert!(!rec.is_locked());
+    }
+
+    #[test]
+    fn concurrent_lockers_serialize() {
+        let rec = Arc::new(Record::new(r(0)));
+        let mut handles = Vec::new();
+        for t in 1..=4u64 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    rec.lock();
+                    let cur = rec.read_unsynchronized().row.field(0).unwrap().as_u64().unwrap();
+                    rec.write_and_unlock(r(cur + 1), Tid::new(1, t * 1000 + i + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 400 serialized increments.
+        assert_eq!(rec.read().row.field(0).unwrap().as_u64(), Some(400));
+    }
+}

@@ -1,0 +1,289 @@
+//! Tables, partitions and secondary indexes.
+
+use crate::record::Record;
+use parking_lot::RwLock;
+use star_common::{Key, PartitionId, Row, Tid};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One partition of a table: a hash table from primary key to record.
+///
+/// Inserts and deletes take the partition write lock; point lookups clone an
+/// `Arc<Record>` under the read lock and then operate on the record's own
+/// synchronization, so the partition lock is never held across transaction
+/// logic.
+#[derive(Debug, Default)]
+pub struct Partition {
+    records: RwLock<HashMap<Key, Arc<Record>>>,
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records in the partition.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the partition holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Looks up a record by primary key.
+    pub fn get(&self, key: Key) -> Option<Arc<Record>> {
+        self.records.read().get(&key).cloned()
+    }
+
+    /// Inserts a record, replacing any previous record under the same key.
+    /// Returns the inserted record handle.
+    pub fn insert(&self, key: Key, record: Record) -> Arc<Record> {
+        let rec = Arc::new(record);
+        self.records.write().insert(key, Arc::clone(&rec));
+        rec
+    }
+
+    /// Inserts a record only if the key is not present; returns the record
+    /// now stored under the key and whether an insert happened.
+    pub fn insert_if_absent(&self, key: Key, record: Record) -> (Arc<Record>, bool) {
+        let mut map = self.records.write();
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let rec = Arc::new(record);
+                e.insert(Arc::clone(&rec));
+                (rec, true)
+            }
+        }
+    }
+
+    /// Removes a record.
+    pub fn remove(&self, key: Key) -> Option<Arc<Record>> {
+        self.records.write().remove(&key)
+    }
+
+    /// Iterates over a snapshot of the keys currently present. Used by the
+    /// checkpointer and by recovery; not intended for the transaction path.
+    pub fn keys(&self) -> Vec<Key> {
+        self.records.read().keys().copied().collect()
+    }
+
+    /// Runs `f` for every `(key, record)` pair. The partition read lock is
+    /// held for the duration, so `f` must not block on record locks held by
+    /// writers that might insert into this partition.
+    pub fn for_each(&self, mut f: impl FnMut(Key, &Arc<Record>)) {
+        for (k, rec) in self.records.read().iter() {
+            f(*k, rec);
+        }
+    }
+}
+
+/// A secondary index mapping an encoded secondary key to the primary keys
+/// that carry it (e.g. TPC-C customer last name → customer ids).
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    entries: RwLock<HashMap<Key, Vec<Key>>>,
+}
+
+impl SecondaryIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a mapping from `secondary` to `primary`.
+    pub fn insert(&self, secondary: Key, primary: Key) {
+        self.entries.write().entry(secondary).or_default().push(primary);
+    }
+
+    /// All primary keys registered under `secondary` (empty if none).
+    pub fn lookup(&self, secondary: Key) -> Vec<Key> {
+        self.entries.read().get(&secondary).cloned().unwrap_or_default()
+    }
+
+    /// Removes one `secondary -> primary` mapping.
+    pub fn remove(&self, secondary: Key, primary: Key) {
+        let mut map = self.entries.write();
+        if let Some(v) = map.get_mut(&secondary) {
+            v.retain(|p| *p != primary);
+            if v.is_empty() {
+                map.remove(&secondary);
+            }
+        }
+    }
+
+    /// Number of distinct secondary keys.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+/// A table: one primary hash table per partition plus named secondary
+/// indexes.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    partitions: Vec<Partition>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Creates a table with `num_partitions` empty partitions and
+    /// `num_secondary` secondary indexes.
+    pub fn new(name: impl Into<String>, num_partitions: usize, num_secondary: usize) -> Self {
+        Table {
+            name: name.into(),
+            partitions: (0..num_partitions).map(|_| Partition::new()).collect(),
+            secondary: (0..num_secondary).map(|_| SecondaryIndex::new()).collect(),
+        }
+    }
+
+    /// Table name (catalog label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Borrow a partition.
+    pub fn partition(&self, p: PartitionId) -> Option<&Partition> {
+        self.partitions.get(p)
+    }
+
+    /// Borrow a secondary index by position.
+    pub fn secondary_index(&self, idx: usize) -> Option<&SecondaryIndex> {
+        self.secondary.get(idx)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, p: PartitionId, key: Key) -> Option<Arc<Record>> {
+        self.partitions.get(p).and_then(|part| part.get(key))
+    }
+
+    /// Inserts a freshly loaded row (TID zero).
+    pub fn insert(&self, p: PartitionId, key: Key, row: Row) -> Option<Arc<Record>> {
+        self.partitions.get(p).map(|part| part.insert(key, Record::new(row)))
+    }
+
+    /// Inserts a row that already carries a TID (replication / recovery).
+    pub fn insert_with_tid(
+        &self,
+        p: PartitionId,
+        key: Key,
+        row: Row,
+        tid: Tid,
+    ) -> Option<Arc<Record>> {
+        self.partitions.get(p).map(|part| part.insert(key, Record::with_tid(row, tid)))
+    }
+
+    /// Total number of records across all partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Partition::len).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.iter().all(Partition::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::FieldValue;
+
+    fn r(v: u64) -> Row {
+        row([FieldValue::U64(v)])
+    }
+
+    #[test]
+    fn partition_insert_get_remove() {
+        let p = Partition::new();
+        assert!(p.is_empty());
+        p.insert(1, Record::new(r(10)));
+        p.insert(2, Record::new(r(20)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(1).unwrap().read().row, r(10));
+        assert!(p.get(3).is_none());
+        assert!(p.remove(1).is_some());
+        assert!(p.get(1).is_none());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn insert_if_absent_does_not_overwrite() {
+        let p = Partition::new();
+        let (_, inserted) = p.insert_if_absent(1, Record::new(r(10)));
+        assert!(inserted);
+        let (rec, inserted) = p.insert_if_absent(1, Record::new(r(99)));
+        assert!(!inserted);
+        assert_eq!(rec.read().row, r(10));
+    }
+
+    #[test]
+    fn partition_for_each_and_keys() {
+        let p = Partition::new();
+        for k in 0..5 {
+            p.insert(k, Record::new(r(k)));
+        }
+        let mut keys = p.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        let mut sum = 0;
+        p.for_each(|_, rec| sum += rec.read().row.field(0).unwrap().as_u64().unwrap());
+        assert_eq!(sum, 0 + 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn secondary_index_roundtrip() {
+        let idx = SecondaryIndex::new();
+        assert!(idx.is_empty());
+        idx.insert(100, 1);
+        idx.insert(100, 2);
+        idx.insert(200, 3);
+        assert_eq!(idx.lookup(100), vec![1, 2]);
+        assert_eq!(idx.lookup(200), vec![3]);
+        assert!(idx.lookup(300).is_empty());
+        idx.remove(100, 1);
+        assert_eq!(idx.lookup(100), vec![2]);
+        idx.remove(200, 3);
+        assert!(idx.lookup(200).is_empty());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn table_partitioned_access() {
+        let t = Table::new("ycsb", 4, 1);
+        assert_eq!(t.name(), "ycsb");
+        assert_eq!(t.num_partitions(), 4);
+        t.insert(0, 1, r(10));
+        t.insert(3, 2, r(20));
+        assert!(t.get(0, 1).is_some());
+        assert!(t.get(1, 1).is_none());
+        assert!(t.get(3, 2).is_some());
+        assert!(t.get(7, 2).is_none(), "out-of-range partition yields None");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(t.secondary_index(0).is_some());
+        assert!(t.secondary_index(1).is_none());
+    }
+
+    #[test]
+    fn insert_with_tid_preserves_tid() {
+        let t = Table::new("t", 1, 0);
+        let rec = t.insert_with_tid(0, 7, r(7), Tid::new(3, 9)).unwrap();
+        assert_eq!(rec.tid(), Tid::new(3, 9));
+    }
+}

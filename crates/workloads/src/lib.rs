@@ -1,0 +1,30 @@
+//! Benchmark workloads for the STAR reproduction: YCSB and TPC-C.
+//!
+//! Both workloads follow the parameterisation of Section 7.1.1 of the paper:
+//!
+//! * **YCSB** — a single table with 10 columns of 10 random bytes, keyed by a
+//!   64-bit integer; each transaction accesses 10 records (9 reads, 1 write by
+//!   default) with a uniform distribution; 200 K rows per partition in the
+//!   paper (configurable and much smaller by default here so tests load
+//!   quickly); a configurable percentage of transactions touch a second
+//!   partition.
+//! * **TPC-C** — the NewOrder and Payment transactions over the standard nine
+//!   tables, partitioned by warehouse. The paper runs the standard mix of the
+//!   two (a NewOrder followed by a Payment); by default 10% of NewOrder and
+//!   15% of Payment transactions are cross-partition. Row counts are scaled
+//!   down by default (items, customers per district) so that a full cluster
+//!   of replicas loads in milliseconds; the schema, transaction logic, key
+//!   structure and replication operations (e.g. the `C_DATA` string
+//!   concatenation in Payment) are faithful.
+//!
+//! Both types implement [`star_core::Workload`], so they can be driven by the
+//! STAR engine and by every baseline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod tpcc;
+pub mod ycsb;
+
+pub use tpcc::{TpccConfig, TpccWorkload};
+pub use ycsb::{YcsbConfig, YcsbWorkload};

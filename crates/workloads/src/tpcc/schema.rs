@@ -1,0 +1,228 @@
+//! TPC-C schema: table ids, field indexes and primary-key encoding.
+//!
+//! All nine TPC-C tables are created; the two supported transactions
+//! (NewOrder, Payment) touch Warehouse, District, Customer, History,
+//! NewOrder, Order, OrderLine, Item and Stock. Every table is partitioned by
+//! warehouse id (warehouse `w` lives in partition `w`); the read-only Item
+//! table is replicated into every partition so that item lookups never leave
+//! the home partition.
+//!
+//! Composite keys are bit-packed into a `u64`; the encodings below keep
+//! distinct warehouses in disjoint key ranges so a key alone identifies its
+//! partition.
+
+#![allow(missing_docs)]
+
+use star_common::{Key, PartitionId};
+use star_storage::TableSpec;
+
+/// Table ids, in catalog order.
+pub mod table {
+    pub const WAREHOUSE: u32 = 0;
+    pub const DISTRICT: u32 = 1;
+    pub const CUSTOMER: u32 = 2;
+    pub const HISTORY: u32 = 3;
+    pub const NEW_ORDER: u32 = 4;
+    pub const ORDER: u32 = 5;
+    pub const ORDER_LINE: u32 = 6;
+    pub const ITEM: u32 = 7;
+    pub const STOCK: u32 = 8;
+}
+
+/// Field indexes of the Warehouse table.
+pub mod warehouse {
+    pub const W_ID: usize = 0;
+    pub const W_NAME: usize = 1;
+    pub const W_TAX: usize = 2;
+    pub const W_YTD: usize = 3;
+}
+
+/// Field indexes of the District table.
+pub mod district {
+    pub const D_ID: usize = 0;
+    pub const D_W_ID: usize = 1;
+    pub const D_NAME: usize = 2;
+    pub const D_TAX: usize = 3;
+    pub const D_YTD: usize = 4;
+    pub const D_NEXT_O_ID: usize = 5;
+}
+
+/// Field indexes of the Customer table.
+pub mod customer {
+    pub const C_ID: usize = 0;
+    pub const C_D_ID: usize = 1;
+    pub const C_W_ID: usize = 2;
+    pub const C_LAST: usize = 3;
+    pub const C_CREDIT: usize = 4;
+    pub const C_BALANCE: usize = 5;
+    pub const C_YTD_PAYMENT: usize = 6;
+    pub const C_PAYMENT_CNT: usize = 7;
+    pub const C_DATA: usize = 8;
+}
+
+/// Field indexes of the History table.
+pub mod history {
+    pub const H_C_ID: usize = 0;
+    pub const H_C_D_ID: usize = 1;
+    pub const H_C_W_ID: usize = 2;
+    pub const H_D_ID: usize = 3;
+    pub const H_W_ID: usize = 4;
+    pub const H_AMOUNT: usize = 5;
+    pub const H_DATA: usize = 6;
+}
+
+/// Field indexes of the NewOrder table.
+pub mod new_order {
+    pub const NO_O_ID: usize = 0;
+    pub const NO_D_ID: usize = 1;
+    pub const NO_W_ID: usize = 2;
+}
+
+/// Field indexes of the Order table.
+pub mod order {
+    pub const O_ID: usize = 0;
+    pub const O_D_ID: usize = 1;
+    pub const O_W_ID: usize = 2;
+    pub const O_C_ID: usize = 3;
+    pub const O_OL_CNT: usize = 4;
+    pub const O_ALL_LOCAL: usize = 5;
+}
+
+/// Field indexes of the OrderLine table.
+pub mod order_line {
+    pub const OL_O_ID: usize = 0;
+    pub const OL_D_ID: usize = 1;
+    pub const OL_W_ID: usize = 2;
+    pub const OL_NUMBER: usize = 3;
+    pub const OL_I_ID: usize = 4;
+    pub const OL_SUPPLY_W_ID: usize = 5;
+    pub const OL_QUANTITY: usize = 6;
+    pub const OL_AMOUNT: usize = 7;
+}
+
+/// Field indexes of the Item table.
+pub mod item {
+    pub const I_ID: usize = 0;
+    pub const I_NAME: usize = 1;
+    pub const I_PRICE: usize = 2;
+    pub const I_DATA: usize = 3;
+}
+
+/// Field indexes of the Stock table.
+pub mod stock {
+    pub const S_I_ID: usize = 0;
+    pub const S_W_ID: usize = 1;
+    pub const S_QUANTITY: usize = 2;
+    pub const S_YTD: usize = 3;
+    pub const S_ORDER_CNT: usize = 4;
+    pub const S_REMOTE_CNT: usize = 5;
+    pub const S_DATA: usize = 6;
+}
+
+/// The catalog handed to the storage layer, in table-id order.
+pub fn catalog() -> Vec<TableSpec> {
+    vec![
+        TableSpec::new("warehouse"),
+        TableSpec::new("district"),
+        TableSpec::new("customer"),
+        TableSpec::new("history"),
+        TableSpec::new("new_order"),
+        TableSpec::new("order"),
+        TableSpec::new("order_line"),
+        TableSpec::new("item"),
+        TableSpec::new("stock"),
+    ]
+}
+
+/// Partition of a warehouse (warehouses are 0-based and map 1:1 onto
+/// partitions).
+pub fn warehouse_partition(w: u64) -> PartitionId {
+    w as PartitionId
+}
+
+/// Warehouse primary key.
+pub fn warehouse_key(w: u64) -> Key {
+    w
+}
+
+/// District primary key.
+pub fn district_key(w: u64, d: u64) -> Key {
+    w * 100 + d
+}
+
+/// Customer primary key.
+pub fn customer_key(w: u64, d: u64, c: u64) -> Key {
+    (w * 100 + d) * 100_000 + c
+}
+
+/// Item primary key.
+pub fn item_key(i: u64) -> Key {
+    i
+}
+
+/// Stock primary key.
+pub fn stock_key(w: u64, i: u64) -> Key {
+    w * 1_000_000 + i
+}
+
+/// Order (and NewOrder) primary key.
+pub fn order_key(w: u64, d: u64, o: u64) -> Key {
+    (w * 100 + d) * 10_000_000 + o
+}
+
+/// OrderLine primary key.
+pub fn order_line_key(w: u64, d: u64, o: u64, line: u64) -> Key {
+    order_key(w, d, o) * 100 + line
+}
+
+/// History primary key: history rows are insert-only and never read back by a
+/// transaction, so a per-generation unique id is sufficient.
+pub fn history_key(w: u64, d: u64, c: u64, seq: u64) -> Key {
+    customer_key(w, d, c) * 10_000 + (seq % 10_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_nine_tables_in_order() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 9);
+        assert_eq!(cat[table::WAREHOUSE as usize].name, "warehouse");
+        assert_eq!(cat[table::STOCK as usize].name, "stock");
+        assert_eq!(cat[table::ORDER_LINE as usize].name, "order_line");
+    }
+
+    #[test]
+    fn keys_are_unique_across_components() {
+        assert_ne!(customer_key(0, 1, 2), customer_key(1, 0, 2));
+        assert_ne!(district_key(2, 3), district_key(3, 2));
+        assert_ne!(stock_key(1, 5), stock_key(5, 1));
+        assert_ne!(order_key(0, 1, 7), order_key(0, 2, 7));
+        assert_ne!(order_line_key(0, 1, 7, 1), order_line_key(0, 1, 7, 2));
+        assert_ne!(history_key(0, 1, 2, 3), history_key(0, 1, 2, 4));
+    }
+
+    #[test]
+    fn warehouses_map_to_their_partition() {
+        assert_eq!(warehouse_partition(0), 0);
+        assert_eq!(warehouse_partition(7), 7);
+    }
+
+    #[test]
+    fn keys_do_not_collide_within_a_reasonable_scale() {
+        // 16 warehouses, 10 districts, 1000 customers — all customer keys are
+        // distinct, and order-line keys stay within u64.
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..16u64 {
+            for d in 1..=10u64 {
+                for c in 1..=100u64 {
+                    assert!(seen.insert(customer_key(w, d, c)));
+                }
+            }
+        }
+        let max = order_line_key(15, 10, 9_999_999, 15);
+        assert!(max < u64::MAX / 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! TPC-C on STAR vs the conventional designs.
+//!
+//! Runs the TPC-C NewOrder/Payment mix on the STAR engine and on the three
+//! conventional baselines at the paper's default cross-partition percentage,
+//! printing a small comparison table (the single data point of Figure 11(b)
+//! at 10-15% cross-partition transactions).
+//!
+//! ```bash
+//! cargo run --release -p star --example tpcc_phase_switching
+//! ```
+
+use star::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cluster() -> ClusterConfig {
+    let mut config = ClusterConfig::with_nodes(4);
+    config.partitions = 4;
+    config.workers_per_node = 2;
+    config.iteration = Duration::from_millis(10);
+    config.network_latency = Duration::from_micros(100);
+    config
+}
+
+fn workload() -> Arc<TpccWorkload> {
+    Arc::new(TpccWorkload::new(TpccConfig {
+        warehouses: 4,
+        cross_partition_fraction: 0.125,
+        ..Default::default()
+    }))
+}
+
+fn main() {
+    let window = Duration::from_millis(500);
+    let mut results: Vec<RunReport> = Vec::new();
+
+    println!("running STAR...");
+    let mut star = StarEngine::new(cluster(), workload()).unwrap();
+    results.push(star.run_for(window));
+    star.verify_replica_consistency().expect("replicas diverged");
+
+    println!("running PB. OCC...");
+    let mut pb = PbOcc::new(BaselineConfig::new(cluster()), workload()).unwrap();
+    results.push(pb.run_for(window));
+
+    println!("running Dist. OCC...");
+    let mut docc = DistOcc::new(BaselineConfig::new(cluster()), workload()).unwrap();
+    results.push(docc.run_for(window));
+
+    println!("running Dist. S2PL...");
+    let mut s2pl = DistS2pl::new(BaselineConfig::new(cluster()), workload()).unwrap();
+    results.push(s2pl.run_for(window));
+
+    println!("\nTPC-C (NewOrder + Payment), {}% cross-partition:", 12.5);
+    println!("{:<14} {:>14} {:>12} {:>12} {:>14}", "engine", "txns/sec", "p50", "p99", "repl. KB");
+    for report in &results {
+        println!(
+            "{:<14} {:>14.0} {:>12?} {:>12?} {:>14}",
+            report.engine,
+            report.throughput,
+            report.latency.p50(),
+            report.latency.p99(),
+            report.counters.replication_bytes / 1024,
+        );
+    }
+    println!("\nExpected shape (paper, Figure 11(b)): STAR well above both partitioning-based");
+    println!("baselines at this cross-partition percentage, and above PB. OCC because the");
+    println!("partitioned phase uses every node.");
+}

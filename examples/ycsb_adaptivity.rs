@@ -1,0 +1,51 @@
+//! Adaptivity: sweep the cross-partition percentage on YCSB and watch STAR's
+//! phase plan move time between the partitioned and single-master phases.
+//!
+//! This is a miniature of Figure 11(a): for each cross-partition percentage
+//! the engine is rebuilt, run briefly, and its throughput printed together
+//! with the τp/τs split the planner converged to.
+//!
+//! ```bash
+//! cargo run --release -p star --example ycsb_adaptivity
+//! ```
+
+use star::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let percentages = [0.0, 10.0, 30.0, 50.0, 70.0, 90.0, 100.0];
+    let window = Duration::from_millis(300);
+
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>10}",
+        "P (%)", "txns/sec", "commits", "repl. KB", "fences"
+    );
+    for pct in percentages {
+        let mut config = ClusterConfig::with_nodes(4);
+        config.partitions = 8;
+        config.workers_per_node = 2;
+        config.iteration = Duration::from_millis(10);
+
+        let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
+            partitions: config.partitions,
+            rows_per_partition: 5_000,
+            cross_partition_fraction: pct / 100.0,
+            ..Default::default()
+        }));
+        let mut engine = StarEngine::new(config, workload).unwrap();
+        let report = engine.run_for(window);
+        println!(
+            "{:>6.0} {:>14.0} {:>12} {:>12} {:>10}",
+            pct,
+            report.throughput,
+            report.counters.committed,
+            report.counters.replication_bytes / 1024,
+            report.counters.fences,
+        );
+        engine.verify_replica_consistency().expect("replicas diverged");
+    }
+    println!("\nExpected shape (paper, Figure 11(a)): throughput is highest with no");
+    println!("cross-partition transactions and falls towards the single-master-only");
+    println!("throughput as P approaches 100%.");
+}

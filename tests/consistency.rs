@@ -1,0 +1,157 @@
+//! Property-based tests of the core invariants: TID ordering, the Thomas
+//! write rule, the replication codec, the analytical model and the phase
+//! planner.
+
+use proptest::prelude::*;
+use star::common::row::row;
+use star::common::stats::LatencyHistogram;
+use star::prelude::*;
+use star::replication::{LogEntry, Payload};
+use star::storage::Record;
+use std::time::Duration;
+
+fn arb_field() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        any::<u64>().prop_map(FieldValue::U64),
+        any::<i64>().prop_map(FieldValue::I64),
+        (-1e12f64..1e12).prop_map(FieldValue::F64),
+        "[a-zA-Z0-9]{0,40}".prop_map(FieldValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..40).prop_map(FieldValue::Bytes),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec(arb_field(), 1..8).prop_map(Row::new)
+}
+
+proptest! {
+    #[test]
+    fn tid_roundtrip(epoch in 0u32..1_000_000, seq in 0u64..(1u64 << 40) - 1) {
+        let tid = Tid::new(epoch, seq);
+        prop_assert_eq!(tid.epoch(), epoch);
+        prop_assert_eq!(tid.sequence(), seq);
+        prop_assert_eq!(Tid::from_raw(tid.raw()), tid);
+    }
+
+    #[test]
+    fn tid_ordering_is_epoch_major(
+        e1 in 0u32..10_000, s1 in 0u64..1_000_000,
+        e2 in 0u32..10_000, s2 in 0u64..1_000_000,
+    ) {
+        let a = Tid::new(e1, s1);
+        let b = Tid::new(e2, s2);
+        if e1 != e2 {
+            prop_assert_eq!(a < b, e1 < e2);
+        } else {
+            prop_assert_eq!(a < b, s1 < s2);
+        }
+    }
+
+    #[test]
+    fn thomas_write_rule_converges_to_max_tid_in_any_order(
+        mut writes in proptest::collection::vec((1u64..100_000, arb_row()), 1..20)
+    ) {
+        // Apply the same set of (tid, row) writes in two different orders;
+        // both replicas must end up with the value of the largest TID.
+        let rec_a = Record::new(row([FieldValue::U64(0)]));
+        let rec_b = Record::new(row([FieldValue::U64(0)]));
+        for (seq, r) in &writes {
+            rec_a.apply_value_thomas(r.clone(), Tid::new(1, *seq));
+        }
+        writes.reverse();
+        for (seq, r) in &writes {
+            rec_b.apply_value_thomas(r.clone(), Tid::new(1, *seq));
+        }
+        prop_assert_eq!(rec_a.tid(), rec_b.tid());
+        prop_assert_eq!(rec_a.read().row, rec_b.read().row);
+        let max_seq = writes.iter().map(|(s, _)| *s).max().unwrap();
+        prop_assert_eq!(rec_a.tid(), Tid::new(1, max_seq));
+    }
+
+    #[test]
+    fn log_entry_codec_roundtrips(table in 0u32..16, partition in 0usize..64,
+                                  key in any::<u64>(), seq in 1u64..1_000_000,
+                                  r in arb_row()) {
+        let entry = LogEntry {
+            table,
+            partition,
+            key,
+            tid: Tid::new(3, seq),
+            payload: Payload::Value(r),
+        };
+        let mut bytes = entry.encode_to_bytes();
+        let decoded = LogEntry::decode(&mut bytes).unwrap();
+        prop_assert_eq!(decoded, entry);
+    }
+
+    #[test]
+    fn operations_and_value_replication_agree(
+        base in arb_row(),
+        delta in -1_000i64..1_000,
+    ) {
+        // Applying an operation locally and shipping the resulting row must
+        // agree with shipping the operation and applying it remotely.
+        let mut local = base.clone();
+        let mut remote = base.clone();
+        if let Some(FieldValue::I64(_)) = local.field(0) {
+            let op = Operation::AddI64 { field: 0, delta };
+            op.apply(&mut local).unwrap();
+            op.apply(&mut remote).unwrap();
+            prop_assert_eq!(local, remote);
+        }
+    }
+
+    #[test]
+    fn analytical_model_speedup_is_monotone_in_nodes(p in 0.0f64..1.0, k in 1.0f64..32.0) {
+        let model = AnalyticalModel::new(p, k);
+        let mut last = 0.0;
+        for n in 1..=16 {
+            let s = model.speedup_over_single_node(n);
+            prop_assert!(s + 1e-12 >= last, "speedup must not decrease with more nodes");
+            prop_assert!(s <= n as f64 + 1e-12, "speedup can never exceed linear");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn phase_plan_split_always_sums_to_iteration(
+        p in 0.0f64..1.0,
+        tp in 1_000.0f64..1_000_000.0,
+        ts in 1_000.0f64..1_000_000.0,
+    ) {
+        let mut plan = PhasePlan::new(p);
+        plan.observe_partitioned(tp as u64, Duration::from_secs(1));
+        plan.observe_single_master(ts as u64, Duration::from_secs(1));
+        let e = Duration::from_millis(10);
+        let (tau_p, tau_s) = plan.split(e);
+        let total = tau_p + tau_s;
+        let diff = if total > e { total - e } else { e - total };
+        prop_assert!(diff <= Duration::from_micros(2), "τp + τs must equal e (diff {diff:?})");
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_are_monotone(
+        samples in proptest::collection::vec(1u64..5_000_000, 1..200)
+    ) {
+        let mut h = LatencyHistogram::new();
+        for us in &samples {
+            h.record(Duration::from_micros(*us));
+        }
+        prop_assert!(h.percentile(10.0) <= h.percentile(50.0));
+        prop_assert!(h.percentile(50.0) <= h.percentile(99.0));
+        prop_assert!(h.percentile(99.0) <= h.max() + Duration::from_micros(1));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+}
+
+#[test]
+fn record_lock_bit_does_not_corrupt_tid() {
+    // Non-proptest companion: locking and unlocking must never change the TID.
+    let rec = Record::new(row([FieldValue::U64(0)]));
+    rec.apply_value_thomas(row([FieldValue::U64(1)]), Tid::new(5, 77));
+    let before = rec.tid();
+    assert!(rec.try_lock());
+    assert_eq!(rec.meta().tid, before);
+    rec.unlock();
+    assert_eq!(rec.tid(), before);
+}
