@@ -233,7 +233,11 @@ mod tests {
     }
 
     fn workload(cross: f64) -> Arc<KvWorkload> {
-        Arc::new(KvWorkload { partitions: 4, rows_per_partition: 64, cross_partition_fraction: cross })
+        Arc::new(KvWorkload {
+            partitions: 4,
+            rows_per_partition: 64,
+            cross_partition_fraction: cross,
+        })
     }
 
     #[test]
@@ -260,8 +264,7 @@ mod tests {
     #[test]
     fn batch_execution_preserves_counter_integrity() {
         let wl = workload(0.2);
-        let mut engine =
-            Calvin::new(config(), CalvinConfig::default(), wl.clone()).unwrap();
+        let mut engine = Calvin::new(config(), CalvinConfig::default(), wl.clone()).unwrap();
         let report = engine.run_for(Duration::from_millis(30));
         let store = engine.store.clone();
         let mut total = 0u64;

@@ -200,8 +200,9 @@ impl PartitionedEngine {
                     let cluster = cluster.clone();
                     let home_node = worker % cluster.num_nodes;
                     scope.spawn(move || {
-                        let mut rng =
-                            StdRng::seed_from_u64(0xD157 ^ (worker as u64) ^ ((epoch as u64) << 16));
+                        let mut rng = StdRng::seed_from_u64(
+                            0xD157 ^ (worker as u64) ^ ((epoch as u64) << 16),
+                        );
                         let mut tid_gen = TidGenerator::new();
                         let mut attempts = 0u64;
                         let mut local_latency = LatencyHistogram::new();
@@ -210,8 +211,9 @@ impl PartitionedEngine {
                         while attempts == 0 || Instant::now() < epoch_deadline {
                             attempts += 1;
                             let txn_start = Instant::now();
-                            let home_partition = home_partitions
-                                [rng.gen_range(0..home_partitions.len().max(1)) % home_partitions.len().max(1)];
+                            let home_partition = home_partitions[rng
+                                .gen_range(0..home_partitions.len().max(1))
+                                % home_partitions.len().max(1)];
                             let proc = workload.mixed_transaction(&mut rng, home_partition);
                             let baseline_config = BaselineConfig {
                                 cluster: cluster.clone(),
@@ -245,7 +247,9 @@ impl PartitionedEngine {
                                 let mut nodes: Vec<usize> = rs
                                     .iter()
                                     .map(|r| cluster.partition_primary(r.partition))
-                                    .chain(ws.iter().map(|w| cluster.partition_primary(w.partition)))
+                                    .chain(
+                                        ws.iter().map(|w| cluster.partition_primary(w.partition)),
+                                    )
                                     .collect();
                                 nodes.sort_unstable();
                                 nodes.dedup();
@@ -345,8 +349,7 @@ impl PartitionedEngine {
                             };
                             if remote_participants > 0 {
                                 // 2PC: prepare + commit rounds.
-                                counters
-                                    .add_coordination_bytes((remote_participants as u64) * 128);
+                                counters.add_coordination_bytes((remote_participants as u64) * 128);
                                 std::thread::sleep(round_trip * 2);
                             }
                             if !write_set.is_empty() {
@@ -458,7 +461,11 @@ mod tests {
     }
 
     fn workload(cross: f64) -> Arc<KvWorkload> {
-        Arc::new(KvWorkload { partitions: 4, rows_per_partition: 64, cross_partition_fraction: cross })
+        Arc::new(KvWorkload {
+            partitions: 4,
+            rows_per_partition: 64,
+            cross_partition_fraction: cross,
+        })
     }
 
     #[test]

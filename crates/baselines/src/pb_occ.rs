@@ -106,7 +106,8 @@ impl PbOcc {
                     let latency = Arc::clone(latency);
                     let partitions = workload.num_partitions();
                     scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(0x9B0C ^ (worker as u64) ^ epoch as u64);
+                        let mut rng =
+                            StdRng::seed_from_u64(0x9B0C ^ (worker as u64) ^ epoch as u64);
                         let mut tid_gen = TidGenerator::new();
                         let mut attempts = 0u64;
                         let mut local_latency = LatencyHistogram::new();
@@ -128,14 +129,14 @@ impl PbOcc {
                                 }
                             }
                             let (rs, ws) = ctx.into_sets();
-                            let output = match commit_single_master(&primary, rs, ws, epoch, &mut tid_gen)
-                            {
-                                Ok(output) => output,
-                                Err(_) => {
-                                    counters.add_abort();
-                                    continue;
-                                }
-                            };
+                            let output =
+                                match commit_single_master(&primary, rs, ws, epoch, &mut tid_gen) {
+                                    Ok(output) => output,
+                                    Err(_) => {
+                                        counters.add_abort();
+                                        continue;
+                                    }
+                                };
                             let entries = build_log_entries(
                                 &output.write_set,
                                 output.tid,
@@ -207,8 +208,10 @@ impl PbOcc {
                 Ok(Some(backup_rec)) => {
                     let backup_read = backup_rec.read();
                     if backup_read.tid != primary_read.tid {
-                        divergence =
-                            Some(format!("key {key} tid mismatch ({} vs {})", primary_read.tid, backup_read.tid));
+                        divergence = Some(format!(
+                            "key {key} tid mismatch ({} vs {})",
+                            primary_read.tid, backup_read.tid
+                        ));
                     }
                 }
                 _ => divergence = Some(format!("key {key} missing on backup")),
@@ -239,7 +242,11 @@ mod tests {
     }
 
     fn workload() -> Arc<KvWorkload> {
-        Arc::new(KvWorkload { partitions: 4, rows_per_partition: 32, cross_partition_fraction: 0.3 })
+        Arc::new(KvWorkload {
+            partitions: 4,
+            rows_per_partition: 32,
+            cross_partition_fraction: 0.3,
+        })
     }
 
     #[test]

@@ -16,11 +16,7 @@ fn payment_like_write_set() -> Vec<WriteEntry> {
         table: 0,
         partition: 0,
         key: 1,
-        row: row([
-            FieldValue::U64(1),
-            FieldValue::F64(-42.0),
-            FieldValue::Str("x".repeat(500)),
-        ]),
+        row: row([FieldValue::U64(1), FieldValue::F64(-42.0), FieldValue::Str("x".repeat(500))]),
         operation: Some(Operation::Multi {
             ops: vec![
                 Operation::AddF64 { field: 1, delta: -42.0 },

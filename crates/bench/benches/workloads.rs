@@ -43,10 +43,7 @@ fn bench_workloads(c: &mut Criterion) {
     });
 
     // TPC-C generation + execution.
-    let tpcc = Arc::new(TpccWorkload::new(TpccConfig {
-        warehouses: 4,
-        ..Default::default()
-    }));
+    let tpcc = Arc::new(TpccWorkload::new(TpccConfig { warehouses: 4, ..Default::default() }));
     let mut builder = DatabaseBuilder::new(4);
     for spec in tpcc.catalog() {
         builder = builder.table(spec);

@@ -144,7 +144,12 @@ impl FigureRunner {
         for p in [1.0, 5.0, 10.0, 15.0] {
             let model = AnalyticalModel::new(p / 100.0, 8.0);
             for n in 1..=16usize {
-                self.record_model("fig3", &format!("P={p}%"), n as f64, model.speedup_over_single_node(n));
+                self.record_model(
+                    "fig3",
+                    &format!("P={p}%"),
+                    n as f64,
+                    model.speedup_over_single_node(n),
+                );
             }
         }
     }
@@ -230,7 +235,9 @@ impl FigureRunner {
 
     /// Figure 11(d): TPC-C, synchronous replication baselines.
     pub fn fig11d(&mut self) {
-        println!("Figure 11(d): TPC-C throughput vs % cross-partition (sync replication baselines)");
+        println!(
+            "Figure 11(d): TPC-C throughput vs % cross-partition (sync replication baselines)"
+        );
         self.fig11_workload("fig11d", true, true);
     }
 
@@ -396,8 +403,11 @@ impl FigureRunner {
         for tpcc in [false, true] {
             let label = if tpcc { "TPC-C" } else { "YCSB" };
             let base = self.cluster(4);
-            let workload: Arc<dyn Workload> =
-                if tpcc { self.tpcc(base.partitions, 10.0) } else { self.ycsb(base.partitions, 10.0) };
+            let workload: Arc<dyn Workload> = if tpcc {
+                self.tpcc(base.partitions, 10.0)
+            } else {
+                self.ycsb(base.partitions, 10.0)
+            };
             let report = self.run_star(base.clone(), workload.clone());
             self.record("fig15b", &format!("STAR ({label})"), 0.0, &report);
             let mut logging = base;

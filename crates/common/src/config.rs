@@ -263,24 +263,19 @@ mod tests {
             assert!(c.node_stores_partition(0, p));
         }
         // a partial replica node stores only its own + secondary partitions
-        let stored: Vec<_> =
-            (0..c.partitions).filter(|p| c.node_stores_partition(2, *p)).collect();
+        let stored: Vec<_> = (0..c.partitions).filter(|p| c.node_stores_partition(2, *p)).collect();
         assert!(stored.len() < c.partitions);
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = ClusterConfig::default();
-        c.full_replicas = 0;
+        let c = ClusterConfig { full_replicas: 0, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.num_nodes = 0;
+        let c = ClusterConfig { num_nodes: 0, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.full_replicas = 9;
+        let c = ClusterConfig { full_replicas: 9, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.iteration = Duration::ZERO;
+        let c = ClusterConfig { iteration: Duration::ZERO, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
     }
 

@@ -394,9 +394,7 @@ mod tests {
     #[test]
     fn set_field_operation() {
         let mut r = sample_row();
-        Operation::SetField { field: 0, value: FieldValue::U64(99) }
-            .apply(&mut r)
-            .unwrap();
+        Operation::SetField { field: 0, value: FieldValue::U64(99) }.apply(&mut r).unwrap();
         assert_eq!(r.field(0).unwrap().as_u64(), Some(99));
     }
 
@@ -417,9 +415,7 @@ mod tests {
     #[test]
     fn concat_str_truncates() {
         let mut r = sample_row();
-        Operation::ConcatStr { field: 3, prefix: "abc|".into(), max_len: 6 }
-            .apply(&mut r)
-            .unwrap();
+        Operation::ConcatStr { field: 3, prefix: "abc|".into(), max_len: 6 }.apply(&mut r).unwrap();
         assert_eq!(r.field(3).unwrap().as_str(), Some("abc|he"));
     }
 
@@ -445,9 +441,8 @@ mod tests {
     #[test]
     fn out_of_range_field_is_an_error() {
         let mut r = sample_row();
-        let err = Operation::SetField { field: 10, value: FieldValue::U64(0) }
-            .apply(&mut r)
-            .unwrap_err();
+        let err =
+            Operation::SetField { field: 10, value: FieldValue::U64(0) }.apply(&mut r).unwrap_err();
         assert!(err.message.contains("out of range"));
     }
 

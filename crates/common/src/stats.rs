@@ -75,10 +75,9 @@ impl LatencyHistogram {
 
     /// Mean latency, or zero if empty.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(self.total_us / self.count)
+        match self.total_us.checked_div(self.count) {
+            Some(mean_us) => Duration::from_micros(mean_us),
+            None => Duration::ZERO,
         }
     }
 
@@ -407,8 +406,7 @@ mod tests {
 
     #[test]
     fn run_report_computes_throughput() {
-        let mut counters = CounterSnapshot::default();
-        counters.committed = 5_000;
+        let counters = CounterSnapshot { committed: 5_000, ..CounterSnapshot::default() };
         let report = RunReport::new(
             "STAR",
             "YCSB",

@@ -45,10 +45,7 @@ impl Tid {
     /// # Panics
     /// Panics if `sequence` does not fit in [`SEQUENCE_BITS`] bits.
     pub fn new(epoch: Epoch, sequence: u64) -> Self {
-        assert!(
-            sequence <= SEQUENCE_MASK,
-            "sequence {sequence} overflows {SEQUENCE_BITS} bits"
-        );
+        assert!(sequence <= SEQUENCE_MASK, "sequence {sequence} overflows {SEQUENCE_BITS} bits");
         Tid(((epoch as u64) << SEQUENCE_BITS) | sequence)
     }
 

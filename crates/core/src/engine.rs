@@ -180,12 +180,7 @@ impl StarEngine {
 
     /// Which nodes are currently known (detected) to be failed.
     pub fn failed_nodes(&self) -> Vec<NodeId> {
-        self.failed
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| **f)
-            .map(|(n, _)| n)
-            .collect()
+        self.failed.iter().enumerate().filter(|(_, f)| **f).map(|(n, _)| n).collect()
     }
 
     /// The node currently acting as the designated master: the first healthy
@@ -377,7 +372,7 @@ impl StarEngine {
                         }
                         counters.add_commit();
                         committed += 1;
-                        if committed % LATENCY_SAMPLE == 0 {
+                        if committed.is_multiple_of(LATENCY_SAMPLE) {
                             samples.push(Instant::now());
                         }
                     }
@@ -385,7 +380,8 @@ impl StarEngine {
                 }));
             }
             for handle in handles {
-                let (committed, mut worker_samples) = handle.join().expect("partition worker panicked");
+                let (committed, mut worker_samples) =
+                    handle.join().expect("partition worker panicked");
                 total_committed += committed;
                 samples.append(&mut worker_samples);
             }
@@ -509,7 +505,7 @@ impl StarEngine {
                         }
                         counters.add_commit();
                         committed += 1;
-                        if committed % LATENCY_SAMPLE == 0 {
+                        if committed.is_multiple_of(LATENCY_SAMPLE) {
                             samples.push(Instant::now());
                         }
                     }
@@ -517,7 +513,8 @@ impl StarEngine {
                 }));
             }
             for handle in handles {
-                let (committed, mut worker_samples) = handle.join().expect("master worker panicked");
+                let (committed, mut worker_samples) =
+                    handle.join().expect("master worker panicked");
                 total_committed += committed;
                 samples.append(&mut worker_samples);
             }

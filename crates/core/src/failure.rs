@@ -62,7 +62,9 @@ impl FailureCase {
     pub fn phase_switching_available(self) -> bool {
         matches!(
             self,
-            FailureCase::NoFailure | FailureCase::FullAndPartialRemain | FailureCase::OnlyFullRemains
+            FailureCase::NoFailure
+                | FailureCase::FullAndPartialRemain
+                | FailureCase::OnlyFullRemains
         )
     }
 

@@ -38,8 +38,11 @@ mod tests {
             tid: Tid::new(1, 1),
             payload: Payload::Value(row([FieldValue::U64(1)])),
         };
-        let batch =
-            ReplicationBatch { from_node: 0, epoch: 1, entries: vec![entry.clone(), entry.clone()] };
+        let batch = ReplicationBatch {
+            from_node: 0,
+            epoch: 1,
+            entries: vec![entry.clone(), entry.clone()],
+        };
         assert_eq!(batch.wire_size(), 8 + 2 * entry.wire_size());
     }
 }

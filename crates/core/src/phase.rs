@@ -60,7 +60,8 @@ impl PhasePlan {
             return;
         }
         let rate = committed as f64 / elapsed.as_secs_f64();
-        self.tp = if self.tp == 0.0 { rate } else { self.alpha * rate + (1.0 - self.alpha) * self.tp };
+        self.tp =
+            if self.tp == 0.0 { rate } else { self.alpha * rate + (1.0 - self.alpha) * self.tp };
     }
 
     /// Records an observation of the single-master phase.
@@ -69,7 +70,8 @@ impl PhasePlan {
             return;
         }
         let rate = committed as f64 / elapsed.as_secs_f64();
-        self.ts = if self.ts == 0.0 { rate } else { self.alpha * rate + (1.0 - self.alpha) * self.ts };
+        self.ts =
+            if self.ts == 0.0 { rate } else { self.alpha * rate + (1.0 - self.alpha) * self.ts };
     }
 
     /// Current smoothed throughput estimates `(tp, ts)`.

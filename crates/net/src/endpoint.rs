@@ -27,10 +27,7 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig {
-            latency: Duration::from_micros(100),
-            loopback_latency: Duration::ZERO,
-        }
+        NetworkConfig { latency: Duration::from_micros(100), loopback_latency: Duration::ZERO }
     }
 }
 
@@ -205,7 +202,8 @@ impl<M: Message> Endpoint<M> {
         if self.node_failed(to) {
             return Err(SendError::NodeFailed(to));
         }
-        let latency = if to == self.node { self.config.loopback_latency } else { self.config.latency };
+        let latency =
+            if to == self.node { self.config.loopback_latency } else { self.config.latency };
         let bytes = payload.wire_size() as u64;
         let envelope = Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
         self.senders[to].send(envelope).map_err(|_| SendError::Disconnected(to))?;
@@ -393,9 +391,6 @@ mod tests {
     fn try_recv_times_out_when_empty() {
         let (_net, eps) = cluster(2);
         assert_eq!(eps[0].try_recv().err(), Some(RecvError::Timeout));
-        assert_eq!(
-            eps[0].recv_timeout(Duration::from_millis(1)).err(),
-            Some(RecvError::Timeout)
-        );
+        assert_eq!(eps[0].recv_timeout(Duration::from_millis(1)).err(), Some(RecvError::Timeout));
     }
 }

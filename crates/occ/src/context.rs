@@ -54,9 +54,9 @@ impl DataSource for Database {
 
     fn secondary_lookup(&self, table: TableId, index: usize, secondary: Key) -> Result<Vec<Key>> {
         let t = self.table(table)?;
-        let idx = t
-            .secondary_index(index)
-            .ok_or_else(|| Error::Config(format!("table {table} has no secondary index {index}")))?;
+        let idx = t.secondary_index(index).ok_or_else(|| {
+            Error::Config(format!("table {table} has no secondary index {index}"))
+        })?;
         Ok(idx.lookup(secondary))
     }
 }
@@ -217,9 +217,7 @@ mod tests {
     use star_storage::{DatabaseBuilder, TableSpec};
 
     fn db() -> Database {
-        let d = DatabaseBuilder::new(2)
-            .table(TableSpec::with_secondary("t", 1))
-            .build();
+        let d = DatabaseBuilder::new(2).table(TableSpec::with_secondary("t", 1)).build();
         d.insert(0, 0, 1, row([FieldValue::U64(10)])).unwrap();
         d.insert(0, 1, 2, row([FieldValue::U64(20)])).unwrap();
         d.table(0).unwrap().secondary_index(0).unwrap().insert(99, 1);

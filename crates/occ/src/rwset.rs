@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn lock_order_is_table_partition_key() {
-        let mut ws = vec![w(1, 0, 5), w(0, 3, 1), w(0, 1, 9), w(0, 1, 2)];
+        let mut ws = [w(1, 0, 5), w(0, 3, 1), w(0, 1, 9), w(0, 1, 2)];
         ws.sort_by_key(write_lock_order);
         let order: Vec<_> = ws.iter().map(|e| (e.table, e.partition, e.key)).collect();
         assert_eq!(order, vec![(0, 1, 2), (0, 1, 9), (0, 3, 1), (1, 0, 5)]);

@@ -28,13 +28,10 @@ fn resolve_write_records(db: &Database, writes: &WriteSet) -> Result<Vec<Arc<Rec
                     Ok(existing)
                 } else {
                     let table = db.table(w.table)?;
-                    let part = table
-                        .partition(w.partition)
-                        .ok_or(Error::NoSuchPartition(w.partition))?;
-                    let (rec, _) = part.insert_if_absent(
-                        w.key,
-                        Record::new(star_common::Row::empty()),
-                    );
+                    let part =
+                        table.partition(w.partition).ok_or(Error::NoSuchPartition(w.partition))?;
+                    let (rec, _) =
+                        part.insert_if_absent(w.key, Record::new(star_common::Row::empty()));
                     Ok(rec)
                 }
             } else {
@@ -195,11 +192,7 @@ mod tests {
         d
     }
 
-    fn read_update(
-        d: &Database,
-        key: u64,
-        new: u64,
-    ) -> (ReadSet, WriteSet) {
+    fn read_update(d: &Database, key: u64, new: u64) -> (ReadSet, WriteSet) {
         let mut ctx = TxnCtx::new(d);
         let p = (key % 2) as usize;
         ctx.read(0, p, key).unwrap();

@@ -106,7 +106,8 @@ mod tests {
     use star_storage::{DatabaseBuilder, TableSpec};
 
     fn populated_db() -> Database {
-        let d = DatabaseBuilder::new(2).table(TableSpec::new("t")).table(TableSpec::new("u")).build();
+        let d =
+            DatabaseBuilder::new(2).table(TableSpec::new("t")).table(TableSpec::new("u")).build();
         for k in 0..20u64 {
             d.insert(0, (k % 2) as usize, k, row([FieldValue::U64(k)])).unwrap();
         }

@@ -153,10 +153,7 @@ mod tests {
         let cp = Checkpoint { epoch: 0, entries: Vec::new() };
         recover_from_checkpoint_and_logs(&db_a, &cp, &logs_a).unwrap();
         recover_from_checkpoint_and_logs(&db_b, &cp, &logs_b).unwrap();
-        assert_eq!(
-            db_a.get(0, 0, 0).unwrap().read().row,
-            db_b.get(0, 0, 0).unwrap().read().row
-        );
+        assert_eq!(db_a.get(0, 0, 0).unwrap().read().row, db_b.get(0, 0, 0).unwrap().read().row);
         assert_eq!(db_a.get(0, 0, 0).unwrap().tid(), Tid::new(1, 3));
     }
 

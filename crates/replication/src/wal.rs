@@ -245,7 +245,7 @@ mod tests {
         }
         // With a 64-byte threshold several flushes must have happened without
         // an explicit call.
-        assert!(sink.len() > 0);
+        assert!(!sink.is_empty());
     }
 
     #[test]

@@ -154,9 +154,7 @@ impl Database {
     /// Point lookup of a record handle.
     pub fn get(&self, table: TableId, partition: PartitionId, key: Key) -> Result<Arc<Record>> {
         self.check_partition(partition)?;
-        self.table(table)?
-            .get(partition, key)
-            .ok_or(Error::KeyNotFound { table, key })
+        self.table(table)?.get(partition, key).ok_or(Error::KeyNotFound { table, key })
     }
 
     /// Point lookup that returns `None` rather than an error for a missing
@@ -180,9 +178,7 @@ impl Database {
         row: Row,
     ) -> Result<Arc<Record>> {
         self.check_partition(partition)?;
-        self.table(table)?
-            .insert(partition, key, row)
-            .ok_or(Error::NoSuchPartition(partition))
+        self.table(table)?.insert(partition, key, row).ok_or(Error::NoSuchPartition(partition))
     }
 
     /// Inserts (or overwrites) a row carrying a TID — the path used by
@@ -265,10 +261,7 @@ impl Database {
 
     /// Runs `f` over every `(table, partition, key, record)` this replica
     /// holds. Used by the checkpointer and by recovery data copy.
-    pub fn for_each_record(
-        &self,
-        mut f: impl FnMut(TableId, PartitionId, Key, &Arc<Record>),
-    ) {
+    pub fn for_each_record(&self, mut f: impl FnMut(TableId, PartitionId, Key, &Arc<Record>)) {
         for (tid, table) in self.tables.iter().enumerate() {
             for p in 0..self.partitions {
                 if !self.held[p] {
@@ -322,10 +315,7 @@ mod tests {
 
     #[test]
     fn partial_replica_rejects_foreign_partitions() {
-        let d = DatabaseBuilder::new(4)
-            .table(TableSpec::new("a"))
-            .holding(vec![1, 3])
-            .build();
+        let d = DatabaseBuilder::new(4).table(TableSpec::new("a")).holding(vec![1, 3]).build();
         assert!(!d.is_full_replica());
         assert!(d.holds(1) && d.holds(3));
         assert!(!d.holds(0));
@@ -380,10 +370,7 @@ mod tests {
 
     #[test]
     fn acquire_partition_extends_held_set() {
-        let mut d = DatabaseBuilder::new(4)
-            .table(TableSpec::new("a"))
-            .holding(vec![0])
-            .build();
+        let mut d = DatabaseBuilder::new(4).table(TableSpec::new("a")).holding(vec![0]).build();
         assert!(!d.holds(2));
         d.acquire_partition(2).unwrap();
         assert!(d.holds(2));
@@ -392,10 +379,7 @@ mod tests {
 
     #[test]
     fn for_each_record_covers_held_partitions_only() {
-        let d = DatabaseBuilder::new(4)
-            .table(TableSpec::new("a"))
-            .holding(vec![0, 1])
-            .build();
+        let d = DatabaseBuilder::new(4).table(TableSpec::new("a")).holding(vec![0, 1]).build();
         d.insert(0, 0, 1, r(1)).unwrap();
         d.insert(0, 1, 2, r(2)).unwrap();
         let mut seen = Vec::new();

@@ -61,11 +61,7 @@ impl Record {
     /// Creates a record that already carries a TID (used by recovery replay
     /// and by checkpoint loading).
     pub fn with_tid(row: Row, tid: Tid) -> Self {
-        Record {
-            meta: AtomicU64::new(tid.raw()),
-            data: RwLock::new(row),
-            stable: Mutex::new(None),
-        }
+        Record { meta: AtomicU64::new(tid.raw()), data: RwLock::new(row), stable: Mutex::new(None) }
     }
 
     /// Decoded meta word (TID + lock bit).
@@ -115,9 +111,7 @@ impl Record {
         if cur & LOCK_BIT != 0 {
             return false;
         }
-        self.meta
-            .compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        self.meta.compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     /// Spins until the commit lock is acquired. Used by the single-master

@@ -243,7 +243,7 @@ mod tests {
         assert_eq!(keys, vec![0, 1, 2, 3, 4]);
         let mut sum = 0;
         p.for_each(|_, rec| sum += rec.read().row.field(0).unwrap().as_u64().unwrap());
-        assert_eq!(sum, 0 + 1 + 2 + 3 + 4);
+        assert_eq!(sum, 1 + 2 + 3 + 4);
     }
 
     #[test]

@@ -125,7 +125,11 @@ impl TpccWorkload {
                     home
                 };
                 OrderLineInput {
-                    item_id: if Some(i) == invalid_line { None } else { Some(self.random_item(rng)) },
+                    item_id: if Some(i) == invalid_line {
+                        None
+                    } else {
+                        Some(self.random_item(rng))
+                    },
                     supply_warehouse,
                     quantity: rng.gen_range(1..=10),
                 }
@@ -191,8 +195,7 @@ impl TpccWorkload {
     }
 
     fn customer_row(&self, w: u64, d: u64, c: u64, rng: &mut StdRng) -> Row {
-        let credit =
-            if rng.gen::<f64>() < self.config.bad_credit_fraction { "BC" } else { "GC" };
+        let credit = if rng.gen::<f64>() < self.config.bad_credit_fraction { "BC" } else { "GC" };
         [
             FieldValue::U64(c),
             FieldValue::U64(d),
@@ -257,8 +260,13 @@ impl Workload for TpccWorkload {
         // Deterministic per-partition seed so every replica of the partition
         // loads identical rows.
         let mut rng = StdRng::seed_from_u64(0x7BCC_0000u64 ^ w);
-        db.insert(table::WAREHOUSE, partition, s::warehouse_key(w), Self::warehouse_row(w, &mut rng))
-            .expect("loading a held partition cannot fail");
+        db.insert(
+            table::WAREHOUSE,
+            partition,
+            s::warehouse_key(w),
+            Self::warehouse_row(w, &mut rng),
+        )
+        .expect("loading a held partition cannot fail");
         for d in 1..=self.config.districts_per_warehouse {
             db.insert(
                 table::DISTRICT,

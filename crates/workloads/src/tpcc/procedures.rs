@@ -123,19 +123,15 @@ impl Procedure for NewOrder {
                 Err(Error::KeyNotFound { .. }) => return Err(ctx.abort()),
                 Err(e) => return Err(e),
             };
-            let price = item_row
-                .field(s::item::I_PRICE)
-                .and_then(FieldValue::as_f64)
-                .unwrap_or(1.0);
+            let price =
+                item_row.field(s::item::I_PRICE).and_then(FieldValue::as_f64).unwrap_or(1.0);
 
             let supply_w = line.supply_warehouse;
             let supply_partition = s::warehouse_partition(supply_w);
             let stock_key = s::stock_key(supply_w, item_id);
             let stock_row = ctx.read(table::STOCK, supply_partition, stock_key)?;
-            let quantity = stock_row
-                .field(s::stock::S_QUANTITY)
-                .and_then(FieldValue::as_i64)
-                .unwrap_or(0);
+            let quantity =
+                stock_row.field(s::stock::S_QUANTITY).and_then(FieldValue::as_i64).unwrap_or(0);
             let new_quantity = if quantity - (line.quantity as i64) >= 10 {
                 quantity - line.quantity as i64
             } else {
@@ -316,17 +312,10 @@ impl Procedure for Payment {
             // hybrid replication strategy.
             let prefix = format!(
                 "{} {} {} {} {} {:.2}|",
-                self.customer,
-                self.customer_district,
-                self.customer_warehouse,
-                d,
-                w,
-                self.amount
+                self.customer, self.customer_district, self.customer_warehouse, d, w, self.amount
             );
-            let old_data = customer_row
-                .field(s::customer::C_DATA)
-                .and_then(FieldValue::as_str)
-                .unwrap_or("");
+            let old_data =
+                customer_row.field(s::customer::C_DATA).and_then(FieldValue::as_str).unwrap_or("");
             let mut new_data = String::with_capacity(C_DATA_MAX);
             new_data.push_str(&prefix);
             new_data.push_str(old_data);
@@ -461,11 +450,8 @@ mod tests {
             .iter()
             .find(|w| w.table == table::CUSTOMER)
             .expect("payment must update the customer");
-        let balance = customer_write
-            .row
-            .field(s::customer::C_BALANCE)
-            .and_then(FieldValue::as_f64)
-            .unwrap();
+        let balance =
+            customer_write.row.field(s::customer::C_BALANCE).and_then(FieldValue::as_f64).unwrap();
         // Customers are loaded with a -10.00 balance (TPC-C clause 4.3.3.1);
         // the payment decrements it further.
         assert!((balance - (-52.5)).abs() < 1e-9);
@@ -518,8 +504,7 @@ mod tests {
         };
         let mut ctx = TxnCtx::new(&db);
         proc.execute(&mut ctx).unwrap();
-        let customer_write =
-            ctx.write_set().iter().find(|w| w.table == table::CUSTOMER).unwrap();
+        let customer_write = ctx.write_set().iter().find(|w| w.table == table::CUSTOMER).unwrap();
         let op = customer_write.operation.as_ref().unwrap();
         assert!(op.wire_size() * 5 < customer_write.row.wire_size());
     }

@@ -103,10 +103,7 @@ impl Procedure for YcsbTransaction {
                     op.partition,
                     op.key,
                     new_row,
-                    Operation::SetField {
-                        field: *column,
-                        value: FieldValue::Bytes(bytes.clone()),
-                    },
+                    Operation::SetField { field: *column, value: FieldValue::Bytes(bytes.clone()) },
                 );
             }
         }

@@ -33,7 +33,10 @@ fn main() {
 
     println!();
     println!("engine:              {}", report.engine);
-    println!("workload:            {} ({}% cross-partition)", report.workload, report.cross_partition_pct);
+    println!(
+        "workload:            {} ({}% cross-partition)",
+        report.workload, report.cross_partition_pct
+    );
     println!("committed:           {}", report.counters.committed);
     println!("throughput:          {:.0} txns/sec", report.throughput);
     println!("aborts (cc):         {}", report.counters.aborted);

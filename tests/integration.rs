@@ -68,8 +68,8 @@ fn star_hybrid_replication_ships_fewer_bytes_than_value_replication_on_tpcc() {
     let mut hybrid_engine = StarEngine::new(hybrid_config, tpcc(4, 10.0)).unwrap();
     let hybrid_report = hybrid_engine.run_for(Duration::from_millis(100));
 
-    let value_per_txn =
-        value_report.counters.replication_bytes as f64 / value_report.counters.committed.max(1) as f64;
+    let value_per_txn = value_report.counters.replication_bytes as f64
+        / value_report.counters.committed.max(1) as f64;
     let hybrid_per_txn = hybrid_report.counters.replication_bytes as f64
         / hybrid_report.counters.committed.max(1) as f64;
     assert!(

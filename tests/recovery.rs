@@ -117,8 +117,14 @@ fn checkpoint_plus_wal_rebuilds_a_lost_replica() {
     // Epoch 1 commits some writes, then a checkpoint is taken, then epoch 2
     // commits more writes into per-worker logs.
     for k in 0..50u64 {
-        db.apply_value_write(0, (k % 2) as usize, k, star::common::row::row([FieldValue::U64(k + 1000)]), Tid::new(1, k + 1))
-            .unwrap();
+        db.apply_value_write(
+            0,
+            (k % 2) as usize,
+            k,
+            star::common::row::row([FieldValue::U64(k + 1000)]),
+            Tid::new(1, k + 1),
+        )
+        .unwrap();
     }
     let checkpoint = Checkpoint::capture(&db, 1);
     let logs: Vec<Vec<LogEntry>> = (0..2)
@@ -131,7 +137,9 @@ fn checkpoint_plus_wal_rebuilds_a_lost_replica() {
                         partition: (k % 2) as usize,
                         key: k,
                         tid: Tid::new(2, k + 1),
-                        payload: Payload::Value(star::common::row::row([FieldValue::U64(k + 2000)])),
+                        payload: Payload::Value(star::common::row::row([FieldValue::U64(
+                            k + 2000,
+                        )])),
                     }
                 })
                 .collect()

@@ -1,0 +1,94 @@
+//! Workspace-wiring smoke test: every engine kind must be constructible
+//! through the `star::prelude` facade alone and able to commit a tiny YCSB
+//! burst. Catches broken re-exports and crate-graph regressions cheaply.
+
+use star::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PARTITIONS: usize = 4;
+const BURST: Duration = Duration::from_millis(25);
+
+fn tiny_cluster(nodes: usize) -> ClusterConfig {
+    let mut config = ClusterConfig::with_nodes(nodes);
+    config.partitions = PARTITIONS;
+    config.workers_per_node = 1;
+    config.iteration = Duration::from_millis(5);
+    config.network_latency = Duration::from_micros(10);
+    config
+}
+
+fn tiny_ycsb() -> Arc<YcsbWorkload> {
+    Arc::new(YcsbWorkload::new(YcsbConfig {
+        partitions: PARTITIONS,
+        rows_per_partition: 50,
+        cross_partition_fraction: 0.25,
+        ..Default::default()
+    }))
+}
+
+fn assert_burst_commits(kind: EngineKind, report: &RunReport) {
+    assert!(
+        report.counters.committed > 0,
+        "{} committed no transactions in the smoke burst",
+        kind.label()
+    );
+}
+
+#[test]
+fn star_engine_via_prelude() {
+    let mut engine = StarEngine::new(tiny_cluster(2), tiny_ycsb()).unwrap();
+    let report = engine.run_for(BURST);
+    assert_burst_commits(EngineKind::Star, &report);
+    assert_eq!(report.engine, EngineKind::Star.label());
+    engine.verify_replica_consistency().unwrap();
+}
+
+#[test]
+fn pb_occ_via_prelude() {
+    let mut engine = PbOcc::new(BaselineConfig::new(tiny_cluster(2)), tiny_ycsb()).unwrap();
+    let report = engine.run_for(BURST);
+    assert_burst_commits(EngineKind::PbOcc, &report);
+}
+
+#[test]
+fn dist_occ_via_prelude() {
+    let mut engine = DistOcc::new(BaselineConfig::new(tiny_cluster(2)), tiny_ycsb()).unwrap();
+    let report = engine.run_for(BURST);
+    assert_burst_commits(EngineKind::DistOcc, &report);
+}
+
+#[test]
+fn dist_s2pl_via_prelude() {
+    let mut engine = DistS2pl::new(BaselineConfig::new(tiny_cluster(2)), tiny_ycsb()).unwrap();
+    let report = engine.run_for(BURST);
+    assert_burst_commits(EngineKind::DistS2pl, &report);
+}
+
+#[test]
+fn calvin_via_prelude() {
+    let mut engine = Calvin::new(
+        BaselineConfig::new(tiny_cluster(2)),
+        CalvinConfig::with_lock_managers(1),
+        tiny_ycsb(),
+    )
+    .unwrap();
+    let report = engine.run_for(BURST);
+    assert_burst_commits(EngineKind::Calvin, &report);
+}
+
+#[test]
+fn prelude_exposes_substrate_types() {
+    // Compile-time wiring check for the non-engine prelude exports.
+    let _spec: TableSpec = TableSpec::new("t");
+    let db = DatabaseBuilder::new(1).table(TableSpec::new("t")).build();
+    assert_eq!(db.held_partitions().len(), 1);
+    let tid = Tid::new(1, 1);
+    assert_eq!(tid.epoch(), 1 as Epoch);
+    let _: Error = Error::Config("smoke".into());
+    let hist = LatencyHistogram::new();
+    assert_eq!(hist.count(), 0);
+    let _ = CounterSnapshot::default();
+    let _ = ReplicationMode::Async;
+    let _ = ReplicationStrategy::Hybrid;
+}

@@ -1,0 +1,152 @@
+//! Minimal offline stand-in for `serde_json`: serializes the mini-serde
+//! [`Value`] model to JSON text, matching upstream's formatting (compact and
+//! 2-space pretty printing, `{:?}`-style float rendering).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The mini data model is currently infallible (like
+/// upstream, non-finite floats serialize as `null` rather than failing);
+/// the `Result` return keeps the upstream signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) -> Result<()> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if !v.is_finite() {
+                // Upstream serde_json serializes non-finite floats as null.
+                out.push_str("null");
+            } else {
+                // `{:?}` keeps a trailing `.0` for integral floats, like
+                // upstream.
+                out.push_str(&format!("{v:?}"));
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (idx, item) in items.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1)?;
+            }
+            write_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (idx, (key, item)) in fields.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1)?;
+            }
+            write_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_matches_upstream_shape() {
+        let v = Value::Object(vec![("figure".to_string(), Value::String("fig3".into()))]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"figure\": \"fig3\"\n}");
+    }
+
+    #[test]
+    fn floats_keep_fractional_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+    }
+}
