@@ -1,0 +1,36 @@
+# Mirrors the justfile for environments without `just`.
+
+SEED ?= 42
+
+.PHONY: build test lint bench bench-baseline bench-smoke bench-contention figures ci
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+lint:
+	cargo fmt --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Full-scale exploration run; writes into target/bench, never the committed
+# quick-scale baselines (the two scales are not comparable).
+bench:
+	mkdir -p target/bench
+	cargo run --release -p star-bench --bin star-bench -- --seed $(SEED) --out-dir target/bench
+
+# Refresh the committed BENCH_*.json baselines with CI's exact configuration.
+bench-baseline:
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED)
+
+bench-smoke:
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --check
+
+bench-contention:
+	cargo run --release -p star-bench --bin star-bench -- --contention-only
+
+figures:
+	cargo run --release -p star-bench --bin figures -- --quick all
+
+ci: lint build test bench-smoke

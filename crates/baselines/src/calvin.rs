@@ -112,7 +112,7 @@ impl Calvin {
         self.counters.add_coordination_bytes(input_bytes);
 
         // Sequence the batch deterministically.
-        let mut rng = StdRng::seed_from_u64(0xCA1517 ^ self.sequence);
+        let mut rng = StdRng::seed_from_u64(cluster.rng_seed_base() ^ 0xCA1517 ^ self.sequence);
         self.sequence += 1;
         let batch: Vec<Box<dyn Procedure>> = (0..batch_size)
             .map(|i| self.workload.mixed_transaction(&mut rng, i % cluster.partitions))

@@ -201,7 +201,10 @@ impl PartitionedEngine {
                     let home_node = worker % cluster.num_nodes;
                     scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(
-                            0xD157 ^ (worker as u64) ^ ((epoch as u64) << 16),
+                            cluster.rng_seed_base()
+                                ^ 0xD157
+                                ^ (worker as u64)
+                                ^ ((epoch as u64) << 16),
                         );
                         let mut tid_gen = TidGenerator::new();
                         let mut attempts = 0u64;

@@ -80,6 +80,7 @@ impl PbOcc {
     /// Runs the engine for (at least) `duration`.
     pub fn run_for(&mut self, duration: Duration) -> RunReport {
         let workers = self.config.cluster.workers_per_node;
+        let base_seed = self.config.cluster.rng_seed_base();
         let sync = self.config.replication == ReplicationMode::Sync;
         let round_trip = self.config.round_trip();
         let epoch_interval = self.config.epoch_interval();
@@ -106,8 +107,9 @@ impl PbOcc {
                     let latency = Arc::clone(latency);
                     let partitions = workload.num_partitions();
                     scope.spawn(move || {
-                        let mut rng =
-                            StdRng::seed_from_u64(0x9B0C ^ (worker as u64) ^ epoch as u64);
+                        let mut rng = StdRng::seed_from_u64(
+                            base_seed ^ 0x9B0C ^ (worker as u64) ^ epoch as u64,
+                        );
                         let mut tid_gen = TidGenerator::new();
                         let mut attempts = 0u64;
                         let mut local_latency = LatencyHistogram::new();

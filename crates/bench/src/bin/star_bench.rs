@@ -1,0 +1,207 @@
+//! `star-bench` — the repo's benchmark-regression harness.
+//!
+//! Runs deterministic YCSB and TPC-C throughput/latency sweeps across all
+//! five engines and emits the canonical `BENCH_ycsb.json` / `BENCH_tpcc.json`
+//! trajectory files, plus the index-contention microbenchmark guarding the
+//! sharded storage hot path.
+//!
+//! ```bash
+//! cargo run --release -p star-bench --bin star-bench                 # full run
+//! cargo run --release -p star-bench --bin star-bench -- --quick     # CI smoke
+//! cargo run --release -p star-bench --bin star-bench -- --quick --seed 42
+//! cargo run --release -p star-bench --bin star-bench -- --quick --check
+//! cargo run --release -p star-bench --bin star-bench -- --contention-only
+//! ```
+//!
+//! `--check` compares the fresh sweep against the `BENCH_*.json` committed in
+//! `--out-dir` *before* overwriting them, and exits non-zero when any
+//! engine/workload/cross-partition point lost more throughput than
+//! `--max-regression` allows (default 25%).
+
+use star_bench::suite::{
+    check_against_baseline, contention_microbench, parse_baseline, BenchPoint, BenchSuite,
+};
+use star_bench::Scale;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    out_dir: PathBuf,
+    check: bool,
+    max_regression: f64,
+    contention_only: bool,
+    skip_contention: bool,
+    threads: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: star-bench [--quick] [--seed N] [--out-dir DIR] [--check] \
+         [--max-regression FRACTION] [--threads N] [--contention-only] [--skip-contention]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        scale: Scale::Full,
+        seed: 0,
+        out_dir: PathBuf::from("."),
+        check: false,
+        max_regression: 0.25,
+        contention_only: false,
+        skip_contention: false,
+        threads: 8,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.scale = Scale::Quick,
+            "--seed" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed requires an integer");
+                    usage();
+                };
+                options.seed = value;
+            }
+            "--out-dir" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--out-dir requires a path");
+                    usage();
+                };
+                options.out_dir = PathBuf::from(value);
+            }
+            "--check" => options.check = true,
+            "--max-regression" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--max-regression requires a fraction (e.g. 0.25)");
+                    usage();
+                };
+                if !(0.0..1.0).contains(&value) {
+                    eprintln!("--max-regression must be in [0, 1)");
+                    usage();
+                }
+                options.max_regression = value;
+            }
+            "--threads" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()).filter(|v| *v > 0)
+                else {
+                    eprintln!("--threads requires a positive integer");
+                    usage();
+                };
+                options.threads = value;
+            }
+            "--contention-only" => options.contention_only = true,
+            "--skip-contention" => options.skip_contention = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+fn run_contention(options: &Options) {
+    let window = match options.scale {
+        Scale::Quick => Duration::from_millis(200),
+        Scale::Full => Duration::from_millis(800),
+    };
+    println!(
+        "contention microbenchmark: {} threads, single partition, uniform keys",
+        options.threads
+    );
+    let report = contention_microbench(options.threads, window, options.seed);
+    println!("  pre-shard index : {:>12.0} ops/sec (1 lock, SipHash)", report.legacy_ops_per_sec);
+    println!(
+        "  sharded index   : {:>12.0} ops/sec ({} shards, fixed-key hash)",
+        report.sharded_ops_per_sec, report.shards
+    );
+    println!("  speedup         : {:.2}x", report.speedup);
+    let json = serde_json::to_string_pretty(&report).expect("contention report serializes");
+    let path = options.out_dir.join("BENCH_contention.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("  wrote {}", path.display());
+}
+
+/// Loads a committed baseline. Under `--check` a missing or unparseable
+/// baseline is a hard error: silently skipping would leave the CI gate
+/// green while checking nothing.
+fn load_baseline(path: &Path) -> Vec<BenchPoint> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!(
+            "--check requires a committed baseline, but {} cannot be read: {e}\n\
+             (regenerate with `make bench-baseline` and commit the result)",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("--check baseline {} is unparseable: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let options = parse_options();
+
+    if !options.contention_only && options.scale == Scale::Full {
+        println!("running at full scale; use --quick for a smoke-test run\n");
+    }
+
+    if !options.skip_contention {
+        run_contention(&options);
+        println!();
+    }
+    if options.contention_only {
+        return;
+    }
+
+    const WORKLOADS: [&str; 2] = ["ycsb", "tpcc"];
+
+    // Validate the committed baselines up front so a missing file fails
+    // before the sweeps burn minutes of measurement time.
+    let baselines: Vec<Option<Vec<BenchPoint>>> = WORKLOADS
+        .iter()
+        .map(|workload| {
+            options
+                .check
+                .then(|| load_baseline(&options.out_dir.join(format!("BENCH_{workload}.json"))))
+        })
+        .collect();
+
+    let mut suite = BenchSuite::new(options.scale, options.seed);
+    let mut failures = Vec::new();
+    for (workload, baseline) in WORKLOADS.into_iter().zip(baselines) {
+        let points = suite.sweep(workload);
+        let path = options.out_dir.join(format!("BENCH_{workload}.json"));
+        if let Some(baseline) = baseline {
+            failures.extend(check_against_baseline(&points, &baseline, options.max_regression));
+        }
+        std::fs::write(&path, BenchSuite::to_json(&points)).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("  wrote {} ({} points)\n", path.display(), points.len());
+    }
+
+    if !failures.is_empty() {
+        eprintln!("throughput regressions beyond {:.0}% detected:", options.max_regression * 100.0);
+        for regression in &failures {
+            eprintln!("  {regression}");
+        }
+        std::process::exit(1);
+    }
+    if options.check {
+        println!(
+            "regression check passed (max allowed drop {:.0}%)",
+            options.max_regression * 100.0
+        );
+    }
+}

@@ -10,6 +10,18 @@
 //! cargo run --release -p star-bench --bin figures -- --quick all
 //! ```
 //!
+//! The [`suite`](crate::suite) module is the repo's own benchmark-regression
+//! harness, driven by the `star-bench` binary: deterministic YCSB and TPC-C
+//! sweeps across all five engines emitting the canonical `BENCH_ycsb.json` /
+//! `BENCH_tpcc.json` trajectory files, a contention microbenchmark for the
+//! sharded storage index, and the baseline comparison CI's `bench-smoke` job
+//! gates on:
+//!
+//! ```bash
+//! cargo run --release -p star-bench --bin star-bench -- --quick --seed 42
+//! cargo run --release -p star-bench --bin star-bench -- --quick --check
+//! ```
+//!
 //! Criterion micro-benchmarks (`cargo bench -p star-bench`) cover the
 //! component costs behind those figures: the OCC commit path, replication
 //! encode/apply, the phase-switch fence and the workload generators.
@@ -17,5 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod suite;
 
 pub use figures::{FigureRunner, Scale};
+pub use suite::{BenchPoint, BenchSuite, ContentionReport};

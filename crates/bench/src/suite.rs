@@ -1,0 +1,596 @@
+//! The regression benchmark suite behind the `star-bench` binary.
+//!
+//! Where [`figures`](crate::figures) regenerates the *paper's* plots, this
+//! module produces the repo's own machine-readable performance trajectory:
+//! deterministic YCSB and TPC-C sweeps across all five engines, emitted as
+//! `BENCH_ycsb.json` / `BENCH_tpcc.json` at the repository root, plus the
+//! index-contention microbenchmark that guards the sharded storage hot path.
+//! CI's `bench-smoke` job re-runs the sweeps with `--quick` and fails the
+//! build when throughput regresses more than a configured fraction against
+//! the committed baselines.
+
+use crate::figures::{Point, Scale};
+use serde::Serialize;
+use star::prelude::*;
+use star::storage::{Partition, Record};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cross-partition percentages swept per workload. Deliberately a superset of
+/// the interesting region: 0% exercises the pure partitioned phase, 90% is
+/// dominated by the single-master phase.
+pub const SWEEP_CROSS_PCTS: [f64; 4] = [0.0, 10.0, 50.0, 90.0];
+
+/// One canonical benchmark data point, the record schema of `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPoint {
+    /// Engine label, matching [`EngineKind::label`] (e.g. `"Dist. OCC"`).
+    pub engine: String,
+    /// Workload name (`"ycsb"` or `"tpcc"`).
+    pub workload: String,
+    /// Percentage of cross-partition transactions in the mix.
+    pub cross_partition_pct: f64,
+    /// Committed transactions per second over the measurement window.
+    pub committed_txns_per_sec: f64,
+    /// 50th percentile commit latency in microseconds.
+    pub p50_commit_latency_us: u64,
+    /// 99th percentile commit latency in microseconds.
+    pub p99_commit_latency_us: u64,
+}
+
+impl BenchPoint {
+    fn from_point(point: &Point) -> Self {
+        BenchPoint {
+            engine: point.series.clone(),
+            workload: point.figure.clone(),
+            cross_partition_pct: point.x,
+            committed_txns_per_sec: point.throughput,
+            p50_commit_latency_us: point.p50_us.unwrap_or(0),
+            p99_commit_latency_us: point.p99_us.unwrap_or(0),
+        }
+    }
+}
+
+/// Runs the deterministic engine sweeps for one workload.
+pub struct BenchSuite {
+    scale: Scale,
+    seed: u64,
+    /// Raw figure-style points, kept so the suite composes with the existing
+    /// JSON/plotting machinery of the figure harness.
+    pub points: Vec<Point>,
+}
+
+impl BenchSuite {
+    /// Creates a suite at `scale`, mixing `seed` into every engine's
+    /// transaction stream.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        BenchSuite { scale, seed, points: Vec::new() }
+    }
+
+    fn window(&self) -> Duration {
+        match self.scale {
+            Scale::Quick => Duration::from_millis(150),
+            Scale::Full => Duration::from_millis(800),
+        }
+    }
+
+    fn cluster(&self, nodes: usize) -> ClusterConfig {
+        let mut config = ClusterConfig::with_nodes(nodes);
+        config.partitions = nodes * 2;
+        config.workers_per_node = 2;
+        config.iteration = Duration::from_millis(10);
+        config.network_latency = Duration::from_micros(50);
+        config.seed = self.seed;
+        config
+    }
+
+    fn ycsb(&self, partitions: usize, cross_pct: f64) -> Arc<YcsbWorkload> {
+        let rows = match self.scale {
+            Scale::Quick => 500,
+            Scale::Full => 5_000,
+        };
+        Arc::new(YcsbWorkload::new(YcsbConfig {
+            partitions,
+            rows_per_partition: rows,
+            cross_partition_fraction: cross_pct / 100.0,
+            ..Default::default()
+        }))
+    }
+
+    fn tpcc(&self, warehouses: usize, cross_pct: f64) -> Arc<TpccWorkload> {
+        let (districts, customers, items) = match self.scale {
+            Scale::Quick => (3, 20, 100),
+            Scale::Full => (10, 120, 1_000),
+        };
+        Arc::new(TpccWorkload::new(TpccConfig {
+            warehouses,
+            districts_per_warehouse: districts,
+            customers_per_district: customers,
+            items,
+            cross_partition_fraction: cross_pct / 100.0,
+            ..Default::default()
+        }))
+    }
+
+    fn record(&mut self, workload: &str, engine: EngineKind, pct: f64, report: &RunReport) {
+        println!(
+            "  [{workload}] {:<10} x={pct:>5.1}%  {:>12.0} txns/sec  p50={:?} p99={:?}",
+            engine.label(),
+            report.throughput,
+            report.latency.p50(),
+            report.latency.p99()
+        );
+        self.points.push(Point {
+            figure: workload.to_string(),
+            series: engine.label().to_string(),
+            x: pct,
+            throughput: report.throughput,
+            p50_us: Some(report.latency.p50().as_micros() as u64),
+            p99_us: Some(report.latency.p99().as_micros() as u64),
+            replication_bytes_per_txn: Some(
+                report.counters.replication_bytes as f64 / report.counters.committed.max(1) as f64,
+            ),
+        });
+    }
+
+    fn run_engine(&self, engine: EngineKind, workload: Arc<dyn Workload>) -> RunReport {
+        let nodes = 4;
+        let config = self.cluster(nodes);
+        let window = self.window();
+        match engine {
+            EngineKind::Star => {
+                let mut star = StarEngine::new(config, workload).expect("STAR construction failed");
+                star.run_for(window)
+            }
+            EngineKind::PbOcc => {
+                // PB. OCC runs one primary + one backup; it ignores the
+                // partition layout but keeps the partition count so the
+                // workload generates the same key space.
+                let mut pb_cluster = self.cluster(2);
+                pb_cluster.partitions = config.partitions;
+                let mut pb = PbOcc::new(BaselineConfig::new(pb_cluster), workload)
+                    .expect("PB. OCC construction failed");
+                pb.run_for(window)
+            }
+            EngineKind::DistOcc => {
+                let mut docc = DistOcc::new(BaselineConfig::new(config), workload)
+                    .expect("Dist. OCC construction failed");
+                docc.run_for(window)
+            }
+            EngineKind::DistS2pl => {
+                let mut s2pl = DistS2pl::new(BaselineConfig::new(config), workload)
+                    .expect("Dist. S2PL construction failed");
+                s2pl.run_for(window)
+            }
+            EngineKind::Calvin => {
+                let mut calvin =
+                    Calvin::new(BaselineConfig::new(config), CalvinConfig::default(), workload)
+                        .expect("Calvin construction failed");
+                calvin.run_for(window)
+            }
+        }
+    }
+
+    /// Sweeps one workload (`"ycsb"` or `"tpcc"`) across every engine and
+    /// cross-partition percentage; returns the canonical points produced by
+    /// this sweep.
+    pub fn sweep(&mut self, workload_name: &str) -> Vec<BenchPoint> {
+        let engines = [
+            EngineKind::Star,
+            EngineKind::PbOcc,
+            EngineKind::DistOcc,
+            EngineKind::DistS2pl,
+            EngineKind::Calvin,
+        ];
+        println!("{workload_name} sweep (seed {}):", self.seed);
+        let start = self.points.len();
+        for pct in SWEEP_CROSS_PCTS {
+            let partitions = self.cluster(4).partitions;
+            let workload: Arc<dyn Workload> = match workload_name {
+                "tpcc" => self.tpcc(partitions, pct),
+                _ => self.ycsb(partitions, pct),
+            };
+            for engine in engines {
+                let report = self.run_engine(engine, Arc::clone(&workload));
+                self.record(workload_name, engine, pct, &report);
+            }
+        }
+        self.points[start..].iter().map(BenchPoint::from_point).collect()
+    }
+
+    /// Serializes a sweep's points as the canonical `BENCH_*.json` document:
+    /// a top-level array of [`BenchPoint`] objects.
+    pub fn to_json(points: &[BenchPoint]) -> String {
+        serde_json::to_string_pretty(&points.to_vec())
+            .expect("serialising bench points cannot fail")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contention microbenchmark
+// ---------------------------------------------------------------------------
+
+/// The seed repository's pre-shard partition index: one `RwLock<HashMap>`
+/// with the standard SipHash hasher guarding every record of the partition.
+/// Kept verbatim (API and all) so the contention microbenchmark measures the
+/// new sharded index against exactly what it replaced.
+struct LegacyPartition {
+    records: parking_lot::RwLock<std::collections::HashMap<u64, Arc<Record>>>,
+}
+
+impl LegacyPartition {
+    fn new() -> Self {
+        LegacyPartition { records: parking_lot::RwLock::new(std::collections::HashMap::new()) }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<Record>> {
+        self.records.read().get(&key).cloned()
+    }
+
+    fn insert_if_absent(&self, key: u64, record: Record) -> (Arc<Record>, bool) {
+        let mut map = self.records.write();
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let rec = Arc::new(record);
+                e.insert(Arc::clone(&rec));
+                (rec, true)
+            }
+        }
+    }
+}
+
+/// Result of the index-contention microbenchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContentionReport {
+    /// Worker threads hammering the single partition.
+    pub threads: usize,
+    /// Keys in the uniform working set.
+    pub keyspace: u64,
+    /// Measurement window per index, in milliseconds.
+    pub window_ms: u64,
+    /// Operations per second against the pre-shard single-lock index.
+    pub legacy_ops_per_sec: f64,
+    /// Operations per second against the sharded index.
+    pub sharded_ops_per_sec: f64,
+    /// Shard count of the new index.
+    pub shards: usize,
+    /// `sharded_ops_per_sec / legacy_ops_per_sec`.
+    pub speedup: f64,
+}
+
+/// Deterministic per-thread key stream: an LCG (no `rand` dependency in the
+/// binary, and bit-for-bit identical across runs for a given seed).
+#[inline]
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state
+}
+
+fn hammer<I: Sync>(
+    index: &I,
+    threads: usize,
+    keyspace: u64,
+    window: Duration,
+    seed: u64,
+    get: impl Fn(&I, u64) + Sync,
+    insert: impl Fn(&I, u64) + Sync,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let mut total_ops = 0u64;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let stop = &stop;
+            let get = &get;
+            let insert = &insert;
+            handles.push(scope.spawn(move || {
+                let mut state = seed ^ ((t as u64 + 1) << 32) ^ 0xC0_7E57;
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        let draw = lcg_next(&mut state);
+                        let key = (draw >> 32) % keyspace;
+                        // 3:1 lookup:insert, the shape of the partitioned
+                        // phase (reads dominate, inserts go through the OCC
+                        // resolve path on mostly-present keys).
+                        if draw & 3 == 0 {
+                            insert(index, key);
+                        } else {
+                            get(index, key);
+                        }
+                        ops += 1;
+                    }
+                }
+                ops
+            }));
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            total_ops += handle.join().expect("contention worker panicked");
+        }
+    });
+    total_ops as f64 / started.elapsed().as_secs_f64()
+}
+
+fn hammer_legacy(
+    legacy: &LegacyPartition,
+    threads: usize,
+    keyspace: u64,
+    window: Duration,
+    seed: u64,
+) -> f64 {
+    hammer(
+        legacy,
+        threads,
+        keyspace,
+        window,
+        seed,
+        |i, k| {
+            let _ = i.get(k);
+        },
+        // The pre-shard OCC resolve path: probe under the read lock first,
+        // construct the placeholder record and take the write lock only on a
+        // miss (`resolve_write_records` before this PR).
+        |i, k| {
+            if i.get(k).is_none() {
+                let _ = i.insert_if_absent(k, Record::new(Row::empty()));
+            }
+        },
+    )
+}
+
+fn hammer_sharded(
+    sharded: &Partition,
+    threads: usize,
+    keyspace: u64,
+    window: Duration,
+    seed: u64,
+) -> f64 {
+    hammer(
+        sharded,
+        threads,
+        keyspace,
+        window,
+        seed,
+        |i, k| {
+            let _ = i.get(k);
+        },
+        // The sharded OCC resolve path (`resolve_write_records` today).
+        |i, k| {
+            let _ = i.get_or_insert_with(k, || Record::new(Row::empty()));
+        },
+    )
+}
+
+/// Runs the lookup+insert contention microbenchmark: `threads` workers over a
+/// single partition with uniform keys, first against the pre-shard
+/// single-lock index, then against the sharded index. Each side runs its own
+/// production insert path (probe-then-`insert_if_absent` for the old index,
+/// `get_or_insert_with` for the new one) so the comparison is the real
+/// before/after of the OCC resolve hot path, not an API strawman.
+pub fn contention_microbench(threads: usize, window: Duration, seed: u64) -> ContentionReport {
+    let keyspace: u64 = 1 << 16;
+
+    let legacy = LegacyPartition::new();
+    for key in 0..keyspace {
+        legacy.insert_if_absent(key, Record::new(Row::empty()));
+    }
+    let sharded = Partition::new();
+    for key in 0..keyspace {
+        sharded.get_or_insert_with(key, || Record::new(Row::empty()));
+    }
+
+    // Warm-up pass (shorter window) so page faults and lazy rehashing do not
+    // land inside either measured window.
+    let warmup = window / 8;
+    hammer_legacy(&legacy, threads, keyspace, warmup, seed);
+    hammer_sharded(&sharded, threads, keyspace, warmup, seed);
+
+    let legacy_ops_per_sec = hammer_legacy(&legacy, threads, keyspace, window, seed);
+    let sharded_ops_per_sec = hammer_sharded(&sharded, threads, keyspace, window, seed);
+
+    ContentionReport {
+        threads,
+        keyspace,
+        window_ms: window.as_millis() as u64,
+        legacy_ops_per_sec,
+        sharded_ops_per_sec,
+        shards: sharded.num_shards(),
+        speedup: sharded_ops_per_sec / legacy_ops_per_sec.max(1.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline regression checking
+// ---------------------------------------------------------------------------
+
+/// One throughput regression found by [`check_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Engine label of the regressed point.
+    pub engine: String,
+    /// Workload of the regressed point.
+    pub workload: String,
+    /// Cross-partition percentage of the regressed point.
+    pub cross_partition_pct: f64,
+    /// Throughput recorded in the committed baseline.
+    pub baseline: f64,
+    /// Throughput measured by this run.
+    pub current: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} @ {:.0}% cross-partition: {:.0} -> {:.0} txns/sec ({:+.1}%)",
+            self.workload,
+            self.engine,
+            self.cross_partition_pct,
+            self.baseline,
+            self.current,
+            100.0 * (self.current - self.baseline) / self.baseline.max(1.0),
+        )
+    }
+}
+
+fn field<'v>(
+    fields: &'v [(String, serde_json::Value)],
+    name: &str,
+) -> Option<&'v serde_json::Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn as_f64(value: &serde_json::Value) -> Option<f64> {
+    match value {
+        serde_json::Value::F64(v) => Some(*v),
+        serde_json::Value::U64(v) => Some(*v as f64),
+        serde_json::Value::I64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// Parses a committed `BENCH_*.json` document back into benchmark points.
+/// Unknown fields are ignored so the schema can grow compatibly.
+pub fn parse_baseline(json: &str) -> std::result::Result<Vec<BenchPoint>, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+    let serde_json::Value::Array(items) = value else {
+        return Err("baseline JSON must be a top-level array of points".into());
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let serde_json::Value::Object(fields) = item else {
+                return Err(format!("baseline point {i} is not an object"));
+            };
+            let engine = match field(fields, "engine") {
+                Some(serde_json::Value::String(s)) => s.clone(),
+                _ => return Err(format!("baseline point {i} is missing \"engine\"")),
+            };
+            let workload = match field(fields, "workload") {
+                Some(serde_json::Value::String(s)) => s.clone(),
+                _ => return Err(format!("baseline point {i} is missing \"workload\"")),
+            };
+            let cross = field(fields, "cross_partition_pct")
+                .and_then(as_f64)
+                .ok_or_else(|| format!("baseline point {i} is missing \"cross_partition_pct\""))?;
+            let throughput =
+                field(fields, "committed_txns_per_sec").and_then(as_f64).ok_or_else(|| {
+                    format!("baseline point {i} is missing \"committed_txns_per_sec\"")
+                })?;
+            let p50 = field(fields, "p50_commit_latency_us").and_then(as_f64).unwrap_or(0.0);
+            let p99 = field(fields, "p99_commit_latency_us").and_then(as_f64).unwrap_or(0.0);
+            Ok(BenchPoint {
+                engine,
+                workload,
+                cross_partition_pct: cross,
+                committed_txns_per_sec: throughput,
+                p50_commit_latency_us: p50 as u64,
+                p99_commit_latency_us: p99 as u64,
+            })
+        })
+        .collect()
+}
+
+/// Compares freshly measured points against a committed baseline: any point
+/// whose throughput dropped by more than `max_drop` (a fraction, e.g. `0.25`)
+/// is reported. Points present on only one side are ignored — adding a new
+/// engine or sweep coordinate must not fail the gate retroactively.
+pub fn check_against_baseline(
+    current: &[BenchPoint],
+    baseline: &[BenchPoint],
+    max_drop: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let matching = current.iter().find(|c| {
+            c.engine == b.engine
+                && c.workload == b.workload
+                && (c.cross_partition_pct - b.cross_partition_pct).abs() < f64::EPSILON
+        });
+        if let Some(c) = matching {
+            if c.committed_txns_per_sec < b.committed_txns_per_sec * (1.0 - max_drop) {
+                regressions.push(Regression {
+                    engine: b.engine.clone(),
+                    workload: b.workload.clone(),
+                    cross_partition_pct: b.cross_partition_pct,
+                    baseline: b.committed_txns_per_sec,
+                    current: c.committed_txns_per_sec,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(engine: &str, workload: &str, pct: f64, tput: f64) -> BenchPoint {
+        BenchPoint {
+            engine: engine.into(),
+            workload: workload.into(),
+            cross_partition_pct: pct,
+            committed_txns_per_sec: tput,
+            p50_commit_latency_us: 10,
+            p99_commit_latency_us: 99,
+        }
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_parse_baseline() {
+        let points = vec![point("STAR", "ycsb", 10.0, 125000.0), point("Calvin", "tpcc", 0.0, 7.5)];
+        let json = BenchSuite::to_json(&points);
+        assert!(json.contains("\"committed_txns_per_sec\""));
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].engine, "STAR");
+        assert_eq!(parsed[0].committed_txns_per_sec, 125000.0);
+        assert_eq!(parsed[1].workload, "tpcc");
+        assert_eq!(parsed[1].p99_commit_latency_us, 99);
+    }
+
+    #[test]
+    fn parse_baseline_rejects_malformed_documents() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("[{\"engine\": \"STAR\"}]").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_threshold() {
+        let baseline = vec![point("STAR", "ycsb", 10.0, 1000.0)];
+        // 20% drop with a 25% gate: fine.
+        let ok = vec![point("STAR", "ycsb", 10.0, 800.0)];
+        assert!(check_against_baseline(&ok, &baseline, 0.25).is_empty());
+        // 30% drop: regression.
+        let bad = vec![point("STAR", "ycsb", 10.0, 700.0)];
+        let regressions = check_against_baseline(&bad, &baseline, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].baseline, 1000.0);
+        assert!(regressions[0].to_string().contains("ycsb / STAR"));
+    }
+
+    #[test]
+    fn new_points_do_not_fail_the_gate() {
+        let baseline = vec![point("STAR", "ycsb", 10.0, 1000.0)];
+        let current = vec![point("STAR", "ycsb", 50.0, 1.0), point("STAR", "ycsb", 10.0, 990.0)];
+        assert!(check_against_baseline(&current, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn contention_microbench_reports_sane_numbers() {
+        let report = contention_microbench(2, Duration::from_millis(40), 7);
+        assert!(report.legacy_ops_per_sec > 0.0);
+        assert!(report.sharded_ops_per_sec > 0.0);
+        assert!(report.shards >= 1);
+        assert!(report.speedup > 0.0);
+    }
+}

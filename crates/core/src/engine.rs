@@ -105,16 +105,17 @@ impl StarEngine {
     /// every replica.
     pub fn new(config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
         let cluster = StarCluster::build(&config, workload.as_ref())?;
+        let base_seed = config.rng_seed_base();
         let partition_workers = (0..config.partitions)
             .map(|p| PartitionWorkerState {
                 tid_gen: TidGenerator::new(),
-                rng: StdRng::seed_from_u64(0x5747_u64 ^ (p as u64)),
+                rng: StdRng::seed_from_u64(base_seed ^ 0x5747_u64 ^ (p as u64)),
             })
             .collect();
         let master_workers = (0..config.workers_per_node)
             .map(|w| MasterWorkerState {
                 tid_gen: TidGenerator::new(),
-                rng: StdRng::seed_from_u64(0xCA11_u64 ^ (w as u64)),
+                rng: StdRng::seed_from_u64(base_seed ^ 0xCA11_u64 ^ (w as u64)),
             })
             .collect();
         let wal = if config.disk_logging {
@@ -372,7 +373,7 @@ impl StarEngine {
                         }
                         counters.add_commit();
                         committed += 1;
-                        if committed.is_multiple_of(LATENCY_SAMPLE) {
+                        if committed % LATENCY_SAMPLE == 0 {
                             samples.push(Instant::now());
                         }
                     }
@@ -505,7 +506,7 @@ impl StarEngine {
                         }
                         counters.add_commit();
                         committed += 1;
-                        if committed.is_multiple_of(LATENCY_SAMPLE) {
+                        if committed % LATENCY_SAMPLE == 0 {
                             samples.push(Instant::now());
                         }
                     }

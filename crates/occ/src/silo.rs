@@ -2,7 +2,7 @@
 //! phase, and the lock-free commit used in the partitioned phase.
 
 use crate::rwset::{max_read_tid, write_lock_order, ReadSet, WriteSet};
-use star_common::{AbortReason, Epoch, Error, Result, Tid, TidGenerator};
+use star_common::{AbortReason, Epoch, Error, Result, Row, Tid, TidGenerator};
 use star_storage::{Database, Record};
 use std::sync::Arc;
 
@@ -23,17 +23,9 @@ fn resolve_write_records(db: &Database, writes: &WriteSet) -> Result<Vec<Arc<Rec
         .map(|w| {
             if w.insert {
                 // Create the record if it does not exist yet; concurrent
-                // inserters race benignly through `insert_if_absent`.
-                if let Some(existing) = db.try_get(w.table, w.partition, w.key)? {
-                    Ok(existing)
-                } else {
-                    let table = db.table(w.table)?;
-                    let part =
-                        table.partition(w.partition).ok_or(Error::NoSuchPartition(w.partition))?;
-                    let (rec, _) =
-                        part.insert_if_absent(w.key, Record::new(star_common::Row::empty()));
-                    Ok(rec)
-                }
+                // inserters race benignly inside the index shard, and the
+                // placeholder record is only constructed on an actual miss.
+                db.get_or_insert_with(w.table, w.partition, w.key, || Record::new(Row::empty()))
             } else {
                 db.get(w.table, w.partition, w.key)
             }

@@ -26,9 +26,11 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Scans a replica and captures a checkpoint. The scan is fuzzy: it does
-    /// not block concurrent writers.
+    /// not block concurrent writers — the underlying walk visits one index
+    /// shard at a time, so even on a large partition writers only ever wait
+    /// for the single shard currently being copied.
     pub fn capture(db: &Database, epoch: Epoch) -> Self {
-        let mut entries = Vec::new();
+        let mut entries = Vec::with_capacity(db.len());
         db.for_each_record(|table, partition, key, rec| {
             let read = rec.read();
             entries.push(LogEntry {

@@ -169,6 +169,25 @@ impl Database {
         Ok(self.table(table)?.get(partition, key))
     }
 
+    /// Returns the record under `key`, creating it with `make` if absent.
+    ///
+    /// This is the hot path of OCC inserts: concurrent inserters of the same
+    /// key race benignly inside the shard and converge on one record, and a
+    /// key that already exists is resolved under a shard read lock without
+    /// ever running `make`.
+    pub fn get_or_insert_with(
+        &self,
+        table: TableId,
+        partition: PartitionId,
+        key: Key,
+        make: impl FnOnce() -> Record,
+    ) -> Result<Arc<Record>> {
+        self.check_partition(partition)?;
+        self.table(table)?
+            .get_or_insert_with(partition, key, make)
+            .ok_or(Error::NoSuchPartition(partition))
+    }
+
     /// Inserts a freshly loaded row (TID zero).
     pub fn insert(
         &self,
@@ -260,7 +279,10 @@ impl Database {
     }
 
     /// Runs `f` over every `(table, partition, key, record)` this replica
-    /// holds. Used by the checkpointer and by recovery data copy.
+    /// holds. Used by the checkpointer and by recovery data copy. The walk is
+    /// shard-wise: only one index shard's read lock is held at a time, so
+    /// concurrent writers to the rest of the replica are never blocked for
+    /// the duration of the scan.
     pub fn for_each_record(&self, mut f: impl FnMut(TableId, PartitionId, Key, &Arc<Record>)) {
         for (tid, table) in self.tables.iter().enumerate() {
             for p in 0..self.partitions {
@@ -274,11 +296,19 @@ impl Database {
         }
     }
 
-    /// Total number of records held by this replica.
+    /// Total number of records held by this replica. Computed from the
+    /// per-shard map sizes without visiting any record.
     pub fn len(&self) -> usize {
-        let mut n = 0;
-        self.for_each_record(|_, _, _, _| n += 1);
-        n
+        self.tables
+            .iter()
+            .map(|t| {
+                (0..self.partitions)
+                    .filter(|p| self.held[*p])
+                    .filter_map(|p| t.partition(p))
+                    .map(|part| part.len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Whether this replica holds no records.

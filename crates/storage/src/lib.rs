@@ -2,7 +2,10 @@
 //!
 //! Tables are collections of hash tables, as in the paper (Section 3): each
 //! table has one primary hash table per partition plus optional secondary
-//! indexes. Every record carries
+//! indexes. Partition indexes are lock-striped ([`table::Partition`]): point
+//! operations contend only per shard, and scans (checkpointer, recovery,
+//! epoch maintenance) walk one shard at a time instead of freezing a whole
+//! partition. Every record carries
 //!
 //! * an atomic *meta word* packing the TID of the last writer and a lock bit
 //!   (the Silo layout), used by the OCC protocol and by the Thomas write rule;
@@ -24,4 +27,4 @@ pub mod table;
 
 pub use database::{Database, DatabaseBuilder, TableSpec};
 pub use record::{ReadResult, Record, RecordMeta};
-pub use table::{Partition, SecondaryIndex, Table};
+pub use table::{FixedKeyHasher, FixedKeyState, Partition, SecondaryIndex, Table};

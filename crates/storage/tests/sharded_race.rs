@@ -1,0 +1,234 @@
+//! Race tests for the sharded partition index: concurrent `insert_if_absent`
+//! / `get` / `remove` traffic (deterministically seeded) must never lose a
+//! record, duplicate a record, or leave the index's views of itself
+//! (`len`, `keys`, `for_each`, `get`) disagreeing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use star_common::row::row;
+use star_common::FieldValue;
+use star_storage::{Partition, Record};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+
+fn value_row(v: u64) -> star_common::Row {
+    row([FieldValue::U64(v)])
+}
+
+/// Every key is targeted by every thread; exactly one `insert_if_absent` may
+/// win per key, and the record that all threads observe afterwards must be
+/// the winner's.
+#[test]
+fn concurrent_insert_if_absent_has_exactly_one_winner_per_key() {
+    let partition = Partition::new();
+    let keys: u64 = 2_000;
+    let winners: Vec<Vec<(u64, Arc<Record>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let partition = &partition;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xACE0 + t);
+                    let mut won = Vec::new();
+                    // Each thread visits the keys in its own random order so
+                    // the insert races are spread across the whole keyspace.
+                    let mut order: Vec<u64> = (0..keys).collect();
+                    for i in (1..order.len()).rev() {
+                        order.swap(i, rng.gen_range(0..=i));
+                    }
+                    for key in order {
+                        let (rec, inserted) =
+                            partition.insert_if_absent(key, Record::new(value_row(t)));
+                        if inserted {
+                            won.push((key, rec));
+                        }
+                    }
+                    won
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("inserter panicked")).collect()
+    });
+
+    let total_wins: usize = winners.iter().map(Vec::len).sum();
+    assert_eq!(total_wins, keys as usize, "every key must be inserted exactly once");
+    assert_eq!(partition.len(), keys as usize);
+
+    let mut seen = HashSet::new();
+    for (key, rec) in winners.iter().flatten() {
+        assert!(seen.insert(*key), "key {key} was inserted twice");
+        let stored = partition.get(*key).expect("winner's key vanished");
+        assert!(Arc::ptr_eq(&stored, rec), "stored record is not the winner's for key {key}");
+    }
+}
+
+/// All threads `get_or_insert_with` the same keys; for each key every thread
+/// must end up holding the same record instance.
+#[test]
+fn get_or_insert_with_converges_on_a_single_record() {
+    let partition = Partition::new();
+    let keys: u64 = 1_000;
+    let held: Vec<Vec<Arc<Record>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let partition = &partition;
+                scope.spawn(move || {
+                    (0..keys)
+                        .map(|key| partition.get_or_insert_with(key, || Record::new(value_row(t))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    assert_eq!(partition.len(), keys as usize);
+    for key in 0..keys as usize {
+        let reference = &held[0][key];
+        for thread_held in &held {
+            assert!(
+                Arc::ptr_eq(&thread_held[key], reference),
+                "threads disagree on the record for key {key}"
+            );
+        }
+    }
+}
+
+/// Threads own disjoint key ranges and insert, overwrite, then remove a
+/// deterministic subset; the final contents are exactly predictable, so a
+/// single lost or resurrected record fails the test.
+#[test]
+fn disjoint_insert_remove_traffic_loses_nothing() {
+    let partition = Partition::new();
+    let per_thread: u64 = 3_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let partition = &partition;
+            scope.spawn(move || {
+                let base = t * per_thread;
+                let mut rng = StdRng::seed_from_u64(0xD15C0 + t);
+                for key in base..base + per_thread {
+                    partition.insert(key, Record::new(value_row(key)));
+                    // Interleave some reads of foreign ranges to keep the
+                    // shard read path hot while other threads write.
+                    if rng.gen_bool(0.25) {
+                        let foreign = rng.gen_range(0..THREADS * per_thread);
+                        let _ = partition.get(foreign);
+                    }
+                }
+                // Remove every odd key of the owned range.
+                for key in (base..base + per_thread).filter(|k| k % 2 == 1) {
+                    assert!(partition.remove(key).is_some(), "own key {key} disappeared");
+                }
+            });
+        }
+    });
+
+    let expected: usize = (THREADS * per_thread / 2) as usize;
+    assert_eq!(partition.len(), expected, "even keys must all survive");
+    for t in 0..THREADS {
+        let base = t * per_thread;
+        for key in base..base + per_thread {
+            let stored = partition.get(key);
+            if key % 2 == 0 {
+                let rec = stored.unwrap_or_else(|| panic!("lost even key {key}"));
+                assert_eq!(rec.read().row, value_row(key));
+            } else {
+                assert!(stored.is_none(), "odd key {key} was resurrected");
+            }
+        }
+    }
+}
+
+/// Mixed random `insert_if_absent` / `get` / `remove` traffic over a shared
+/// keyspace. After the storm the index's views must agree with each other:
+/// `len()`, `keys()`, `for_each` and per-key `get` all describe the same set.
+#[test]
+fn random_mixed_traffic_leaves_index_views_consistent() {
+    let partition = Partition::new();
+    let keyspace: u64 = 4_096;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let partition = &partition;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5EED + t);
+                for _ in 0..20_000 {
+                    let key = rng.gen_range(0..keyspace);
+                    match rng.gen_range(0..10) {
+                        0..=4 => {
+                            let _ = partition.get(key);
+                        }
+                        5..=7 => {
+                            let _ = partition.insert_if_absent(key, Record::new(value_row(key)));
+                        }
+                        _ => {
+                            let _ = partition.remove(key);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let keys = partition.keys();
+    assert_eq!(partition.len(), keys.len(), "len() and keys() disagree");
+    let mut via_for_each = 0usize;
+    partition.for_each(|key, rec| {
+        via_for_each += 1;
+        assert_eq!(rec.read().row, value_row(key), "record for {key} holds a foreign row");
+    });
+    assert_eq!(via_for_each, keys.len(), "for_each and keys() disagree");
+    let mut unique = HashSet::new();
+    for key in &keys {
+        assert!(unique.insert(*key), "keys() reported {key} twice");
+        assert!(partition.get(*key).is_some(), "keys() reported {key} but get() misses it");
+    }
+}
+
+/// Readers hammer `get` while writers race `insert_if_absent` on the same
+/// keys: a reader must only ever observe the single winning record.
+#[test]
+fn readers_never_observe_a_losing_record() {
+    let partition = Arc::new(Partition::new());
+    let keys: u64 = 256;
+    let observed: Vec<Vec<Option<Arc<Record>>>> = std::thread::scope(|scope| {
+        let mut reader_handles = Vec::new();
+        for t in 0..4u64 {
+            let partition = Arc::clone(&partition);
+            reader_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF + t);
+                let mut seen: Vec<Option<Arc<Record>>> = vec![None; keys as usize];
+                for _ in 0..50_000 {
+                    let key = rng.gen_range(0..keys);
+                    if let Some(rec) = partition.get(key) {
+                        seen[key as usize] = Some(rec);
+                    }
+                }
+                seen
+            }));
+        }
+        for t in 0..4u64 {
+            let partition = Arc::clone(&partition);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xFEED + t);
+                for _ in 0..keys * 4 {
+                    let key = rng.gen_range(0..keys);
+                    let _ = partition.insert_if_absent(key, Record::new(value_row(key)));
+                }
+            });
+        }
+        reader_handles.into_iter().map(|h| h.join().expect("reader panicked")).collect()
+    });
+
+    for seen in observed {
+        for (key, rec) in seen.into_iter().enumerate() {
+            if let Some(rec) = rec {
+                let current = partition.get(key as u64).expect("inserted key vanished");
+                assert!(
+                    Arc::ptr_eq(&rec, &current),
+                    "reader observed a record for key {key} that lost the insert race"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+# Developer task runner (mirrored by the Makefile for environments without
+# `just`). `just bench` regenerates the committed BENCH_*.json baselines.
+
+# Default: list available recipes.
+default:
+    @just --list
+
+# Build the workspace in release mode.
+build:
+    cargo build --release
+
+# Run the full test suite.
+test:
+    cargo test -q
+
+# Format + clippy, exactly as CI runs them.
+lint:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Full-scale benchmark sweep for local exploration. Writes into target/bench
+# so it can never poison the committed quick-scale baselines (full and quick
+# runs use different data sizes and windows and are not comparable).
+bench seed="42":
+    mkdir -p target/bench
+    cargo run --release -p star-bench --bin star-bench -- --seed {{seed}} --out-dir target/bench
+
+# Refresh the committed BENCH_*.json baselines with the exact configuration
+# CI's bench-smoke job measures (--quick --seed 42). Run a few times and keep
+# the lowest numbers if the machine is noisy.
+bench-baseline seed="42":
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}}
+
+# The quick CI smoke variant, including the regression gate against the
+# committed baselines.
+bench-smoke seed="42":
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --check
+
+# Index-contention microbenchmark only (sharded vs pre-shard index).
+bench-contention:
+    cargo run --release -p star-bench --bin star-bench -- --contention-only
+
+# Regenerate the paper's figures (quick scale).
+figures:
+    cargo run --release -p star-bench --bin figures -- --quick all
+
+# Everything CI checks, locally.
+ci: lint build test bench-smoke

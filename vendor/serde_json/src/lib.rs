@@ -1,8 +1,11 @@
 //! Minimal offline stand-in for `serde_json`: serializes the mini-serde
 //! [`Value`] model to JSON text, matching upstream's formatting (compact and
-//! 2-space pretty printing, `{:?}`-style float rendering).
+//! 2-space pretty printing, `{:?}`-style float rendering), and parses JSON
+//! text back into [`Value`] trees (`from_str::<Value>`), which is what the
+//! benchmark-regression checker uses to read committed baselines.
 
-use serde::{Serialize, Value};
+use serde::Serialize;
+pub use serde::Value;
 use std::fmt;
 
 /// Serialization error. The mini data model is currently infallible (like
@@ -34,6 +37,214 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0)?;
     Ok(out)
+}
+
+/// Types this stub can deserialize. Upstream bounds `from_str` on
+/// `DeserializeOwned`; here only the self-describing [`Value`] tree is
+/// supported, which keeps `serde_json::from_str::<serde_json::Value>(..)`
+/// call sites source-compatible with the real crate.
+pub trait FromJson: Sized {
+    /// Builds `Self` from a parsed [`Value`].
+    fn from_json_value(value: Value) -> Result<Self>;
+}
+
+impl FromJson for Value {
+    fn from_json_value(value: Value) -> Result<Self> {
+        Ok(value)
+    }
+}
+
+/// Parses a JSON document.
+pub fn from_str<T: FromJson>(input: &str) -> Result<T> {
+    let mut parser = Parser { input, bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::from_json_value(value)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected '{}' at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error(format!("unexpected character at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            // Surrogate pairs are not needed for benchmark
+                            // baselines; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("invalid escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // `pos` is always on a char boundary here: it only ever
+                    // advances past full ASCII tokens or full scalars.
+                    let c = self.input[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error("unterminated string".into()))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("invalid number: {text}")))
+    }
 }
 
 fn write_indent(out: &mut String, indent: Option<usize>, level: usize) {
@@ -148,5 +359,43 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string(&"a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn parse_roundtrips_serialized_values() {
+        let v = Value::Object(vec![
+            ("engine".to_string(), Value::String("Dist. OCC".into())),
+            ("throughput".to_string(), Value::F64(12345.5)),
+            ("p50".to_string(), Value::U64(42)),
+            ("neg".to_string(), Value::I64(-7)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("missing".to_string(), Value::Null),
+            ("xs".to_string(), Value::Array(vec![Value::U64(1), Value::U64(2)])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let parsed: Value = from_str(&text).unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_whitespace() {
+        let parsed: Value = from_str(" { \"a\\n\\\"b\" : [ 1.5e3 , -2 ] } ").unwrap();
+        assert_eq!(
+            parsed,
+            Value::Object(vec![(
+                "a\n\"b".to_string(),
+                Value::Array(vec![Value::F64(1500.0), Value::I64(-2)])
+            )])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("true false").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
     }
 }
