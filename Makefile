@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint bench bench-baseline bench-smoke bench-contention figures ci
+.PHONY: build test lint bench bench-baseline bench-smoke bench-contention chaos chaos-smoke figures ci
 
 build:
 	cargo build --release
@@ -30,7 +30,16 @@ bench-smoke:
 bench-contention:
 	cargo run --release -p star-bench --bin star-bench -- --contention-only
 
+# Deterministic chaos sweep: 100 seeded fault-injection scenarios, each
+# checked for serializability against a sequential oracle. Reproduce a red
+# seed with `cargo run --release -p star-chaos --bin star-chaos -- --seed N`.
+chaos:
+	cargo run --release -p star-chaos --bin star-chaos -- --seeds 100
+
+chaos-smoke:
+	cargo run --release -p star-chaos --bin star-chaos -- --seeds 100 --fail-fast --json CHAOS_report.json
+
 figures:
 	cargo run --release -p star-bench --bin figures -- --quick all
 
-ci: lint build test bench-smoke
+ci: lint build test bench-smoke chaos-smoke

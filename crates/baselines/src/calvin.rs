@@ -23,8 +23,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{Epoch, Error, Result, TidGenerator};
+use star_core::history::{CommittedTxn, HistoryRecorder};
 use star_core::Workload;
 use star_occ::{Procedure, TxnCtx};
+use star_replication::ExecutionPhase;
 use star_storage::{Database, Record};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,6 +62,7 @@ pub struct Calvin {
     counters: Arc<RunCounters>,
     epoch: Epoch,
     sequence: u64,
+    history: Option<Arc<HistoryRecorder>>,
 }
 
 impl Calvin {
@@ -79,12 +82,20 @@ impl Calvin {
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
             sequence: 0,
+            history: None,
         })
     }
 
     /// The shared counters.
     pub fn counters(&self) -> &RunCounters {
         &self.counters
+    }
+
+    /// Attaches a committed-history recorder. Calvin releases a batch's
+    /// results when the whole batch finishes and never reverts one, so every
+    /// commit is recorded as final immediately.
+    pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        self.history = Some(recorder);
     }
 
     /// The engine label, e.g. `"Calvin-2"`.
@@ -126,6 +137,7 @@ impl Calvin {
         let round_trip = self.config.round_trip();
         let store = &self.store;
         let counters = &self.counters;
+        let history = &self.history;
 
         std::thread::scope(|scope| {
             let chunks: Vec<&[Box<dyn Procedure>]> =
@@ -135,6 +147,7 @@ impl Calvin {
                 let counters = Arc::clone(counters);
                 let committed = Arc::clone(&committed);
                 let queues = Arc::clone(&lock_manager_queues);
+                let history = history.clone();
                 scope.spawn(move || {
                     let mut tid_gen = TidGenerator::new();
                     for proc in chunk {
@@ -170,8 +183,19 @@ impl Calvin {
                             }
                         }
                         let (rs, ws) = ctx.into_sets();
+                        let recorded_reads = history.as_ref().map(|_| rs.clone());
                         match star_occ::commit_single_master(&store, rs, ws, epoch, &mut tid_gen) {
-                            Ok(_) => {
+                            Ok(output) => {
+                                if let Some(history) = &history {
+                                    history.record_final(CommittedTxn::from_sets(
+                                        epoch,
+                                        ExecutionPhase::SingleMaster,
+                                        worker as u64,
+                                        output.tid,
+                                        recorded_reads.as_deref().unwrap_or(&[]),
+                                        &output.write_set,
+                                    ));
+                                }
                                 counters.add_commit();
                                 committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             }

@@ -17,6 +17,7 @@ use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{
     AbortReason, Epoch, Error, Key, PartitionId, ReplicationMode, Result, TableId, TidGenerator,
 };
+use star_core::history::{CommittedTxn, HistoryRecorder};
 use star_core::Workload;
 use star_occ::{commit_single_master, DataSource, TxnCtx};
 use star_replication::{build_log_entries, ExecutionPhase, LogEntry};
@@ -111,6 +112,7 @@ pub struct PartitionedEngine {
     pending: Arc<Mutex<Vec<LogEntry>>>,
     counters: Arc<RunCounters>,
     epoch: Epoch,
+    history: Option<Arc<HistoryRecorder>>,
 }
 
 impl PartitionedEngine {
@@ -135,7 +137,15 @@ impl PartitionedEngine {
             pending: Arc::new(Mutex::new(Vec::new())),
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
+            history: None,
         })
+    }
+
+    /// Attaches a committed-history recorder. The partitioned baselines
+    /// never revert an epoch, so every commit is recorded as final
+    /// immediately.
+    pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        self.history = Some(recorder);
     }
 
     /// The sharded primary store.
@@ -189,6 +199,7 @@ impl PartitionedEngine {
             let config = &self.config;
             let cc = self.cc;
             let latency = &latency;
+            let history = &self.history;
             std::thread::scope(|scope| {
                 for worker in 0..total_workers {
                     let store = Arc::clone(store);
@@ -197,6 +208,7 @@ impl PartitionedEngine {
                     let counters = Arc::clone(counters);
                     let workload = Arc::clone(workload);
                     let latency = Arc::clone(latency);
+                    let history = history.clone();
                     let cluster = cluster.clone();
                     let home_node = worker % cluster.num_nodes;
                     scope.spawn(move || {
@@ -244,6 +256,7 @@ impl PartitionedEngine {
                                 }
                             }
                             let (rs, ws) = ctx.into_sets();
+                            let recorded_reads = history.as_ref().map(|_| rs.clone());
                             // Two-phase commit: one prepare and one commit
                             // round to every remote participant.
                             let participants: Vec<usize> = {
@@ -350,6 +363,19 @@ impl PartitionedEngine {
                                     continue;
                                 }
                             };
+                            if let Some(history) = &history {
+                                // Both protocols assign exactly one TID per
+                                // commit, so the generator's last TID is this
+                                // transaction's commit TID.
+                                history.record_final(CommittedTxn::from_sets(
+                                    epoch,
+                                    ExecutionPhase::SingleMaster,
+                                    worker as u64,
+                                    tid_gen.last(),
+                                    recorded_reads.as_deref().unwrap_or(&[]),
+                                    &write_set,
+                                ));
+                            }
                             if remote_participants > 0 {
                                 // 2PC: prepare + commit rounds.
                                 counters.add_coordination_bytes((remote_participants as u64) * 128);
@@ -426,6 +452,11 @@ impl DistOcc {
     pub fn counters(&self) -> &RunCounters {
         self.0.counters()
     }
+
+    /// Attaches a committed-history recorder.
+    pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        self.0.set_history_recorder(recorder);
+    }
 }
 
 /// Distributed strict 2PL (NO_WAIT) with two-phase commit.
@@ -445,6 +476,11 @@ impl DistS2pl {
     /// The shared counters.
     pub fn counters(&self) -> &RunCounters {
         self.0.counters()
+    }
+
+    /// Attaches a committed-history recorder.
+    pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        self.0.set_history_recorder(recorder);
     }
 }
 

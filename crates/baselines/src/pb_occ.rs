@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{Epoch, Error, ReplicationMode, Result, TidGenerator};
+use star_core::history::{CommittedTxn, HistoryRecorder};
 use star_core::Workload;
 use star_occ::{commit_single_master, TxnCtx};
 use star_replication::{build_log_entries, ExecutionPhase, LogEntry};
@@ -30,6 +31,7 @@ pub struct PbOcc {
     pending: Arc<Mutex<Vec<LogEntry>>>,
     counters: Arc<RunCounters>,
     epoch: Epoch,
+    history: Option<Arc<HistoryRecorder>>,
 }
 
 impl PbOcc {
@@ -47,7 +49,14 @@ impl PbOcc {
             pending: Arc::new(Mutex::new(Vec::new())),
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
+            history: None,
         })
+    }
+
+    /// Attaches a committed-history recorder. PB. OCC never reverts an
+    /// epoch, so every commit is recorded as final immediately.
+    pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        self.history = Some(recorder);
     }
 
     /// The primary replica (for inspection in tests).
@@ -97,6 +106,7 @@ impl PbOcc {
             let counters = &self.counters;
             let workload = &self.workload;
             let latency = &latency;
+            let history = &self.history;
             std::thread::scope(|scope| {
                 for worker in 0..workers {
                     let primary = Arc::clone(primary);
@@ -105,6 +115,7 @@ impl PbOcc {
                     let counters = Arc::clone(counters);
                     let workload = Arc::clone(workload);
                     let latency = Arc::clone(latency);
+                    let history = history.clone();
                     let partitions = workload.num_partitions();
                     scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(
@@ -131,6 +142,7 @@ impl PbOcc {
                                 }
                             }
                             let (rs, ws) = ctx.into_sets();
+                            let recorded_reads = history.as_ref().map(|_| rs.clone());
                             let output =
                                 match commit_single_master(&primary, rs, ws, epoch, &mut tid_gen) {
                                     Ok(output) => output,
@@ -139,6 +151,16 @@ impl PbOcc {
                                         continue;
                                     }
                                 };
+                            if let Some(history) = &history {
+                                history.record_final(CommittedTxn::from_sets(
+                                    epoch,
+                                    ExecutionPhase::SingleMaster,
+                                    worker as u64,
+                                    output.tid,
+                                    recorded_reads.as_deref().unwrap_or(&[]),
+                                    &output.write_set,
+                                ));
+                            }
                             let entries = build_log_entries(
                                 &output.write_set,
                                 output.tid,

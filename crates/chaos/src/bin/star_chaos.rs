@@ -1,0 +1,255 @@
+//! `star-chaos` — the deterministic chaos harness CLI.
+//!
+//! Sweeps seeded fault-injection scenarios over the STAR engine (and
+//! optionally checks the four baseline engines), validating every run's
+//! committed history against a sequential oracle.
+//!
+//! ```bash
+//! cargo run --release -p star-chaos --bin star-chaos                     # 100-seed sweep
+//! cargo run --release -p star-chaos --bin star-chaos -- --seeds 200
+//! cargo run --release -p star-chaos --bin star-chaos -- --seed 17       # reproduce one seed
+//! cargo run --release -p star-chaos --bin star-chaos -- --fail-fast --json CHAOS_report.json
+//! ```
+//!
+//! Determinism contract: identical seed ⇒ identical fault schedule,
+//! identical committed history (fingerprint) and identical checker verdict.
+//! The sweep verifies this by re-running its first seeds; a failing seed's
+//! report therefore reproduces the bug exactly with `--seed N`.
+
+use star_chaos::engines::check_baseline_engines;
+use star_chaos::{plan_for_seed, run_seed, ChaosOutcome};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Options {
+    seeds: u64,
+    single_seed: Option<u64>,
+    fail_fast: bool,
+    skip_engines: bool,
+    determinism_checks: u64,
+    json: Option<PathBuf>,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: star-chaos [--seeds N] [--seed K] [--fail-fast] [--skip-engines] \
+         [--determinism-checks N] [--json PATH] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        seeds: 100,
+        single_seed: None,
+        fail_fast: false,
+        skip_engines: false,
+        determinism_checks: 3,
+        json: None,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seeds requires an integer");
+                    usage();
+                };
+                options.seeds = value;
+            }
+            "--seed" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed requires an integer");
+                    usage();
+                };
+                options.single_seed = Some(value);
+            }
+            "--fail-fast" => options.fail_fast = true,
+            "--skip-engines" => options.skip_engines = true,
+            "--determinism-checks" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--determinism-checks requires an integer");
+                    usage();
+                };
+                options.determinism_checks = value;
+            }
+            "--json" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--json requires a path");
+                    usage();
+                };
+                options.json = Some(PathBuf::from(value));
+            }
+            "--verbose" => options.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn outcome_json(outcome: &ChaosOutcome) -> String {
+    let violations: Vec<String> =
+        outcome.violations.iter().map(|v| format!("\"{}\"", json_escape(v))).collect();
+    let cases: Vec<String> = outcome.cases_seen.iter().map(|c| format!("\"{c:?}\"")).collect();
+    format!(
+        "{{\"seed\":{},\"scenario\":\"{}\",\"committed\":{},\"fingerprint\":\"{:016x}\",\
+         \"cases_seen\":[{}],\"passed\":{},\"violations\":[{}],\"schedule\":\"{}\"}}",
+        outcome.seed,
+        json_escape(&outcome.label),
+        outcome.committed,
+        outcome.fingerprint,
+        cases.join(","),
+        outcome.passed(),
+        violations.join(","),
+        json_escape(&format!("{:?}", outcome.schedule)),
+    )
+}
+
+fn print_failure(outcome: &ChaosOutcome) {
+    eprintln!("\nseed {} FAILED ({}):", outcome.seed, outcome.label);
+    for violation in &outcome.violations {
+        eprintln!("  violation: {violation}");
+    }
+    eprintln!("  cases seen: {:?}", outcome.cases_seen);
+    eprintln!("  fingerprint: {:016x}", outcome.fingerprint);
+    eprintln!("  reproduce with: star-chaos --seed {}", outcome.seed);
+    eprintln!("  schedule: {:?}", outcome.schedule);
+}
+
+fn main() {
+    let options = parse_options();
+    let start = Instant::now();
+    let seeds: Vec<u64> = match options.single_seed {
+        Some(seed) => vec![seed],
+        None => (0..options.seeds).collect(),
+    };
+
+    let mut outcomes: Vec<ChaosOutcome> = Vec::new();
+    let mut failed = false;
+
+    // Determinism self-check: the first seeds run twice; schedule, history
+    // fingerprint and verdict must be identical.
+    let determinism_seeds: Vec<u64> =
+        seeds.iter().copied().take(options.determinism_checks as usize).collect();
+    for &seed in &determinism_seeds {
+        let first = run_seed(seed).expect("chaos run failed to start");
+        let second = run_seed(seed).expect("chaos run failed to start");
+        let plans_equal = plan_for_seed(seed).schedule == plan_for_seed(seed).schedule;
+        if first.fingerprint != second.fingerprint
+            || first.passed() != second.passed()
+            || !plans_equal
+        {
+            eprintln!(
+                "determinism violation at seed {seed}: fingerprints {:016x} vs {:016x}",
+                first.fingerprint, second.fingerprint
+            );
+            failed = true;
+        }
+    }
+    if !determinism_seeds.is_empty() && !failed {
+        println!("determinism check: {} seed(s) re-ran identically", determinism_seeds.len());
+    }
+
+    for &seed in &seeds {
+        let outcome = run_seed(seed).expect("chaos run failed to start");
+        if options.verbose || !outcome.passed() {
+            println!(
+                "seed {:>4} {:<40} committed {:>5}  cases {:?}  {}",
+                outcome.seed,
+                outcome.label,
+                outcome.committed,
+                outcome.cases_seen,
+                if outcome.passed() { "ok" } else { "FAILED" }
+            );
+        }
+        if !outcome.passed() {
+            print_failure(&outcome);
+            failed = true;
+        }
+        let stop = failed && options.fail_fast;
+        outcomes.push(outcome);
+        if stop {
+            break;
+        }
+    }
+
+    // Coverage summary.
+    let mut cases: Vec<String> = Vec::new();
+    for outcome in &outcomes {
+        for case in &outcome.cases_seen {
+            let name = format!("{case:?}");
+            if !cases.contains(&name) {
+                cases.push(name);
+            }
+        }
+    }
+    let total_committed: usize = outcomes.iter().map(|o| o.committed).sum();
+    println!(
+        "\nswept {} seed(s) in {:.1?}: {} committed txns checked, cases covered: {:?}",
+        outcomes.len(),
+        start.elapsed(),
+        total_committed,
+        cases
+    );
+    let all_four =
+        ["FullAndPartialRemain", "OnlyPartialRemains", "OnlyFullRemains", "NothingRemains"]
+            .iter()
+            .all(|c| cases.iter().any(|s| s == c));
+    if options.single_seed.is_none() && seeds.len() >= 4 && !all_four {
+        eprintln!("coverage violation: not every Figure-7 failure case was reached");
+        failed = true;
+    }
+
+    // Baseline engines under the same checker.
+    if !options.skip_engines {
+        match check_baseline_engines(42, Duration::from_millis(40)) {
+            Ok(results) => {
+                for (label, report) in results {
+                    match &report.violation {
+                        None => {
+                            println!("engine {:<12} {:>6} txns serializable", label, report.txns)
+                        }
+                        Some(violation) => {
+                            eprintln!("engine {label} FAILED: {violation}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("baseline engine check failed to start: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &options.json {
+        let body: Vec<String> = outcomes.iter().map(outcome_json).collect();
+        let json = format!(
+            "{{\"seeds\":{},\"failed\":{},\"outcomes\":[\n{}\n]}}\n",
+            outcomes.len(),
+            failed,
+            body.join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos sweep passed");
+}

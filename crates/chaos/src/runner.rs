@@ -1,0 +1,293 @@
+//! Seed → scenario → plan: the deterministic sweep driver.
+//!
+//! Every seed maps to exactly one [`ChaosPlan`]: the scenario family is
+//! `seed % 4` (so any four consecutive seeds cover all four Figure-7
+//! failure cases end-to-end) and every free parameter — crash iteration,
+//! victim node, recovery point, fault probabilities — is drawn from an RNG
+//! seeded by the seed itself. `star-chaos --seed N` therefore reproduces a
+//! run exactly: same schedule, same history, same checker verdict.
+//!
+//! Fault envelopes are chosen to respect what the protocol actually
+//! guarantees (see `crates/net/src/fault.rs`): delays and duplicates are
+//! injected freely; silent loss (drops, cut links) is confined to epochs
+//! that end in a failure detection, whose epoch revert discards every
+//! in-flight message; reordering is only enabled together with value
+//! replication, where the Thomas write rule makes application order
+//! irrelevant. The `driver` unit tests include the negative control — an
+//! *unsafe* loss schedule the checker must (and does) flag.
+
+use crate::driver::{run_plan, ChaosOutcome, ChaosPlan, WorkloadSpec};
+use crate::schedule::{FaultOp, FaultSchedule, InjectionPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use star_common::{ClusterConfig, ReplicationStrategy, Result};
+use star_core::FailureCase;
+use star_net::LinkFaults;
+use std::time::Duration;
+
+/// The four scenario families, one per Figure-7 failure case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Case 1: a partial replica crashes mid-partitioned-phase (with lossy
+    /// outgoing links while it dies), later recovers by catch-up.
+    PartialCrashMidPartitioned,
+    /// Case 2: the only full replica crashes mid-single-master-phase; the
+    /// cluster degrades to partitioned-only execution until it recovers.
+    MasterCrashMidSingleMaster,
+    /// Case 3: the sole partial holder of a partition crashes right at the
+    /// phase-switch fence; its partitions re-master onto the full replica.
+    /// Runs under value replication with reorder faults enabled.
+    CoverageLossAtFence,
+    /// Case 4: a checkpoint is captured, then every replica of a partition
+    /// (including the full replica) crashes; the run ends unavailable and
+    /// recovers from checkpoint + WAL.
+    TotalLossDuringCheckpoint,
+}
+
+impl ScenarioKind {
+    /// The scenario family for a seed (`seed % 4`).
+    pub fn for_seed(seed: u64) -> Self {
+        match seed % 4 {
+            0 => ScenarioKind::PartialCrashMidPartitioned,
+            1 => ScenarioKind::MasterCrashMidSingleMaster,
+            2 => ScenarioKind::CoverageLossAtFence,
+            _ => ScenarioKind::TotalLossDuringCheckpoint,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::PartialCrashMidPartitioned => "case1-partial-crash-mid-partitioned",
+            ScenarioKind::MasterCrashMidSingleMaster => "case2-master-crash-mid-single-master",
+            ScenarioKind::CoverageLossAtFence => "case3-coverage-loss-at-fence",
+            ScenarioKind::TotalLossDuringCheckpoint => "case4-total-loss-during-checkpoint",
+        }
+    }
+
+    /// The failure case this scenario is built to reach.
+    pub fn expected_case(self) -> FailureCase {
+        match self {
+            ScenarioKind::PartialCrashMidPartitioned => FailureCase::FullAndPartialRemain,
+            ScenarioKind::MasterCrashMidSingleMaster => FailureCase::OnlyPartialRemains,
+            ScenarioKind::CoverageLossAtFence => FailureCase::OnlyFullRemains,
+            ScenarioKind::TotalLossDuringCheckpoint => FailureCase::NothingRemains,
+        }
+    }
+}
+
+/// Builds the deterministic plan for one seed.
+///
+/// Cluster shape: 4 nodes, 1 full replica (node 0), 4 partitions, one
+/// worker per node. With this layout the partial holders are
+/// `p0:{1} p1:{1,2} p2:{2,3} p3:{1,3}`, so node 1 is the sole partial
+/// holder of partition 0 (its loss is Case 3) while nodes 2 and 3 are
+/// redundant (their loss is Case 1).
+pub fn plan_for_seed(seed: u64) -> ChaosPlan {
+    let kind = ScenarioKind::for_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A0_5EED);
+
+    let mut config = ClusterConfig {
+        num_nodes: 4,
+        full_replicas: 1,
+        workers_per_node: 1,
+        partitions: 4,
+        iteration: Duration::from_millis(5),
+        network_latency: Duration::from_micros(20),
+        seed,
+        ..ClusterConfig::default()
+    };
+    let iterations = 6;
+    let mut schedule = FaultSchedule::new();
+
+    // Benign background faults, always protocol-safe: delivery delays and
+    // duplicates (replica application is TID-gated, so replays are no-ops).
+    let benign = LinkFaults {
+        delay_probability: 0.2 + rng.gen::<f64>() * 0.3,
+        extra_delay: Duration::from_micros(rng.gen_range(10..80)),
+        duplicate_probability: 0.1 + rng.gen::<f64>() * 0.2,
+        ..LinkFaults::none()
+    };
+    schedule.push(0, InjectionPoint::PartitionedStart, FaultOp::SetDefaultFaults(benign));
+
+    let mut workload = WorkloadSpec::Kv { rows_per_partition: 16 };
+    let mut expect_disk_recovery = false;
+
+    match kind {
+        ScenarioKind::PartialCrashMidPartitioned => {
+            let crash_iter = rng.gen_range(1..3);
+            let victim = if rng.gen::<bool>() { 2 } else { 3 };
+            let recover_iter = rng.gen_range(crash_iter + 1..iterations - 1);
+            // The dying node's outgoing replication is lossy during the
+            // epoch its crash dooms — the fence detecting the crash reverts
+            // that epoch, forgiving the loss.
+            schedule.push(
+                crash_iter,
+                InjectionPoint::PartitionedStart,
+                FaultOp::SetLinkFaults(victim, 0, LinkFaults::dropping(0.5)),
+            );
+            schedule.push(crash_iter, InjectionPoint::MidPartitioned, FaultOp::Crash(victim));
+            schedule.push(
+                crash_iter,
+                InjectionPoint::BeforeFirstFence,
+                FaultOp::SetLinkFaults(victim, 0, LinkFaults::none()),
+            );
+            schedule.push(recover_iter, InjectionPoint::IterationEnd, FaultOp::Recover(victim));
+        }
+        ScenarioKind::MasterCrashMidSingleMaster => {
+            let crash_iter = rng.gen_range(1..3);
+            let recover_iter = rng.gen_range(crash_iter + 1..iterations - 1);
+            // The master's outgoing links go lossy in the epoch its crash
+            // dooms, then it crashes mid-single-master-phase.
+            let lossy_target = rng.gen_range(1..4);
+            schedule.push(
+                crash_iter,
+                InjectionPoint::SingleMasterStart,
+                FaultOp::SetLinkFaults(0, lossy_target, LinkFaults::dropping(0.6)),
+            );
+            schedule.push(crash_iter, InjectionPoint::MidSingleMaster, FaultOp::Crash(0));
+            schedule.push(
+                crash_iter,
+                InjectionPoint::BeforeSecondFence,
+                FaultOp::SetLinkFaults(0, lossy_target, LinkFaults::none()),
+            );
+            schedule.push(recover_iter, InjectionPoint::IterationEnd, FaultOp::Recover(0));
+        }
+        ScenarioKind::CoverageLossAtFence => {
+            // Value replication tolerates reordering (Thomas write rule), so
+            // this family also shakes message order; half the seeds drive
+            // YCSB instead of the KV workload.
+            config.replication_strategy = ReplicationStrategy::Value;
+            let reorder = LinkFaults { reorder_probability: 0.2, ..benign };
+            schedule.push(0, InjectionPoint::PartitionedStart, FaultOp::SetDefaultFaults(reorder));
+            if rng.gen::<bool>() {
+                workload = WorkloadSpec::Ycsb { rows_per_partition: 24 };
+            }
+            let crash_iter = rng.gen_range(1..3);
+            let recover_iter = rng.gen_range(crash_iter + 1..iterations - 1);
+            // Node 1 is the sole partial holder of partition 0: its loss
+            // breaks partial coverage and re-masters onto the full replica.
+            schedule.push(crash_iter, InjectionPoint::BeforeFirstFence, FaultOp::Crash(1));
+            schedule.push(recover_iter, InjectionPoint::IterationEnd, FaultOp::Recover(1));
+        }
+        ScenarioKind::TotalLossDuringCheckpoint => {
+            config.disk_logging = true;
+            expect_disk_recovery = true;
+            let crash_iter = rng.gen_range(2..4);
+            // Checkpoint at the start of the doomed iteration, crash the
+            // full replica and the sole partial holder of partition 0 while
+            // the checkpointed epoch's successor is in flight.
+            schedule.push(crash_iter, InjectionPoint::PartitionedStart, FaultOp::Checkpoint);
+            schedule.push(crash_iter, InjectionPoint::MidPartitioned, FaultOp::Crash(0));
+            schedule.push(crash_iter, InjectionPoint::MidPartitioned, FaultOp::Crash(1));
+        }
+    }
+
+    ChaosPlan {
+        seed,
+        label: kind.label().to_string(),
+        config,
+        workload,
+        iterations,
+        partitioned_txns: 24,
+        single_master_txns: 32,
+        schedule,
+        expect_disk_recovery,
+    }
+}
+
+/// Runs the plan for one seed.
+pub fn run_seed(seed: u64) -> Result<ChaosOutcome> {
+    run_plan(&plan_for_seed(seed))
+}
+
+/// Result of a seed sweep.
+#[derive(Debug, Default)]
+pub struct SweepSummary {
+    /// Every outcome, in seed order (stops early under fail-fast).
+    pub outcomes: Vec<ChaosOutcome>,
+}
+
+impl SweepSummary {
+    /// The distinct failure cases observed across the sweep.
+    pub fn cases_covered(&self) -> Vec<FailureCase> {
+        let mut cases = Vec::new();
+        for outcome in &self.outcomes {
+            for case in &outcome.cases_seen {
+                if !cases.contains(case) {
+                    cases.push(*case);
+                }
+            }
+        }
+        cases
+    }
+
+    /// The outcomes that found a violation.
+    pub fn failures(&self) -> Vec<&ChaosOutcome> {
+        self.outcomes.iter().filter(|o| !o.passed()).collect()
+    }
+
+    /// Whether every Figure-7 case beyond `NoFailure` was reached.
+    pub fn covers_all_failure_cases(&self) -> bool {
+        let cases = self.cases_covered();
+        [
+            FailureCase::FullAndPartialRemain,
+            FailureCase::OnlyPartialRemains,
+            FailureCase::OnlyFullRemains,
+            FailureCase::NothingRemains,
+        ]
+        .iter()
+        .all(|c| cases.contains(c))
+    }
+}
+
+/// Sweeps `seeds`, optionally stopping at the first failure.
+pub fn sweep(seeds: impl IntoIterator<Item = u64>, fail_fast: bool) -> Result<SweepSummary> {
+    let mut summary = SweepSummary::default();
+    for seed in seeds {
+        let outcome = run_seed(seed)?;
+        let failed = !outcome.passed();
+        summary.outcomes.push(outcome);
+        if failed && fail_fast {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..8 {
+            let a = plan_for_seed(seed);
+            let b = plan_for_seed(seed);
+            assert_eq!(a.schedule, b.schedule, "seed {seed}");
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.config.seed, seed);
+        }
+        assert_ne!(plan_for_seed(0).schedule, plan_for_seed(4).schedule, "rng params differ");
+    }
+
+    #[test]
+    fn scenario_families_round_robin() {
+        assert_eq!(ScenarioKind::for_seed(0), ScenarioKind::PartialCrashMidPartitioned);
+        assert_eq!(ScenarioKind::for_seed(1), ScenarioKind::MasterCrashMidSingleMaster);
+        assert_eq!(ScenarioKind::for_seed(2), ScenarioKind::CoverageLossAtFence);
+        assert_eq!(ScenarioKind::for_seed(3), ScenarioKind::TotalLossDuringCheckpoint);
+        assert_eq!(ScenarioKind::for_seed(7), ScenarioKind::TotalLossDuringCheckpoint);
+    }
+
+    #[test]
+    fn schedules_fit_inside_the_planned_iterations() {
+        for seed in 0..16 {
+            let plan = plan_for_seed(seed);
+            assert!(
+                plan.schedule.iterations_required() <= plan.iterations,
+                "seed {seed}: schedule runs past the planned iterations"
+            );
+        }
+    }
+}

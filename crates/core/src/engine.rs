@@ -24,6 +24,7 @@
 
 use crate::cluster::StarCluster;
 use crate::failure::FailureCase;
+use crate::history::{CommittedTxn, HistoryRecorder, MASTER_EXECUTOR_OFFSET};
 use crate::messages::ReplicationBatch;
 use crate::phase::PhasePlan;
 use crate::workload::Workload;
@@ -32,13 +33,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{
-    ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, Result, TidGenerator,
+    ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, ReplicationStrategy, Result,
+    Tid, TidGenerator,
 };
-use star_net::Message as _;
-use star_occ::{commit_partitioned, commit_single_master, TxnCtx};
+use star_net::{Endpoint, Message as _};
+use star_occ::{commit_partitioned, commit_single_master, TxnCtx, WriteEntry};
 use star_replication::{build_log_entries, ExecutionPhase, LogEntry, Payload, WalWriter};
+use star_storage::Database;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Distinguishes the WAL directories of engines built inside the same
+/// process (tests and the chaos harness construct many engines in parallel;
+/// sharing one directory would interleave their logs).
+static WAL_INSTANCE: AtomicU64 = AtomicU64::new(0);
 
 /// Re-export of the replication mode used to configure synchronous vs
 /// asynchronous replication in the single-master phase (`SYNC STAR` vs
@@ -71,6 +81,176 @@ struct PhaseResult {
     samples: Vec<Instant>,
 }
 
+/// Logs a committed write set to a worker's WAL, as full rows (Section 5).
+fn append_writes_to_wal(
+    wal: &Mutex<WalWriter>,
+    write_set: &[WriteEntry],
+    tid: Tid,
+    counters: &RunCounters,
+) {
+    let mut wal = wal.lock();
+    for w in write_set {
+        let entry = LogEntry {
+            table: w.table,
+            partition: w.partition,
+            key: w.key,
+            tid,
+            payload: Payload::Value(w.row.clone()),
+        };
+        let _ = wal.append_value(&entry);
+        counters.add_wal_bytes(entry.wire_size() as u64);
+    }
+}
+
+/// Executes one single-partition transaction on `partition`'s effective
+/// primary: generate → execute → lock-free commit → record → replicate to
+/// `targets` → WAL. Shared by the threaded and stepped partitioned phases so
+/// the two cannot drift. Returns `true` if the transaction committed.
+#[allow(clippy::too_many_arguments)]
+fn run_one_partitioned_txn(
+    partition: PartitionId,
+    primary: NodeId,
+    targets: &[NodeId],
+    db: &Database,
+    endpoint: &Endpoint<ReplicationBatch>,
+    workload: &dyn Workload,
+    counters: &RunCounters,
+    wal: Option<&Mutex<WalWriter>>,
+    history: Option<&HistoryRecorder>,
+    epoch: Epoch,
+    strategy: ReplicationStrategy,
+    state: &mut PartitionWorkerState,
+) -> bool {
+    let proc = workload.single_partition_transaction(&mut state.rng, partition);
+    let mut ctx = TxnCtx::new_single_threaded(db);
+    match proc.execute(&mut ctx) {
+        Ok(()) => {}
+        Err(Error::Abort(star_common::AbortReason::User)) => {
+            counters.add_user_abort();
+            return false;
+        }
+        Err(_) => {
+            counters.add_abort();
+            return false;
+        }
+    }
+    let (read_set, write_set) = ctx.into_sets();
+    let recorded_reads = history.map(|_| read_set.clone());
+    let Ok(output) = commit_partitioned(db, read_set, write_set, epoch, &mut state.tid_gen) else {
+        counters.add_abort();
+        return false;
+    };
+    if let Some(history) = history {
+        history.record(CommittedTxn::from_sets(
+            epoch,
+            ExecutionPhase::Partitioned,
+            partition as u64,
+            output.tid,
+            recorded_reads.as_deref().unwrap_or(&[]),
+            &output.write_set,
+        ));
+    }
+    let entries =
+        build_log_entries(&output.write_set, output.tid, strategy, ExecutionPhase::Partitioned);
+    if !entries.is_empty() {
+        let batch = ReplicationBatch { from_node: primary, epoch, entries };
+        for &target in targets {
+            counters.add_replication_bytes(batch.wire_size() as u64);
+            let _ = endpoint.send(target, batch.clone());
+        }
+    }
+    if let Some(wal) = wal {
+        append_writes_to_wal(wal, &output.write_set, output.tid, counters);
+    }
+    counters.add_commit();
+    true
+}
+
+/// Executes one cross-partition transaction on the master under Silo OCC:
+/// generate → execute → validate/commit → record → replicate the relevant
+/// entries to every healthy node → (optionally) wait out synchronous
+/// replication → WAL. Shared by the threaded and stepped single-master
+/// phases so the two cannot drift. Returns `true` on commit.
+#[allow(clippy::too_many_arguments)]
+fn run_one_master_txn(
+    worker_id: usize,
+    master: NodeId,
+    healthy: &[NodeId],
+    config: &ClusterConfig,
+    db: &Database,
+    endpoint: &Endpoint<ReplicationBatch>,
+    workload: &dyn Workload,
+    counters: &RunCounters,
+    wal: Option<&Mutex<WalWriter>>,
+    history: Option<&HistoryRecorder>,
+    epoch: Epoch,
+    state: &mut MasterWorkerState,
+) -> bool {
+    use rand::Rng;
+    let home = (state.rng.gen::<usize>() ^ worker_id) % config.partitions;
+    let proc = workload.cross_partition_transaction(&mut state.rng, home);
+    let mut ctx = TxnCtx::new(db);
+    match proc.execute(&mut ctx) {
+        Ok(()) => {}
+        Err(Error::Abort(star_common::AbortReason::User)) => {
+            counters.add_user_abort();
+            return false;
+        }
+        Err(_) => {
+            counters.add_abort();
+            return false;
+        }
+    }
+    let (read_set, write_set) = ctx.into_sets();
+    let recorded_reads = history.map(|_| read_set.clone());
+    let output = match commit_single_master(db, read_set, write_set, epoch, &mut state.tid_gen) {
+        Ok(output) => output,
+        Err(_) => {
+            counters.add_abort();
+            return false;
+        }
+    };
+    if let Some(history) = history {
+        history.record(CommittedTxn::from_sets(
+            epoch,
+            ExecutionPhase::SingleMaster,
+            MASTER_EXECUTOR_OFFSET + worker_id as u64,
+            output.tid,
+            recorded_reads.as_deref().unwrap_or(&[]),
+            &output.write_set,
+        ));
+    }
+    let entries = build_log_entries(
+        &output.write_set,
+        output.tid,
+        config.replication_strategy,
+        ExecutionPhase::SingleMaster,
+    );
+    for &target in healthy {
+        let relevant: Vec<LogEntry> = entries
+            .iter()
+            .filter(|e| config.node_stores_partition(target, e.partition))
+            .cloned()
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        let batch = ReplicationBatch { from_node: master, epoch, entries: relevant };
+        counters.add_replication_bytes(batch.wire_size() as u64);
+        let _ = endpoint.send(target, batch);
+    }
+    if config.replication_mode == ReplicationMode::Sync && !healthy.is_empty() {
+        // Synchronous replication: the write locks are held for a round trip
+        // to the replicas before the transaction can release them.
+        std::thread::sleep(config.network_latency * 2);
+    }
+    if let Some(wal) = wal {
+        append_writes_to_wal(wal, &output.write_set, output.tid, counters);
+    }
+    counters.add_commit();
+    true
+}
+
 /// The STAR engine.
 pub struct StarEngine {
     cluster: StarCluster,
@@ -88,6 +268,12 @@ pub struct StarEngine {
     /// recovers.
     failed_at_committed_epoch: Vec<Option<Epoch>>,
     wal: Option<Vec<Arc<Mutex<WalWriter>>>>,
+    /// Directory holding the per-node WAL files when disk logging is on.
+    wal_dir: Option<PathBuf>,
+    /// Optional committed-history recorder (chaos harness).
+    history: Option<Arc<HistoryRecorder>>,
+    /// Epochs that were discarded by an epoch revert, in detection order.
+    reverted_epochs: Vec<Epoch>,
 }
 
 impl std::fmt::Debug for StarEngine {
@@ -97,6 +283,18 @@ impl std::fmt::Debug for StarEngine {
             .field("nodes", &self.cluster.nodes().len())
             .field("failed", &self.failed)
             .finish()
+    }
+}
+
+impl Drop for StarEngine {
+    fn drop(&mut self) {
+        // The per-engine WAL directory models this cluster's disks; once the
+        // engine is gone nothing can read it back (wal_paths() borrows the
+        // engine), so remove it rather than leaking one directory per engine
+        // into the temp dir — chaos sweeps construct hundreds of engines.
+        if let Some(dir) = &self.wal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }
 
@@ -118,8 +316,12 @@ impl StarEngine {
                 rng: StdRng::seed_from_u64(base_seed ^ 0xCA11_u64 ^ (w as u64)),
             })
             .collect();
-        let wal = if config.disk_logging {
-            let dir = std::env::temp_dir().join(format!("star-wal-{}", std::process::id()));
+        let (wal, wal_dir) = if config.disk_logging {
+            let dir = std::env::temp_dir().join(format!(
+                "star-wal-{}-{}",
+                std::process::id(),
+                WAL_INSTANCE.fetch_add(1, Ordering::Relaxed)
+            ));
             std::fs::create_dir_all(&dir)
                 .map_err(|e| Error::Durability(format!("cannot create WAL dir: {e}")))?;
             let writers = (0..config.num_nodes)
@@ -128,9 +330,9 @@ impl StarEngine {
                     WalWriter::open(path).map(|w| Arc::new(Mutex::new(w)))
                 })
                 .collect::<Result<Vec<_>>>()?;
-            Some(writers)
+            (Some(writers), Some(dir))
         } else {
-            None
+            (None, None)
         };
         let plan = PhasePlan::new(workload.mix().cross_partition_fraction);
         let failed = vec![false; config.num_nodes];
@@ -148,6 +350,9 @@ impl StarEngine {
             failed,
             failed_at_committed_epoch,
             wal,
+            wal_dir,
+            history: None,
+            reverted_epochs: Vec::new(),
         })
     }
 
@@ -166,9 +371,57 @@ impl StarEngine {
         &self.counters
     }
 
+    /// The last epoch that was closed by a replication fence (the newest
+    /// epoch whose transactions have been released to clients).
+    pub fn last_committed_epoch(&self) -> Epoch {
+        self.last_committed_epoch
+    }
+
+    /// Attaches a committed-history recorder. Every subsequently committed
+    /// transaction is recorded (with its observed read versions and installed
+    /// rows) and finalized or discarded at the fence closing its epoch.
+    pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        self.history = Some(recorder);
+    }
+
+    /// The attached history recorder, if any.
+    pub fn history_recorder(&self) -> Option<&Arc<HistoryRecorder>> {
+        self.history.as_ref()
+    }
+
+    /// Epochs that were discarded by an epoch revert (failure detection at a
+    /// fence), in detection order. Disk recovery uses this to skip WAL
+    /// entries from epochs that never group-committed.
+    pub fn reverted_epochs(&self) -> &[Epoch] {
+        &self.reverted_epochs
+    }
+
+    /// The directory holding this engine's per-node WAL files, when disk
+    /// logging is enabled.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.wal_dir.as_deref()
+    }
+
+    /// The per-node WAL file paths (index = node id), when disk logging is
+    /// enabled.
+    pub fn wal_paths(&self) -> Vec<PathBuf> {
+        match &self.wal_dir {
+            Some(dir) => (0..self.cluster.config().num_nodes)
+                .map(|n| dir.join(format!("node-{n}.wal")))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// The current failure classification of the cluster.
-    pub fn failure_case(&self) -> FailureCase {
+    ///
+    /// The engine maintains one failure flag per configured node, so the
+    /// classification itself cannot fail; the `Result` propagates the typed
+    /// [`crate::failure::FailureVectorMismatch`] contract of
+    /// [`FailureCase::classify`] instead of panicking on it.
+    pub fn failure_case(&self) -> Result<FailureCase> {
         FailureCase::classify(self.cluster.config(), &self.failed)
+            .map_err(|e| Error::Config(e.to_string()))
     }
 
     /// Marks a node as failed in the simulated network. The failure is
@@ -239,7 +492,8 @@ impl StarEngine {
         let iteration = self.cluster.config().iteration;
         let (tau_p, tau_s) = self.plan.split(iteration);
 
-        let partitioned = if !tau_p.is_zero() && self.failure_case().available() {
+        let available = self.failure_case().map(|c| c.available()).unwrap_or(false);
+        let partitioned = if !tau_p.is_zero() && available {
             Some(self.run_partitioned_phase(tau_p))
         } else {
             None
@@ -298,6 +552,7 @@ impl StarEngine {
         let workload = &self.workload;
         let counters = &self.counters;
         let wal = &self.wal;
+        let history = &self.history;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -311,6 +566,7 @@ impl StarEngine {
                 let workload = Arc::clone(workload);
                 let counters = Arc::clone(counters);
                 let wal = wal.as_ref().map(|w| Arc::clone(&w[primary]));
+                let history = history.clone();
                 handles.push(scope.spawn(move || {
                     let mut committed = 0u64;
                     let mut attempts = 0u64;
@@ -320,61 +576,24 @@ impl StarEngine {
                     // entire (very short) phase.
                     while attempts == 0 || Instant::now() < deadline {
                         attempts += 1;
-                        let proc = workload.single_partition_transaction(&mut state.rng, partition);
-                        let mut ctx = TxnCtx::new_single_threaded(db.as_ref());
-                        match proc.execute(&mut ctx) {
-                            Ok(()) => {}
-                            Err(Error::Abort(star_common::AbortReason::User)) => {
-                                counters.add_user_abort();
-                                continue;
-                            }
-                            Err(_) => {
-                                counters.add_abort();
-                                continue;
-                            }
-                        }
-                        let (read_set, write_set) = ctx.into_sets();
-                        let Ok(output) =
-                            commit_partitioned(&db, read_set, write_set, epoch, &mut state.tid_gen)
-                        else {
-                            counters.add_abort();
-                            continue;
-                        };
-                        let entries = build_log_entries(
-                            &output.write_set,
-                            output.tid,
+                        if run_one_partitioned_txn(
+                            partition,
+                            primary,
+                            &targets,
+                            &db,
+                            &endpoint,
+                            workload.as_ref(),
+                            &counters,
+                            wal.as_deref(),
+                            history.as_deref(),
+                            epoch,
                             strategy,
-                            ExecutionPhase::Partitioned,
-                        );
-                        if !entries.is_empty() {
-                            let batch = ReplicationBatch {
-                                from_node: primary,
-                                epoch,
-                                entries: entries.clone(),
-                            };
-                            for &target in &targets {
-                                counters.add_replication_bytes(batch.wire_size() as u64);
-                                let _ = endpoint.send(target, batch.clone());
+                            state,
+                        ) {
+                            committed += 1;
+                            if committed % LATENCY_SAMPLE == 0 {
+                                samples.push(Instant::now());
                             }
-                        }
-                        if let Some(wal) = &wal {
-                            let mut wal = wal.lock();
-                            for w in &output.write_set {
-                                let entry = LogEntry {
-                                    table: w.table,
-                                    partition: w.partition,
-                                    key: w.key,
-                                    tid: output.tid,
-                                    payload: Payload::Value(w.row.clone()),
-                                };
-                                let _ = wal.append_value(&entry);
-                                counters.add_wal_bytes(entry.wire_size() as u64);
-                            }
-                        }
-                        counters.add_commit();
-                        committed += 1;
-                        if committed % LATENCY_SAMPLE == 0 {
-                            samples.push(Instant::now());
                         }
                     }
                     (committed, samples)
@@ -400,9 +619,6 @@ impl StarEngine {
         let deadline = Instant::now() + tau_s;
         let start = Instant::now();
         let epoch = self.epoch;
-        let strategy = config.replication_strategy;
-        let sync_replication = config.replication_mode == ReplicationMode::Sync;
-        let round_trip = config.network_latency * 2;
         let mut total_committed = 0u64;
         let mut samples = Vec::new();
 
@@ -412,6 +628,7 @@ impl StarEngine {
         let workload = &self.workload;
         let counters = &self.counters;
         let wal = &self.wal;
+        let history = &self.history;
         let master_node = &cluster.nodes()[master];
 
         std::thread::scope(|scope| {
@@ -422,92 +639,33 @@ impl StarEngine {
                 let workload = Arc::clone(workload);
                 let counters = Arc::clone(counters);
                 let wal = wal.as_ref().map(|w| Arc::clone(&w[master]));
+                let history = history.clone();
                 let healthy = healthy.clone();
                 let config = config.clone();
                 handles.push(scope.spawn(move || {
                     let mut committed = 0u64;
                     let mut attempts = 0u64;
                     let mut samples = Vec::new();
-                    let partitions = config.partitions;
                     while attempts == 0 || Instant::now() < deadline {
                         attempts += 1;
-                        use rand::Rng;
-                        let home = (state.rng.gen::<usize>() ^ worker_id) % partitions;
-                        let proc = workload.cross_partition_transaction(&mut state.rng, home);
-                        let mut ctx = TxnCtx::new(db.as_ref());
-                        match proc.execute(&mut ctx) {
-                            Ok(()) => {}
-                            Err(Error::Abort(star_common::AbortReason::User)) => {
-                                counters.add_user_abort();
-                                continue;
-                            }
-                            Err(_) => {
-                                counters.add_abort();
-                                continue;
-                            }
-                        }
-                        let (read_set, write_set) = ctx.into_sets();
-                        let output = match commit_single_master(
+                        if run_one_master_txn(
+                            worker_id,
+                            master,
+                            &healthy,
+                            &config,
                             &db,
-                            read_set,
-                            write_set,
+                            &endpoint,
+                            workload.as_ref(),
+                            &counters,
+                            wal.as_deref(),
+                            history.as_deref(),
                             epoch,
-                            &mut state.tid_gen,
+                            state,
                         ) {
-                            Ok(output) => output,
-                            Err(Error::Abort(_)) => {
-                                counters.add_abort();
-                                continue;
+                            committed += 1;
+                            if committed % LATENCY_SAMPLE == 0 {
+                                samples.push(Instant::now());
                             }
-                            Err(_) => {
-                                counters.add_abort();
-                                continue;
-                            }
-                        };
-                        let entries = build_log_entries(
-                            &output.write_set,
-                            output.tid,
-                            strategy,
-                            ExecutionPhase::SingleMaster,
-                        );
-                        for &target in &healthy {
-                            let relevant: Vec<LogEntry> = entries
-                                .iter()
-                                .filter(|e| config.node_stores_partition(target, e.partition))
-                                .cloned()
-                                .collect();
-                            if relevant.is_empty() {
-                                continue;
-                            }
-                            let batch =
-                                ReplicationBatch { from_node: master, epoch, entries: relevant };
-                            counters.add_replication_bytes(batch.wire_size() as u64);
-                            let _ = endpoint.send(target, batch);
-                        }
-                        if sync_replication && !healthy.is_empty() {
-                            // Synchronous replication: the write locks are
-                            // held for a round trip to the replicas before
-                            // the transaction can release them.
-                            std::thread::sleep(round_trip);
-                        }
-                        if let Some(wal) = &wal {
-                            let mut wal = wal.lock();
-                            for w in &output.write_set {
-                                let entry = LogEntry {
-                                    table: w.table,
-                                    partition: w.partition,
-                                    key: w.key,
-                                    tid: output.tid,
-                                    payload: Payload::Value(w.row.clone()),
-                                };
-                                let _ = wal.append_value(&entry);
-                                counters.add_wal_bytes(entry.wire_size() as u64);
-                            }
-                        }
-                        counters.add_commit();
-                        committed += 1;
-                        if committed % LATENCY_SAMPLE == 0 {
-                            samples.push(Instant::now());
                         }
                     }
                     (committed, samples)
@@ -522,6 +680,132 @@ impl StarEngine {
         });
 
         PhaseResult { committed: total_committed, elapsed: start.elapsed(), samples }
+    }
+
+    /// Deterministic, single-threaded variant of the partitioned phase: each
+    /// partition's worker executes exactly `txns_per_partition` transaction
+    /// attempts, in partition order, instead of racing a wall-clock deadline.
+    ///
+    /// Because partitioned-phase workers touch disjoint partitions, running
+    /// them sequentially is semantically identical to the threaded phase —
+    /// but the committed history, the replication message sequence and every
+    /// fault-plane decision become pure functions of the configuration seed.
+    /// This is what the chaos harness's "identical seed ⇒ identical history"
+    /// contract rests on. Returns the number of committed transactions.
+    pub fn run_partitioned_phase_stepped(&mut self, txns_per_partition: u64) -> u64 {
+        let available = self.failure_case().map(|c| c.available()).unwrap_or(false);
+        if txns_per_partition == 0 || !available {
+            return 0;
+        }
+        let config = self.cluster.config().clone();
+        let epoch = self.epoch;
+        let strategy = config.replication_strategy;
+        let assignments: Vec<Option<(NodeId, Vec<NodeId>)>> = (0..config.partitions)
+            .map(|p| {
+                self.effective_primary(p).map(|primary| {
+                    let targets: Vec<NodeId> = self
+                        .cluster
+                        .replica_targets(primary, p)
+                        .into_iter()
+                        .filter(|n| !self.failed[*n])
+                        .collect();
+                    (primary, targets)
+                })
+            })
+            .collect();
+
+        let cluster = &self.cluster;
+        let workload = &self.workload;
+        let counters = &self.counters;
+        let wal = &self.wal;
+        let history = &self.history;
+        let mut total_committed = 0u64;
+
+        for (partition, state) in self.partition_workers.iter_mut().enumerate() {
+            let Some((primary, targets)) = assignments[partition].clone() else {
+                continue;
+            };
+            let node = &cluster.nodes()[primary];
+            let wal = wal.as_ref().map(|w| w[primary].as_ref());
+            for _ in 0..txns_per_partition {
+                if run_one_partitioned_txn(
+                    partition,
+                    primary,
+                    &targets,
+                    &node.db,
+                    &node.endpoint,
+                    workload.as_ref(),
+                    counters,
+                    wal,
+                    history.as_deref(),
+                    epoch,
+                    strategy,
+                    state,
+                ) {
+                    total_committed += 1;
+                }
+            }
+        }
+        total_committed
+    }
+
+    /// Deterministic, single-threaded variant of the single-master phase:
+    /// each master worker executes exactly `txns_per_worker` transaction
+    /// attempts, in worker order. With a single configured master worker the
+    /// OCC commit never aborts on contention, so the committed stream is a
+    /// pure function of the seed (see
+    /// [`run_partitioned_phase_stepped`](Self::run_partitioned_phase_stepped)).
+    /// Returns the number of committed transactions.
+    pub fn run_single_master_phase_stepped(&mut self, txns_per_worker: u64) -> u64 {
+        let config = self.cluster.config().clone();
+        let Some(master) = self.current_master() else {
+            return 0;
+        };
+        if txns_per_worker == 0 {
+            return 0;
+        }
+        let epoch = self.epoch;
+        let healthy: Vec<NodeId> =
+            (0..config.num_nodes).filter(|&n| n != master && !self.failed[n]).collect();
+        let cluster = &self.cluster;
+        let workload = &self.workload;
+        let counters = &self.counters;
+        let wal = self.wal.as_ref().map(|w| w[master].as_ref());
+        let history = &self.history;
+        let master_node = &cluster.nodes()[master];
+        let mut total_committed = 0u64;
+
+        for (worker_id, state) in self.master_workers.iter_mut().enumerate() {
+            for _ in 0..txns_per_worker {
+                if run_one_master_txn(
+                    worker_id,
+                    master,
+                    &healthy,
+                    &config,
+                    &master_node.db,
+                    &master_node.endpoint,
+                    workload.as_ref(),
+                    counters,
+                    wal,
+                    history.as_deref(),
+                    epoch,
+                    state,
+                ) {
+                    total_committed += 1;
+                }
+            }
+        }
+        total_committed
+    }
+
+    /// One fully deterministic iteration: stepped partitioned phase, fence,
+    /// stepped single-master phase, fence. The transaction counts replace the
+    /// `τp` / `τs` wall-clock split of [`run_iteration`](Self::run_iteration).
+    pub fn run_iteration_stepped(&mut self, partitioned_txns: u64, single_master_txns: u64) {
+        self.run_partitioned_phase_stepped(partitioned_txns);
+        self.fence();
+        self.run_single_master_phase_stepped(single_master_txns);
+        self.fence();
     }
 
     /// Executes a replication fence: detect failures, apply all outstanding
@@ -549,6 +833,13 @@ impl StarEngine {
                     node.db.revert_to_epoch(self.last_committed_epoch);
                 }
             }
+        }
+
+        // Release any messages held back by reorder faults: the fence's
+        // contract is that every *sent* message is either applied now or
+        // discarded with its epoch, never silently stuck in flight.
+        for node in self.cluster.nodes() {
+            node.endpoint.flush_stash();
         }
 
         // Apply outstanding replication streams on every healthy node,
@@ -588,11 +879,28 @@ impl StarEngine {
                 }
             }
         }
+        if reverting {
+            // The epoch's transactions were never released to clients: they
+            // are discarded from every replica above, so they must vanish
+            // from the recorded history too.
+            self.reverted_epochs.push(self.epoch);
+        }
+        if let Some(history) = &self.history {
+            history.finalize_epoch(self.epoch, !reverting);
+        }
         self.last_committed_epoch = self.epoch;
         self.epoch += 1;
         let end = Instant::now();
         self.counters.add_fence(end - start);
         end
+    }
+
+    /// Runs one replication fence: detects failures, applies outstanding
+    /// replication on every healthy replica and advances the epoch. This is
+    /// the fence `run_iteration` executes twice per iteration, exposed so the
+    /// chaos driver can compose phases and fences explicitly.
+    pub fn fence(&mut self) {
+        let _ = self.replication_fence();
     }
 
     /// Recovers a previously failed node: the node copies the partitions it
@@ -614,6 +922,13 @@ impl StarEngine {
         if let Some(committed) = self.failed_at_committed_epoch[node].take() {
             target_db.revert_to_epoch(committed);
         }
+        // Everything still queued at this node's endpoint was addressed to
+        // the crashed process and died with it — in particular replication
+        // batches of epochs the cluster reverted after the crash (fences skip
+        // failed nodes, so their queues are never drained while down).
+        // Applying them after rejoining would resurrect discarded writes;
+        // the copy from healthy replicas below supplies the current state.
+        drop(self.cluster.nodes()[node].endpoint.drain());
         let mut copied = 0usize;
         for partition in target_db.held_partitions() {
             let source = (0..self.cluster.config().num_nodes).find(|&n| {
@@ -771,12 +1086,12 @@ mod tests {
     fn failure_is_detected_at_the_fence_and_classified() {
         let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
         engine.run_for(Duration::from_millis(10));
-        assert_eq!(engine.failure_case(), FailureCase::NoFailure);
+        assert_eq!(engine.failure_case().unwrap(), FailureCase::NoFailure);
         engine.inject_failure(2);
         // Detection happens at the next fence.
         engine.run_iteration();
         assert!(engine.failed_nodes().contains(&2));
-        assert_eq!(engine.failure_case(), FailureCase::FullAndPartialRemain);
+        assert_eq!(engine.failure_case().unwrap(), FailureCase::FullAndPartialRemain);
         // The system keeps committing transactions (Case 1).
         let report = engine.run_for(Duration::from_millis(20));
         assert!(report.counters.committed > 0);
@@ -789,7 +1104,7 @@ mod tests {
         engine.run_for(Duration::from_millis(10));
         engine.inject_failure(0);
         engine.run_iteration();
-        assert_eq!(engine.failure_case(), FailureCase::OnlyPartialRemains);
+        assert_eq!(engine.failure_case().unwrap(), FailureCase::OnlyPartialRemains);
         assert_eq!(engine.current_master(), None);
         // Single-partition work still proceeds on the partial replicas.
         let report = engine.run_for(Duration::from_millis(20));

@@ -9,8 +9,30 @@
 
 use star_common::ClusterConfig;
 
-/// The four failure scenarios of Section 4.5.3.
+/// Error returned by [`FailureCase::classify`] when the failure vector does
+/// not describe the configured cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureVectorMismatch {
+    /// Number of nodes the configuration describes.
+    pub expected: usize,
+    /// Length of the failure vector that was passed.
+    pub got: usize,
+}
+
+impl std::fmt::Display for FailureVectorMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failure vector length mismatch: cluster has {} nodes but the vector has {} entries",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for FailureVectorMismatch {}
+
+/// The four failure scenarios of Section 4.5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureCase {
     /// No node failed at all.
     NoFailure,
@@ -38,22 +60,32 @@ impl FailureCase {
     /// `failed[n]` is true if node `n` is currently failed. Nodes
     /// `0..config.full_replicas` hold full replicas; the remaining nodes hold
     /// the partitions assigned to them by the layout (primary + secondary).
-    pub fn classify(config: &ClusterConfig, failed: &[bool]) -> FailureCase {
-        assert_eq!(failed.len(), config.num_nodes, "failure vector length mismatch");
+    ///
+    /// Returns [`FailureVectorMismatch`] if `failed` does not have exactly
+    /// one entry per configured node — a mismatched vector cannot be
+    /// classified meaningfully, and silently truncating or padding it could
+    /// mask a real failure.
+    pub fn classify(
+        config: &ClusterConfig,
+        failed: &[bool],
+    ) -> Result<FailureCase, FailureVectorMismatch> {
+        if failed.len() != config.num_nodes {
+            return Err(FailureVectorMismatch { expected: config.num_nodes, got: failed.len() });
+        }
         if failed.iter().all(|f| !f) {
-            return FailureCase::NoFailure;
+            return Ok(FailureCase::NoFailure);
         }
         let full_remains = (0..config.full_replicas).any(|n| !failed[n]);
         let partial_covers = (0..config.partitions).all(|p| {
             (config.full_replicas..config.num_nodes)
                 .any(|n| !failed[n] && config.node_stores_partition(n, p))
         });
-        match (full_remains, partial_covers) {
+        Ok(match (full_remains, partial_covers) {
             (true, true) => FailureCase::FullAndPartialRemain,
             (false, true) => FailureCase::OnlyPartialRemains,
             (true, false) => FailureCase::OnlyFullRemains,
             (false, false) => FailureCase::NothingRemains,
-        }
+        })
     }
 
     /// Whether the phase-switching algorithm can keep running in this state
@@ -103,10 +135,50 @@ mod tests {
     #[test]
     fn no_failure() {
         let c = mini_config();
-        let case = FailureCase::classify(&c, &failed(&[], 4));
+        let case = FailureCase::classify(&c, &failed(&[], 4)).unwrap();
         assert_eq!(case, FailureCase::NoFailure);
         assert!(case.phase_switching_available());
         assert!(case.available());
+    }
+
+    #[test]
+    fn exhaustive_table_over_every_failure_combination() {
+        // Every subset of failed nodes in the miniature Figure-7 cluster,
+        // with the expected case derived from first principles:
+        //   full remains  ⇔ node 0 or node 1 survives;
+        //   partials cover ⇔ node 2 survives (sole partial holder of
+        //   partition 0) and node 3 survives (sole partial holder of
+        //   partition 1).
+        let c = mini_config();
+        for mask in 0u32..16 {
+            let failed_vec: Vec<bool> = (0..4).map(|n| mask & (1 << n) != 0).collect();
+            let full_remains = !failed_vec[0] || !failed_vec[1];
+            let partial_covers = !failed_vec[2] && !failed_vec[3];
+            let expected = if mask == 0 {
+                FailureCase::NoFailure
+            } else {
+                match (full_remains, partial_covers) {
+                    (true, true) => FailureCase::FullAndPartialRemain,
+                    (false, true) => FailureCase::OnlyPartialRemains,
+                    (true, false) => FailureCase::OnlyFullRemains,
+                    (false, false) => FailureCase::NothingRemains,
+                }
+            };
+            let got = FailureCase::classify(&c, &failed_vec).unwrap();
+            assert_eq!(got, expected, "mask {mask:04b}");
+            // The availability helpers must agree with the case table.
+            assert_eq!(got.available(), got != FailureCase::NothingRemains, "mask {mask:04b}");
+            assert_eq!(
+                got.phase_switching_available(),
+                matches!(
+                    got,
+                    FailureCase::NoFailure
+                        | FailureCase::FullAndPartialRemain
+                        | FailureCase::OnlyFullRemains
+                ),
+                "mask {mask:04b}"
+            );
+        }
     }
 
     #[test]
@@ -114,7 +186,7 @@ mod tests {
         let c = mini_config();
         // One full replica fails; the other full replica and both partial
         // replicas survive, so phase switching continues unchanged.
-        let case = FailureCase::classify(&c, &failed(&[1], 4));
+        let case = FailureCase::classify(&c, &failed(&[1], 4)).unwrap();
         assert_eq!(case, FailureCase::FullAndPartialRemain);
         assert!(case.phase_switching_available());
     }
@@ -124,7 +196,7 @@ mod tests {
         let c = mini_config();
         // Both full replicas fail; the partial replicas still cover every
         // partition, so the system falls back to distributed CC.
-        let case = FailureCase::classify(&c, &failed(&[0, 1], 4));
+        let case = FailureCase::classify(&c, &failed(&[0, 1], 4)).unwrap();
         assert_eq!(case, FailureCase::OnlyPartialRemains);
         assert!(!case.phase_switching_available());
         assert!(case.available());
@@ -135,7 +207,7 @@ mod tests {
         let c = mini_config();
         // Node 2 is the only partial holder of partition 0; losing it breaks
         // partial coverage even though node 3 is still alive.
-        let case = FailureCase::classify(&c, &failed(&[2], 4));
+        let case = FailureCase::classify(&c, &failed(&[2], 4)).unwrap();
         assert_eq!(case, FailureCase::OnlyFullRemains);
         assert!(case.phase_switching_available());
     }
@@ -143,7 +215,7 @@ mod tests {
     #[test]
     fn case3_all_partials_lost() {
         let c = mini_config();
-        let case = FailureCase::classify(&c, &failed(&[2, 3], 4));
+        let case = FailureCase::classify(&c, &failed(&[2, 3], 4)).unwrap();
         assert_eq!(case, FailureCase::OnlyFullRemains);
     }
 
@@ -151,9 +223,50 @@ mod tests {
     fn case4_nothing_remains() {
         let c = mini_config();
         // Both full replicas and the sole partial holder of partition 0 fail.
-        let case = FailureCase::classify(&c, &failed(&[0, 1, 2], 4));
+        let case = FailureCase::classify(&c, &failed(&[0, 1, 2], 4)).unwrap();
         assert_eq!(case, FailureCase::NothingRemains);
         assert!(!case.available());
+    }
+
+    #[test]
+    fn boundary_all_nodes_failed() {
+        let c = mini_config();
+        let case = FailureCase::classify(&c, &failed(&[0, 1, 2, 3], 4)).unwrap();
+        assert_eq!(case, FailureCase::NothingRemains);
+        assert!(!case.available());
+        assert!(!case.phase_switching_available());
+    }
+
+    #[test]
+    fn boundary_only_full_replicas_failed() {
+        // f = 1: losing exactly the full replica leaves the partials, which
+        // cover the database → Case 2.
+        let mut c = ClusterConfig::with_nodes(4);
+        c.full_replicas = 1;
+        c.partitions = 4;
+        let case = FailureCase::classify(&c, &failed(&[0], 4)).unwrap();
+        assert_eq!(case, FailureCase::OnlyPartialRemains);
+        // f = 4 (every node full): losing all full replicas is losing
+        // everything, and there are no partials to cover the database.
+        let mut c = ClusterConfig::with_nodes(4);
+        c.full_replicas = 4;
+        c.partitions = 4;
+        let case = FailureCase::classify(&c, &failed(&[0, 1, 2, 3], 4)).unwrap();
+        assert_eq!(case, FailureCase::NothingRemains);
+        // ... but losing all but one keeps phase switching alive (Case 3:
+        // no partial replicas exist, so coverage is vacuously broken).
+        let case = FailureCase::classify(&c, &failed(&[1, 2, 3], 4)).unwrap();
+        assert_eq!(case, FailureCase::OnlyFullRemains);
+        assert!(case.phase_switching_available());
+    }
+
+    #[test]
+    fn boundary_single_node_cluster() {
+        let mut c = ClusterConfig::with_nodes(1);
+        c.full_replicas = 1;
+        c.partitions = 2;
+        assert_eq!(FailureCase::classify(&c, &[false]).unwrap(), FailureCase::NoFailure);
+        assert_eq!(FailureCase::classify(&c, &[true]).unwrap(), FailureCase::NothingRemains);
     }
 
     #[test]
@@ -166,7 +279,7 @@ mod tests {
                 c.full_replicas = f;
                 c.partitions = nodes * 3;
                 let healthy = failed(&[], nodes);
-                let case = FailureCase::classify(&c, &healthy);
+                let case = FailureCase::classify(&c, &healthy).unwrap();
                 assert_eq!(case, FailureCase::NoFailure);
                 if f < nodes {
                     for p in 0..c.partitions {
@@ -181,9 +294,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn wrong_vector_length_panics() {
+    fn wrong_vector_length_is_a_typed_error() {
         let c = mini_config();
-        let _ = FailureCase::classify(&c, &[false; 3]);
+        let err = FailureCase::classify(&c, &[false; 3]).unwrap_err();
+        assert_eq!(err, FailureVectorMismatch { expected: 4, got: 3 });
+        assert!(err.to_string().contains("4 nodes"));
+        assert!(err.to_string().contains("3 entries"));
+        let err = FailureCase::classify(&c, &[false; 5]).unwrap_err();
+        assert_eq!(err.got, 5);
     }
 }

@@ -1,0 +1,333 @@
+//! Committed-transaction history recording.
+//!
+//! A [`HistoryRecorder`] can be attached to any engine (the STAR engine and
+//! every baseline). Each committed transaction is recorded with the exact
+//! versions its reads observed (the TIDs validated at commit time) and the
+//! rows its writes installed. The record is *epoch-buffered* for engines
+//! with an epoch-based group commit: a transaction only becomes part of the
+//! committed history when the replication fence closing its epoch commits
+//! the epoch — if the fence instead reverts the epoch (failure detected,
+//! Figure 6), the epoch's records are discarded, exactly as its effects are
+//! discarded from every replica. That makes the recorded history *the*
+//! client-visible history, which is what the offline serializability checker
+//! in `star-chaos` validates against a sequential oracle.
+//!
+//! Recording is entirely optional: engines hold an `Option<Arc<…>>` and pay
+//! one branch per commit when no recorder is attached.
+
+use parking_lot::Mutex;
+use star_common::{Epoch, Key, PartitionId, Row, TableId, Tid};
+use star_occ::{ReadEntry, WriteEntry};
+use star_replication::ExecutionPhase;
+
+/// Executor ids for single-master workers are offset by this constant so
+/// they never collide with partition ids (partitioned-phase executors).
+pub const MASTER_EXECUTOR_OFFSET: u64 = 1 << 32;
+
+/// One observed read: which version (TID) of which record the transaction
+/// saw. This is the version that passed OCC validation (or was protected by
+/// a lock), so it is exactly the version the commit depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedRead {
+    /// Table of the record.
+    pub table: TableId,
+    /// Partition of the record.
+    pub partition: PartitionId,
+    /// Primary key.
+    pub key: Key,
+    /// TID of the version that was observed. [`Tid::ZERO`] means the
+    /// initially loaded version (never written by a committed transaction).
+    pub tid: Tid,
+}
+
+/// One installed write: the full row the transaction left behind. The
+/// version's TID is the transaction's commit TID.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedWrite {
+    /// Table of the record.
+    pub table: TableId,
+    /// Partition of the record.
+    pub partition: PartitionId,
+    /// Primary key.
+    pub key: Key,
+    /// The installed row.
+    pub row: Row,
+}
+
+/// A committed transaction as seen by the history recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedTxn {
+    /// Epoch the transaction committed in.
+    pub epoch: Epoch,
+    /// Which execution phase committed it.
+    pub phase: ExecutionPhase,
+    /// The executor that ran it: the partition id in the partitioned phase,
+    /// [`MASTER_EXECUTOR_OFFSET`]` + worker` in the single-master phase.
+    pub executor: u64,
+    /// The commit TID.
+    pub tid: Tid,
+    /// The versions the transaction read.
+    pub reads: Vec<RecordedRead>,
+    /// The rows the transaction installed, in execution order. If the same
+    /// key appears twice the later entry is the installed one (last write
+    /// wins, matching the commit protocols).
+    pub writes: Vec<RecordedWrite>,
+}
+
+impl CommittedTxn {
+    /// Builds a record from an engine's read/write sets.
+    pub fn from_sets(
+        epoch: Epoch,
+        phase: ExecutionPhase,
+        executor: u64,
+        tid: Tid,
+        reads: &[ReadEntry],
+        writes: &[WriteEntry],
+    ) -> Self {
+        CommittedTxn {
+            epoch,
+            phase,
+            executor,
+            tid,
+            reads: reads
+                .iter()
+                .map(|r| RecordedRead {
+                    table: r.table,
+                    partition: r.partition,
+                    key: r.key,
+                    tid: r.tid,
+                })
+                .collect(),
+            writes: writes
+                .iter()
+                .map(|w| RecordedWrite {
+                    table: w.table,
+                    partition: w.partition,
+                    key: w.key,
+                    row: w.row.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Records of the epoch(s) still in flight (not yet closed by a fence).
+    pending: Vec<CommittedTxn>,
+    /// The client-visible committed history, in commit order.
+    committed: Vec<CommittedTxn>,
+    /// Epochs whose records were discarded by an epoch revert.
+    reverted: Vec<Epoch>,
+}
+
+/// Thread-safe recorder of the committed transaction history.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transaction that committed inside a still-open epoch. The
+    /// record becomes final only when [`finalize_epoch`](Self::finalize_epoch)
+    /// commits the epoch.
+    pub fn record(&self, txn: CommittedTxn) {
+        self.inner.lock().pending.push(txn);
+    }
+
+    /// Records a transaction that is final immediately (engines without an
+    /// epoch revert, i.e. every baseline).
+    pub fn record_final(&self, txn: CommittedTxn) {
+        self.inner.lock().committed.push(txn);
+    }
+
+    /// Closes `epoch` at a fence. With `committed == true` the epoch's
+    /// pending records join the final history; otherwise the epoch was
+    /// reverted and its records are discarded (the group commit never
+    /// released them to clients).
+    pub fn finalize_epoch(&self, epoch: Epoch, committed: bool) {
+        let mut inner = self.inner.lock();
+        if committed {
+            let pending = std::mem::take(&mut inner.pending);
+            inner.committed.extend(pending);
+        } else {
+            inner.pending.clear();
+            inner.reverted.push(epoch);
+        }
+    }
+
+    /// A copy of the committed history, in commit order.
+    pub fn committed(&self) -> Vec<CommittedTxn> {
+        self.inner.lock().committed.clone()
+    }
+
+    /// Number of transactions in the committed history.
+    pub fn committed_len(&self) -> usize {
+        self.inner.lock().committed.len()
+    }
+
+    /// Epochs discarded by an epoch revert, in detection order. Disk
+    /// recovery uses this to skip WAL entries of epochs that never
+    /// group-committed.
+    pub fn reverted_epochs(&self) -> Vec<Epoch> {
+        self.inner.lock().reverted.clone()
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the committed history (epochs, phases,
+    /// executors, TIDs, read versions and written rows, in commit order).
+    /// Two runs with the same seed must produce the same fingerprint — the
+    /// determinism contract `star-chaos` verifies.
+    pub fn fingerprint(&self) -> u64 {
+        let inner = self.inner.lock();
+        let mut hash = Fnv::new();
+        for txn in &inner.committed {
+            hash.write_u64(txn.epoch as u64);
+            hash.write_u64(match txn.phase {
+                ExecutionPhase::Partitioned => 1,
+                ExecutionPhase::SingleMaster => 2,
+            });
+            hash.write_u64(txn.executor);
+            hash.write_u64(txn.tid.raw());
+            hash.write_u64(txn.reads.len() as u64);
+            for r in &txn.reads {
+                hash.write_u64(r.table as u64);
+                hash.write_u64(r.partition as u64);
+                hash.write_u64(r.key);
+                hash.write_u64(r.tid.raw());
+            }
+            hash.write_u64(txn.writes.len() as u64);
+            for w in &txn.writes {
+                hash.write_u64(w.table as u64);
+                hash.write_u64(w.partition as u64);
+                hash.write_u64(w.key);
+                hash_row(&mut hash, &w.row);
+            }
+        }
+        hash.finish()
+    }
+}
+
+fn hash_row(hash: &mut Fnv, row: &Row) {
+    use star_common::FieldValue;
+    hash.write_u64(row.len() as u64);
+    for field in row.iter() {
+        match field {
+            FieldValue::U64(v) => {
+                hash.write_u64(1);
+                hash.write_u64(*v);
+            }
+            FieldValue::I64(v) => {
+                hash.write_u64(2);
+                hash.write_u64(*v as u64);
+            }
+            FieldValue::F64(v) => {
+                hash.write_u64(3);
+                hash.write_u64(v.to_bits());
+            }
+            FieldValue::Str(s) => {
+                hash.write_u64(4);
+                hash.write_bytes(s.as_bytes());
+            }
+            FieldValue::Bytes(b) => {
+                hash.write_u64(5);
+                hash.write_bytes(b);
+            }
+        }
+    }
+}
+
+/// Minimal FNV-1a implementation (no std `Hasher` indirection, stable across
+/// platforms and releases — fingerprints are compared across runs).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.0 = bytes
+            .iter()
+            .fold(self.0, |acc, b| (acc ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_common::row::row;
+    use star_common::FieldValue;
+
+    fn txn(epoch: Epoch, key: Key, value: u64) -> CommittedTxn {
+        CommittedTxn {
+            epoch,
+            phase: ExecutionPhase::Partitioned,
+            executor: 0,
+            tid: Tid::new(epoch, key + 1),
+            reads: vec![RecordedRead { table: 0, partition: 0, key, tid: Tid::ZERO }],
+            writes: vec![RecordedWrite {
+                table: 0,
+                partition: 0,
+                key,
+                row: row([FieldValue::U64(value)]),
+            }],
+        }
+    }
+
+    #[test]
+    fn committed_epochs_join_the_history() {
+        let rec = HistoryRecorder::new();
+        rec.record(txn(1, 0, 10));
+        rec.record(txn(1, 1, 11));
+        assert_eq!(rec.committed_len(), 0, "pending records are not client-visible");
+        rec.finalize_epoch(1, true);
+        assert_eq!(rec.committed_len(), 2);
+        assert!(rec.reverted_epochs().is_empty());
+    }
+
+    #[test]
+    fn reverted_epochs_are_discarded() {
+        let rec = HistoryRecorder::new();
+        rec.record(txn(1, 0, 10));
+        rec.finalize_epoch(1, true);
+        rec.record(txn(2, 1, 20));
+        rec.finalize_epoch(2, false);
+        assert_eq!(rec.committed_len(), 1, "the reverted epoch must vanish");
+        assert_eq!(rec.reverted_epochs(), vec![2]);
+        assert_eq!(rec.committed()[0].epoch, 1);
+    }
+
+    #[test]
+    fn record_final_bypasses_epoch_buffering() {
+        let rec = HistoryRecorder::new();
+        rec.record_final(txn(1, 0, 10));
+        assert_eq!(rec.committed_len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = HistoryRecorder::new();
+        a.record_final(txn(1, 0, 10));
+        let b = HistoryRecorder::new();
+        b.record_final(txn(1, 0, 10));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = HistoryRecorder::new();
+        c.record_final(txn(1, 0, 11));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let empty = HistoryRecorder::new();
+        assert_ne!(a.fingerprint(), empty.fingerprint());
+    }
+}

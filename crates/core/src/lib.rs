@@ -20,6 +20,9 @@
 //!   epoch advancement, statistics.
 //! * [`failure`] — failure-scenario classification (the four recovery cases
 //!   of Section 4.5.3), epoch revert and node recovery.
+//! * [`history`] — optional committed-history recording (epoch-buffered, so
+//!   reverted epochs vanish exactly as their effects do); the `star-chaos`
+//!   serializability checker consumes these histories.
 //!
 //! The cluster is simulated in one process (see `DESIGN.md` for the
 //! substitution argument); all the protocol logic — TID rules, Thomas write
@@ -31,6 +34,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod failure;
+pub mod history;
 pub mod messages;
 pub mod model;
 pub mod phase;
@@ -39,7 +43,8 @@ pub mod workload;
 
 pub use cluster::StarCluster;
 pub use engine::{StarEngine, SyncReplication};
-pub use failure::FailureCase;
+pub use failure::{FailureCase, FailureVectorMismatch};
+pub use history::{CommittedTxn, HistoryRecorder, RecordedRead, RecordedWrite};
 pub use model::AnalyticalModel;
 pub use phase::PhasePlan;
 pub use workload::{Workload, WorkloadMix};

@@ -176,4 +176,108 @@ mod tests {
         assert_eq!(plan.split(E).0, Duration::ZERO);
         assert_eq!(plan.cross_partition_fraction(), 1.0);
     }
+
+    // Seeded property-style tests: random plans drawn from a fixed-seed RNG,
+    // so every failure reproduces deterministically.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Draws a plan with random throughput observations and cross-partition
+    /// fraction from `rng`.
+    fn arbitrary_plan(rng: &mut StdRng) -> PhasePlan {
+        let mut plan = PhasePlan::new(rng.gen::<f64>());
+        for _ in 0..rng.gen_range(0..4usize) {
+            plan.observe_partitioned(
+                rng.gen_range(1..1_000_000u64),
+                Duration::from_millis(rng.gen_range(1..50)),
+            );
+        }
+        for _ in 0..rng.gen_range(0..4usize) {
+            plan.observe_single_master(
+                rng.gen_range(1..1_000_000u64),
+                Duration::from_millis(rng.gen_range(1..50)),
+            );
+        }
+        plan
+    }
+
+    #[test]
+    fn property_split_always_sums_to_the_iteration_time() {
+        // Equation (1): τp + τs = e must hold for every plan state and every
+        // iteration time, including extreme throughput ratios.
+        let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+        for round in 0..500 {
+            let plan = arbitrary_plan(&mut rng);
+            let e = Duration::from_micros(rng.gen_range(1..100_000u64));
+            let (tau_p, tau_s) = plan.split(e);
+            let sum = tau_p + tau_s;
+            let diff = sum.abs_diff(e);
+            // mul_f64 rounds to nanoseconds; saturating_sub keeps the sum
+            // exact, so any drift means the arithmetic regressed.
+            assert!(
+                diff <= Duration::from_nanos(1),
+                "round {round}: τp {tau_p:?} + τs {tau_s:?} != e {e:?}"
+            );
+            assert!(tau_p <= e && tau_s <= e, "round {round}: phase exceeds iteration");
+        }
+    }
+
+    #[test]
+    fn property_single_master_share_is_monotone_in_p() {
+        // With throughput estimates held fixed, a larger cross-partition
+        // fraction must never *shrink* the single-master phase: the planner
+        // must hand more time to the phase that serves more of the load.
+        let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+        for round in 0..200 {
+            let mut plan = arbitrary_plan(&mut rng);
+            let p_low = rng.gen::<f64>();
+            let p_high = (p_low + rng.gen::<f64>() * (1.0 - p_low)).min(1.0);
+            plan.set_cross_partition_fraction(p_low);
+            let (_, tau_s_low) = plan.split(E);
+            plan.set_cross_partition_fraction(p_high);
+            let (_, tau_s_high) = plan.split(E);
+            assert!(
+                tau_s_high + Duration::from_nanos(1) >= tau_s_low,
+                "round {round}: τs({p_high}) = {tau_s_high:?} < τs({p_low}) = {tau_s_low:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn property_degenerate_fractions_pin_the_whole_iteration() {
+        // P = 0 and P = 1 must produce the degenerate splits of the paper no
+        // matter what throughputs were observed, and out-of-range fractions
+        // must clamp onto them.
+        let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+        for _ in 0..200 {
+            let mut plan = arbitrary_plan(&mut rng);
+            plan.set_cross_partition_fraction(0.0);
+            assert_eq!(plan.split(E), (E, Duration::ZERO));
+            plan.set_cross_partition_fraction(1.0);
+            assert_eq!(plan.split(E), (Duration::ZERO, E));
+            plan.set_cross_partition_fraction(-rng.gen::<f64>());
+            assert_eq!(plan.split(E), (E, Duration::ZERO), "negative P must clamp to 0");
+            plan.set_cross_partition_fraction(1.0 + rng.gen::<f64>());
+            assert_eq!(plan.split(E), (Duration::ZERO, E), "P > 1 must clamp to 1");
+        }
+    }
+
+    #[test]
+    fn property_split_satisfies_equation_two_when_estimates_exist() {
+        // When both throughputs have been observed and P is interior, the
+        // split must solve Eq. (2): τs·ts / (τp·tp + τs·ts) = P.
+        let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+        for round in 0..200 {
+            let mut plan = PhasePlan::new(rng.gen_range(0.05..0.95));
+            plan.observe_partitioned(rng.gen_range(100..1_000_000u64), Duration::from_millis(10));
+            plan.observe_single_master(rng.gen_range(100..1_000_000u64), Duration::from_millis(10));
+            let (tp, ts) = plan.estimates();
+            let p = plan.cross_partition_fraction();
+            let (tau_p, tau_s) = plan.split(E);
+            let lhs =
+                tau_s.as_secs_f64() * ts / (tau_p.as_secs_f64() * tp + tau_s.as_secs_f64() * ts);
+            assert!((lhs - p).abs() < 1e-3, "round {round}: lhs {lhs} != P {p} (tp={tp}, ts={ts})");
+        }
+    }
 }

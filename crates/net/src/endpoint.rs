@@ -1,9 +1,11 @@
 //! Endpoints of the simulated network.
 
+use crate::fault::{FaultPlane, FaultVerdict, LinkFaults};
 use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Anything that can be shipped over the simulated network.
@@ -95,6 +97,7 @@ pub struct SimNetwork {
     config: NetworkConfig,
     stats: Arc<NetStats>,
     failed: Arc<Vec<AtomicBool>>,
+    faults: Arc<FaultPlane>,
     num_nodes: usize,
 }
 
@@ -105,6 +108,7 @@ impl SimNetwork {
         let stats = Arc::new(NetStats::new(num_nodes));
         let failed: Arc<Vec<AtomicBool>> =
             Arc::new((0..num_nodes).map(|_| AtomicBool::new(false)).collect());
+        let faults = Arc::new(FaultPlane::default());
         let mut senders = Vec::with_capacity(num_nodes);
         let mut receivers = Vec::with_capacity(num_nodes);
         for _ in 0..num_nodes {
@@ -122,9 +126,11 @@ impl SimNetwork {
                 receiver,
                 stats: Arc::clone(&stats),
                 failed: Arc::clone(&failed),
+                faults: Arc::clone(&faults),
+                reorder_stash: Mutex::new(HashMap::new()),
             })
             .collect();
-        (SimNetwork { config, stats, failed, num_nodes }, endpoints)
+        (SimNetwork { config, stats, failed, faults, num_nodes }, endpoints)
     }
 
     /// The latency model in use.
@@ -162,6 +168,64 @@ impl SimNetwork {
     pub fn is_failed(&self, node: usize) -> bool {
         self.failed.get(node).map(|f| f.load(Ordering::SeqCst)).unwrap_or(false)
     }
+
+    /// Re-seeds the fault plane's per-link RNGs. Call before (re)configuring
+    /// faults so a run's fault decisions reproduce from the seed alone.
+    pub fn seed_faults(&self, seed: u64) {
+        self.faults.seed(seed);
+    }
+
+    /// Applies `faults` to every link without a per-link override.
+    pub fn set_default_link_faults(&self, faults: LinkFaults) {
+        self.faults.set_default_faults(faults);
+    }
+
+    /// Applies `faults` to the directed link `from → to`, overriding the
+    /// default.
+    pub fn set_link_faults(&self, from: usize, to: usize, faults: LinkFaults) {
+        self.faults.set_link_faults(from, to, faults);
+    }
+
+    /// Removes every fault configuration (defaults, per-link overrides and
+    /// cut links). Per-link RNG state is kept so a later re-enable continues
+    /// the deterministic stream.
+    pub fn clear_link_faults(&self) {
+        self.faults.clear_faults();
+    }
+
+    /// Cuts the (bidirectional) link between `a` and `b`: messages in either
+    /// direction are silently lost, modelling a network partition between the
+    /// two nodes.
+    pub fn cut_link(&self, a: usize, b: usize) {
+        self.faults.cut_link(a, b);
+    }
+
+    /// Restores a previously cut link.
+    pub fn heal_link(&self, a: usize, b: usize) {
+        self.faults.heal_link(a, b);
+    }
+
+    /// Restores every cut link.
+    pub fn heal_all_links(&self) {
+        self.faults.heal_all_links();
+    }
+
+    /// Whether the directed link `from → to` is currently cut.
+    pub fn is_link_cut(&self, from: usize, to: usize) -> bool {
+        self.faults.is_link_cut(from, to)
+    }
+
+    /// Isolates `island` from the rest of the cluster: every link between an
+    /// island node and a non-island node is cut, in both directions.
+    pub fn partition(&self, island: &[usize]) {
+        for &inside in island {
+            for outside in 0..self.num_nodes {
+                if !island.contains(&outside) {
+                    self.faults.cut_link(inside, outside);
+                }
+            }
+        }
+    }
 }
 
 /// One node's handle onto the simulated network.
@@ -173,6 +237,11 @@ pub struct Endpoint<M> {
     receiver: Receiver<Envelope<M>>,
     stats: Arc<NetStats>,
     failed: Arc<Vec<AtomicBool>>,
+    faults: Arc<FaultPlane>,
+    /// Messages held back by reorder faults, keyed by destination. A stashed
+    /// message is released after the next message on the same link (so it is
+    /// overtaken), or by [`Endpoint::flush_stash`].
+    reorder_stash: Mutex<HashMap<usize, Vec<Envelope<M>>>>,
 }
 
 impl<M: Message> Endpoint<M> {
@@ -190,9 +259,31 @@ impl<M: Message> Endpoint<M> {
         self.failed.get(node).map(|f| f.load(Ordering::SeqCst)).unwrap_or(false)
     }
 
-    /// Sends a message to `to`, applying the latency model and recording the
-    /// traffic.
-    pub fn send(&self, to: usize, payload: M) -> Result<(), SendError> {
+    fn enqueue(&self, to: usize, envelope: Envelope<M>) -> Result<(), SendError> {
+        self.senders[to].send(envelope).map_err(|_| SendError::Disconnected(to))
+    }
+
+    fn release_stash_for(&self, to: usize) -> Result<(), SendError> {
+        let stashed = self.reorder_stash.lock().unwrap().remove(&to);
+        if let Some(stashed) = stashed {
+            for envelope in stashed {
+                self.enqueue(to, envelope)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a message to `to`, applying the latency model, the fault plane
+    /// and recording the traffic.
+    ///
+    /// Fault-plane byte accounting: a dropped message still counts as sent
+    /// (it was transmitted, then lost); a duplicated message counts twice
+    /// (two transmissions); a reordered message counts once, at the original
+    /// send.
+    pub fn send(&self, to: usize, payload: M) -> Result<(), SendError>
+    where
+        M: Clone,
+    {
         if to >= self.senders.len() {
             return Err(SendError::NoSuchNode(to));
         }
@@ -205,13 +296,70 @@ impl<M: Message> Endpoint<M> {
         let latency =
             if to == self.node { self.config.loopback_latency } else { self.config.latency };
         let bytes = payload.wire_size() as u64;
-        let envelope = Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
-        self.senders[to].send(envelope).map_err(|_| SendError::Disconnected(to))?;
-        // Loopback traffic never touches the wire.
-        if to != self.node {
-            self.stats.record(self.node, bytes);
+        if to == self.node {
+            // Loopback traffic never touches the wire: no bytes, no faults.
+            let envelope =
+                Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
+            return self.enqueue(to, envelope);
         }
-        Ok(())
+        self.stats.record(self.node, bytes);
+        match self.faults.roll(self.node, to) {
+            FaultVerdict::Deliver { extra_delay } => {
+                if !extra_delay.is_zero() {
+                    self.stats.record_delayed();
+                }
+                let envelope = Envelope {
+                    from: self.node,
+                    payload,
+                    deliver_at: Instant::now() + latency + extra_delay,
+                };
+                self.enqueue(to, envelope)?;
+                self.release_stash_for(to)
+            }
+            FaultVerdict::Drop => {
+                self.stats.record_dropped();
+                // The link still made progress, so anything stashed behind
+                // the lost message has now been overtaken.
+                self.release_stash_for(to)
+            }
+            FaultVerdict::Duplicate { extra_delay } => {
+                self.stats.record_duplicated();
+                // The duplicate is a second transmission.
+                self.stats.record(self.node, bytes);
+                let deliver_at = Instant::now() + latency + extra_delay;
+                self.enqueue(
+                    to,
+                    Envelope { from: self.node, payload: payload.clone(), deliver_at },
+                )?;
+                self.enqueue(to, Envelope { from: self.node, payload, deliver_at })?;
+                self.release_stash_for(to)
+            }
+            FaultVerdict::Reorder => {
+                self.stats.record_reordered();
+                let envelope =
+                    Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
+                self.reorder_stash.lock().unwrap().entry(to).or_default().push(envelope);
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases every message held back by reorder faults. The replication
+    /// fence calls this on every endpoint before draining receivers, so the
+    /// fence's "apply all outstanding writes" guarantee holds even under
+    /// reorder faults.
+    pub fn flush_stash(&self) {
+        let stashed: Vec<(usize, Vec<Envelope<M>>)> = {
+            let mut stash = self.reorder_stash.lock().unwrap();
+            let mut entries: Vec<_> = stash.drain().collect();
+            entries.sort_by_key(|(to, _)| *to);
+            entries
+        };
+        for (to, envelopes) in stashed {
+            for envelope in envelopes {
+                let _ = self.enqueue(to, envelope);
+            }
+        }
     }
 
     /// Sends a message to every other node (not to itself). Returns the list

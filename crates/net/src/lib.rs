@@ -12,7 +12,11 @@
 //!   of Section 5 can be measured rather than estimated;
 //! * **failure injection**: a node can be marked failed, after which sends to
 //!   and from it error out — this is what the failure-detection and recovery
-//!   tests drive.
+//!   tests drive;
+//! * **seeded fault injection** (see [`fault`]): per-link drop / delay /
+//!   duplicate / reorder probabilities and link partitions, all drawn from
+//!   deterministic per-link RNGs so any chaos run reproduces from its seed —
+//!   this is what the `star-chaos` harness drives.
 //!
 //! The substrate is deliberately simple: per-link FIFO channels built on
 //! `crossbeam`, with latency enforced by the receiver sleeping until the
@@ -24,7 +28,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod endpoint;
+pub mod fault;
 pub mod stats;
 
 pub use endpoint::{Endpoint, Envelope, Message, NetworkConfig, RecvError, SendError, SimNetwork};
+pub use fault::LinkFaults;
 pub use stats::NetStats;

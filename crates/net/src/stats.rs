@@ -12,6 +12,17 @@ pub struct NetStats {
     bytes: AtomicU64,
     /// Bytes indexed by sending node (flattened `from` dimension).
     per_node_bytes: Vec<AtomicU64>,
+    /// Messages lost by the fault plane (drops and cut links). Their bytes
+    /// still count as sent: the packet was transmitted, then lost in flight.
+    dropped: AtomicU64,
+    /// Messages delivered twice by the fault plane. Each duplicate is a
+    /// second transmission, so its bytes are accounted a second time.
+    duplicated: AtomicU64,
+    /// Messages stashed for reordering by the fault plane. Bytes are
+    /// accounted once, at the original send.
+    reordered: AtomicU64,
+    /// Messages that received an extra fault-plane delay.
+    delayed: AtomicU64,
 }
 
 impl NetStats {
@@ -21,6 +32,10 @@ impl NetStats {
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             per_node_bytes: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            reordered: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
         }
     }
 
@@ -46,6 +61,46 @@ impl NetStats {
     /// Bytes sent by one node.
     pub fn bytes_from(&self, node: usize) -> u64 {
         self.per_node_bytes.get(node).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Records a message lost by the fault plane.
+    pub fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message duplicated by the fault plane.
+    pub fn record_duplicated(&self) {
+        self.duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message stashed for reordering by the fault plane.
+    pub fn record_reordered(&self) {
+        self.reordered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message delayed by the fault plane.
+    pub fn record_delayed(&self) {
+        self.delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages lost by the fault plane (drops + cut links).
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages duplicated by the fault plane.
+    pub fn duplicated_messages(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Messages stashed for reordering by the fault plane.
+    pub fn reordered_messages(&self) -> u64 {
+        self.reordered.load(Ordering::Relaxed)
+    }
+
+    /// Messages that received an extra fault-plane delay.
+    pub fn delayed_messages(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
     }
 }
 

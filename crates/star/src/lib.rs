@@ -8,6 +8,9 @@
 //!   asymmetric replication, the analytical model, failure handling.
 //! * [`baselines`](star_baselines) — the evaluation's comparison systems:
 //!   PB. OCC, Dist. OCC, Dist. S2PL and Calvin.
+//! * [`chaos`](star_chaos) — the deterministic chaos harness: seeded fault
+//!   injection over the simulated cluster plus an offline serializability
+//!   checker (`star-chaos` binary).
 //! * [`workloads`](star_workloads) — YCSB and TPC-C (NewOrder + Payment).
 //! * [`storage`](star_storage), [`occ`](star_occ),
 //!   [`replication`](star_replication), [`net`](star_net),
@@ -43,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use star_baselines as baselines;
+pub use star_chaos as chaos;
 pub use star_common as common;
 pub use star_core as core;
 pub use star_net as net;
@@ -60,8 +64,10 @@ pub mod prelude {
         ReplicationStrategy, Result, Row, Tid,
     };
     pub use star_core::{
-        AnalyticalModel, FailureCase, PhasePlan, StarCluster, StarEngine, Workload, WorkloadMix,
+        AnalyticalModel, CommittedTxn, FailureCase, FailureVectorMismatch, HistoryRecorder,
+        PhasePlan, StarCluster, StarEngine, Workload, WorkloadMix,
     };
+    pub use star_net::LinkFaults;
     pub use star_occ::{Procedure, TxnCtx};
     pub use star_storage::{Database, DatabaseBuilder, TableSpec};
     pub use star_workloads::{TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};

@@ -28,13 +28,13 @@ fn main() {
     println!("phase 1: healthy cluster");
     let report = engine.run_for(Duration::from_millis(200));
     println!("  committed {} txns at {:.0} txns/sec", report.counters.committed, report.throughput);
-    println!("  failure case: {:?}", engine.failure_case());
+    println!("  failure case: {:?}", engine.failure_case().unwrap());
 
     println!("\nphase 2: node 2 (a partial replica) crashes");
     engine.inject_failure(2);
     engine.run_iteration(); // the next replication fence detects the failure
     println!("  detected failed nodes: {:?}", engine.failed_nodes());
-    println!("  failure case: {:?} (paper Case 1)", engine.failure_case());
+    println!("  failure case: {:?} (paper Case 1)", engine.failure_case().unwrap());
     let report = engine.run_for(Duration::from_millis(200));
     println!(
         "  still committing: {} txns at {:.0} txns/sec with node 2 down",

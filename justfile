@@ -40,9 +40,22 @@ bench-smoke seed="42":
 bench-contention:
     cargo run --release -p star-bench --bin star-bench -- --contention-only
 
+# Deterministic chaos sweep: 100 seeded fault-injection scenarios, each
+# checked for serializability against a sequential oracle.
+chaos seeds="100":
+    cargo run --release -p star-chaos --bin star-chaos -- --seeds {{seeds}}
+
+# Reproduce a single failing chaos seed exactly (schedule, history, verdict).
+chaos-seed seed:
+    cargo run --release -p star-chaos --bin star-chaos -- --seed {{seed}} --verbose
+
+# The CI chaos job, locally: fail fast and write the machine-readable report.
+chaos-smoke:
+    cargo run --release -p star-chaos --bin star-chaos -- --seeds 100 --fail-fast --json CHAOS_report.json
+
 # Regenerate the paper's figures (quick scale).
 figures:
     cargo run --release -p star-bench --bin figures -- --quick all
 
 # Everything CI checks, locally.
-ci: lint build test bench-smoke
+ci: lint build test bench-smoke chaos-smoke

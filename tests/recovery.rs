@@ -36,8 +36,8 @@ fn case1_partial_replica_failure_keeps_the_system_available() {
     engine.run_for(Duration::from_millis(30));
     engine.inject_failure(3);
     engine.run_iteration();
-    assert_eq!(engine.failure_case(), FailureCase::FullAndPartialRemain);
-    assert!(engine.failure_case().phase_switching_available());
+    assert_eq!(engine.failure_case().unwrap(), FailureCase::FullAndPartialRemain);
+    assert!(engine.failure_case().unwrap().phase_switching_available());
     let report = engine.run_for(Duration::from_millis(30));
     assert!(report.counters.committed > 0);
 }
@@ -49,8 +49,8 @@ fn case2_losing_every_full_replica_disables_phase_switching() {
     engine.run_for(Duration::from_millis(20));
     engine.inject_failure(0);
     engine.run_iteration();
-    assert_eq!(engine.failure_case(), FailureCase::OnlyPartialRemains);
-    assert!(!engine.failure_case().phase_switching_available());
+    assert_eq!(engine.failure_case().unwrap(), FailureCase::OnlyPartialRemains);
+    assert!(!engine.failure_case().unwrap().phase_switching_available());
     assert_eq!(engine.current_master(), None);
     // Single-partition traffic still commits on the surviving partial
     // replicas (the engine's degraded mode).
@@ -67,8 +67,8 @@ fn case3_losing_partial_coverage_re_masters_onto_the_full_replica() {
     engine.inject_failure(2);
     engine.inject_failure(3);
     engine.run_iteration();
-    assert_eq!(engine.failure_case(), FailureCase::OnlyFullRemains);
-    assert!(engine.failure_case().phase_switching_available());
+    assert_eq!(engine.failure_case().unwrap(), FailureCase::OnlyFullRemains);
+    assert!(engine.failure_case().unwrap().phase_switching_available());
     // Every partition must now be re-mastered onto a full replica.
     for p in 0..config.partitions {
         let primary = engine.effective_primary(p).unwrap();
@@ -87,8 +87,8 @@ fn case4_losing_everything_stops_the_system() {
         engine.inject_failure(node);
     }
     engine.run_iteration();
-    assert_eq!(engine.failure_case(), FailureCase::NothingRemains);
-    assert!(!engine.failure_case().available());
+    assert_eq!(engine.failure_case().unwrap(), FailureCase::NothingRemains);
+    assert!(!engine.failure_case().unwrap().available());
 }
 
 #[test]
@@ -166,9 +166,8 @@ fn wal_written_by_the_engine_is_replayable() {
     let mut engine = StarEngine::new(config, ycsb(4)).unwrap();
     let report = engine.run_for(Duration::from_millis(40));
     assert!(report.counters.wal_bytes > 0);
-    let dir = std::env::temp_dir().join(format!("star-wal-{}", std::process::id()));
-    let wal_path = dir.join("node-0.wal");
-    let reader = star::replication::WalReader::open(&wal_path).unwrap();
+    let wal_path = &engine.wal_paths()[0];
+    let reader = star::replication::WalReader::open(wal_path).unwrap();
     let entries = reader.entries().unwrap();
     assert!(!entries.is_empty());
     assert!(entries.iter().all(|e| e.tid.epoch() >= 1));
