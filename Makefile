@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint bench bench-baseline bench-smoke bench-contention chaos chaos-smoke figures ci
+.PHONY: build test lint bench bench-baseline bench-smoke bench-contention chaos chaos-synth chaos-nightly chaos-smoke figures ci
 
 build:
 	cargo build --release
@@ -36,8 +36,17 @@ bench-contention:
 chaos:
 	cargo run --release -p star-chaos --bin star-chaos -- --seeds 100
 
+# Generative chaos: 1000 synthesized multi-fault schedules; red seeds are
+# shrunk to a minimal failing schedule. Nightly CI sweeps 5000.
+chaos-synth:
+	cargo run --release -p star-chaos --bin star-chaos -- --synth
+
+chaos-nightly:
+	cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 5000 --json CHAOS_nightly.json
+
 chaos-smoke:
 	cargo run --release -p star-chaos --bin star-chaos -- --seeds 100 --fail-fast --json CHAOS_report.json
+	cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 120 --skip-engines --fail-fast --json CHAOS_synth_smoke.json
 
 figures:
 	cargo run --release -p star-bench --bin figures -- --quick all

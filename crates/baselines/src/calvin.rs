@@ -18,6 +18,7 @@
 //! other node.
 
 use crate::driver::{build_full_database, BaselineConfig};
+use crate::replication::ReplicaLink;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,8 +26,9 @@ use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{Epoch, Error, Result, TidGenerator};
 use star_core::history::{CommittedTxn, HistoryRecorder};
 use star_core::Workload;
+use star_net::LinkFaults;
 use star_occ::{Procedure, TxnCtx};
-use star_replication::ExecutionPhase;
+use star_replication::{build_log_entries, ExecutionPhase};
 use star_storage::{Database, Record};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -59,6 +61,14 @@ pub struct Calvin {
     calvin: CalvinConfig,
     workload: Arc<dyn Workload>,
     store: Arc<Database>,
+    /// Optional replica of the store, brought up to date at the end of each
+    /// batch through the fault-injectable [`ReplicaLink`]. Calvin proper
+    /// replicates *inputs*; the backup here materialises the replica group's
+    /// applied state so the chaos harness can compare it against the
+    /// sequential oracle under replication faults. Attached on demand so
+    /// benchmark runs pay nothing for it.
+    backup: Option<Arc<Database>>,
+    link: Arc<ReplicaLink>,
     counters: Arc<RunCounters>,
     epoch: Epoch,
     sequence: u64,
@@ -79,6 +89,8 @@ impl Calvin {
             calvin,
             workload,
             store,
+            backup: None,
+            link: Arc::new(ReplicaLink::new()),
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
             sequence: 0,
@@ -89,6 +101,32 @@ impl Calvin {
     /// The shared counters.
     pub fn counters(&self) -> &RunCounters {
         &self.counters
+    }
+
+    /// Attaches a backup replica: from now on the writes of every committed
+    /// transaction are streamed through the [`ReplicaLink`] and applied to
+    /// the backup at the end of each batch.
+    pub fn attach_backup(&mut self) {
+        if self.backup.is_none() {
+            self.backup = Some(build_full_database(self.workload.as_ref()));
+        }
+    }
+
+    /// Injects faults into the replication stream (attaching the backup if
+    /// necessary), seeded from the cluster seed.
+    pub fn set_replication_faults(&mut self, faults: LinkFaults) {
+        self.attach_backup();
+        self.link.set_faults(self.config.cluster.seed, faults);
+    }
+
+    /// The backup replica, if one has been attached.
+    pub fn backup(&self) -> Option<&Arc<Database>> {
+        self.backup.as_ref()
+    }
+
+    /// The replication link (fault counters).
+    pub fn replica_link(&self) -> &Arc<ReplicaLink> {
+        &self.link
     }
 
     /// Attaches a committed-history recorder. Calvin releases a batch's
@@ -138,6 +176,8 @@ impl Calvin {
         let store = &self.store;
         let counters = &self.counters;
         let history = &self.history;
+        let link = &self.link;
+        let replicate = self.backup.is_some();
 
         std::thread::scope(|scope| {
             let chunks: Vec<&[Box<dyn Procedure>]> =
@@ -148,6 +188,7 @@ impl Calvin {
                 let committed = Arc::clone(&committed);
                 let queues = Arc::clone(&lock_manager_queues);
                 let history = history.clone();
+                let link = Arc::clone(link);
                 scope.spawn(move || {
                     let mut tid_gen = TidGenerator::new();
                     for proc in chunk {
@@ -196,6 +237,14 @@ impl Calvin {
                                         &output.write_set,
                                     ));
                                 }
+                                if replicate {
+                                    link.offer(build_log_entries(
+                                        &output.write_set,
+                                        output.tid,
+                                        star_common::ReplicationStrategy::Value,
+                                        ExecutionPhase::SingleMaster,
+                                    ));
+                                }
                                 counters.add_commit();
                                 committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             }
@@ -206,6 +255,11 @@ impl Calvin {
                 });
             }
         });
+        // The batch's results are released together; the replica group
+        // applies the batch's writes at the same boundary.
+        if let Some(backup) = &self.backup {
+            self.link.group_commit(backup);
+        }
         self.epoch += 1;
         committed.load(std::sync::atomic::Ordering::Relaxed)
     }

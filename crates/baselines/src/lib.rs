@@ -35,11 +35,13 @@ pub mod calvin;
 pub mod driver;
 pub mod partitioned;
 pub mod pb_occ;
+pub mod replication;
 
 pub use calvin::{Calvin, CalvinConfig};
 pub use driver::BaselineConfig;
 pub use partitioned::{DistOcc, DistS2pl};
 pub use pb_occ::PbOcc;
+pub use replication::ReplicaLink;
 
 #[cfg(test)]
 pub(crate) mod test_sync {

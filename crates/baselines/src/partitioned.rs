@@ -10,6 +10,7 @@
 //! with a round trip per commit.
 
 use crate::driver::{build_full_database, BaselineConfig};
+use crate::replication::ReplicaLink;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,6 +20,7 @@ use star_common::{
 };
 use star_core::history::{CommittedTxn, HistoryRecorder};
 use star_core::Workload;
+use star_net::LinkFaults;
 use star_occ::{commit_single_master, DataSource, TxnCtx};
 use star_replication::{build_log_entries, ExecutionPhase, LogEntry};
 use star_storage::{Database, ReadResult, Record};
@@ -109,7 +111,8 @@ pub struct PartitionedEngine {
     store: Arc<Database>,
     /// Backup copies (one logical backup replica).
     backup: Arc<Database>,
-    pending: Arc<Mutex<Vec<LogEntry>>>,
+    /// The store→backup replication stream (fault-injectable).
+    link: Arc<ReplicaLink>,
     counters: Arc<RunCounters>,
     epoch: Epoch,
     history: Option<Arc<HistoryRecorder>>,
@@ -134,7 +137,7 @@ impl PartitionedEngine {
             workload,
             store,
             backup,
-            pending: Arc::new(Mutex::new(Vec::new())),
+            link: Arc::new(ReplicaLink::new()),
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
             history: None,
@@ -148,9 +151,25 @@ impl PartitionedEngine {
         self.history = Some(recorder);
     }
 
+    /// Injects faults into the store→backup replication stream, seeded from
+    /// the cluster seed (see [`ReplicaLink`]).
+    pub fn set_replication_faults(&mut self, faults: LinkFaults) {
+        self.link.set_faults(self.config.cluster.seed, faults);
+    }
+
+    /// The replication link (fault counters).
+    pub fn replica_link(&self) -> &Arc<ReplicaLink> {
+        &self.link
+    }
+
     /// The sharded primary store.
     pub fn store(&self) -> &Arc<Database> {
         &self.store
+    }
+
+    /// The backup replica.
+    pub fn backup(&self) -> &Arc<Database> {
+        &self.backup
     }
 
     /// The shared counters.
@@ -169,10 +188,7 @@ impl PartitionedEngine {
 
     fn group_commit(&mut self) {
         let start = Instant::now();
-        let pending = std::mem::take(&mut *self.pending.lock());
-        for entry in pending {
-            let _ = entry.apply(&self.backup);
-        }
+        self.link.group_commit(&self.backup);
         self.epoch += 1;
         self.counters.add_fence(start.elapsed());
     }
@@ -193,7 +209,7 @@ impl PartitionedEngine {
             let epoch_deadline = Instant::now() + epoch_interval;
             let store = &self.store;
             let backup = &self.backup;
-            let pending = &self.pending;
+            let link = &self.link;
             let counters = &self.counters;
             let workload = &self.workload;
             let config = &self.config;
@@ -204,7 +220,7 @@ impl PartitionedEngine {
                 for worker in 0..total_workers {
                     let store = Arc::clone(store);
                     let backup = Arc::clone(backup);
-                    let pending = Arc::clone(pending);
+                    let link = Arc::clone(link);
                     let counters = Arc::clone(counters);
                     let workload = Arc::clone(workload);
                     let latency = Arc::clone(latency);
@@ -282,37 +298,65 @@ impl PartitionedEngine {
                                     // Locks were taken at access time; lock
                                     // any write-only records (inserts), then
                                     // install the writes under a fresh TID
-                                    // and release every lock.
+                                    // and release every lock — each lock
+                                    // exactly once. A record must never be
+                                    // probed with `is_locked()` to decide
+                                    // whether to unlock it: the instant
+                                    // `write_and_unlock` releases a write
+                                    // record, a concurrent NO_WAIT
+                                    // transaction can acquire it, and a
+                                    // second unlock from this transaction
+                                    // would free the *other* transaction's
+                                    // lock (a real lock-discipline collapse
+                                    // the serializability checker caught as
+                                    // intermittent cycles). Instead, track
+                                    // which held record is written (last
+                                    // write wins for duplicate keys) and
+                                    // release write locks via the install
+                                    // and read-only locks separately.
                                     let locked = source.take_locks();
                                     let mut extra_locked: Vec<Arc<Record>> = Vec::new();
+                                    // (record, index in `ws` of its last write)
+                                    let mut write_recs: Vec<(Arc<Record>, usize)> = Vec::new();
                                     let mut ok = true;
-                                    for w in &ws {
-                                        let rec = match store.try_get(w.table, w.partition, w.key) {
-                                            Ok(Some(rec)) => rec,
-                                            _ => match store.insert(
-                                                w.table,
-                                                w.partition,
-                                                w.key,
-                                                star_common::Row::empty(),
-                                            ) {
-                                                Ok(rec) => rec,
-                                                Err(_) => {
-                                                    ok = false;
-                                                    break;
-                                                }
-                                            },
+                                    for (i, w) in ws.iter().enumerate() {
+                                        // get_or_insert_with is the race-safe
+                                        // insert path: Database::insert would
+                                        // *replace* a record a concurrent
+                                        // worker just inserted and locked,
+                                        // leaving two transactions committed
+                                        // against two distinct record handles
+                                        // for one key.
+                                        let rec = match store.get_or_insert_with(
+                                            w.table,
+                                            w.partition,
+                                            w.key,
+                                            || star_storage::Record::new(star_common::Row::empty()),
+                                        ) {
+                                            Ok(rec) => rec,
+                                            Err(_) => {
+                                                ok = false;
+                                                break;
+                                            }
                                         };
-                                        let already = locked
+                                        let held = locked
                                             .iter()
                                             .chain(extra_locked.iter())
                                             .any(|r| Arc::ptr_eq(r, &rec));
-                                        if !already {
+                                        if !held {
                                             if rec.try_lock() {
-                                                extra_locked.push(rec);
+                                                extra_locked.push(Arc::clone(&rec));
                                             } else {
                                                 ok = false;
                                                 break;
                                             }
+                                        }
+                                        match write_recs
+                                            .iter_mut()
+                                            .find(|(r, _)| Arc::ptr_eq(r, &rec))
+                                        {
+                                            Some(entry) => entry.1 = i,
+                                            None => write_recs.push((rec, i)),
                                         }
                                     }
                                     if ok {
@@ -323,17 +367,13 @@ impl PartitionedEngine {
                                             .max()
                                             .unwrap_or(star_common::Tid::ZERO);
                                         let tid = tid_gen.generate(epoch, max_tid);
-                                        for w in &ws {
-                                            if let Ok(Some(rec)) =
-                                                store.try_get(w.table, w.partition, w.key)
-                                            {
-                                                if rec.is_locked() {
-                                                    rec.write_and_unlock(w.row.clone(), tid);
-                                                }
-                                            }
+                                        for (rec, last) in &write_recs {
+                                            rec.write_and_unlock(ws[*last].row.clone(), tid);
                                         }
                                         for rec in locked.iter().chain(extra_locked.iter()) {
-                                            if rec.is_locked() {
+                                            let written =
+                                                write_recs.iter().any(|(r, _)| Arc::ptr_eq(r, rec));
+                                            if !written {
                                                 rec.unlock();
                                             }
                                         }
@@ -343,10 +383,12 @@ impl PartitionedEngine {
                                         }
                                         Ok(ws_out)
                                     } else {
+                                        // Abort: nothing has been written or
+                                        // unlocked yet, so every lock in
+                                        // `locked`/`extra_locked` is still
+                                        // ours to release.
                                         for rec in locked.iter().chain(extra_locked.iter()) {
-                                            if rec.is_locked() {
-                                                rec.unlock();
-                                            }
+                                            rec.unlock();
                                         }
                                         Err(Error::Abort(AbortReason::LockConflict))
                                     }
@@ -391,12 +433,10 @@ impl PartitionedEngine {
                                 let bytes: usize = entries.iter().map(LogEntry::wire_size).sum();
                                 counters.add_replication_bytes(bytes as u64);
                                 if sync {
-                                    for entry in &entries {
-                                        let _ = entry.apply(&backup);
-                                    }
+                                    link.deliver_now(&entries, &backup);
                                     std::thread::sleep(round_trip);
                                 } else {
-                                    pending.lock().extend(entries);
+                                    link.offer(entries);
                                 }
                             }
                             counters.add_commit();
@@ -457,6 +497,21 @@ impl DistOcc {
     pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
         self.0.set_history_recorder(recorder);
     }
+
+    /// Injects faults into the store→backup replication stream.
+    pub fn set_replication_faults(&mut self, faults: LinkFaults) {
+        self.0.set_replication_faults(faults);
+    }
+
+    /// The replication link (fault counters).
+    pub fn replica_link(&self) -> &Arc<ReplicaLink> {
+        self.0.replica_link()
+    }
+
+    /// The backup replica.
+    pub fn backup(&self) -> &Arc<Database> {
+        self.0.backup()
+    }
 }
 
 /// Distributed strict 2PL (NO_WAIT) with two-phase commit.
@@ -481,6 +536,21 @@ impl DistS2pl {
     /// Attaches a committed-history recorder.
     pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
         self.0.set_history_recorder(recorder);
+    }
+
+    /// Injects faults into the store→backup replication stream.
+    pub fn set_replication_faults(&mut self, faults: LinkFaults) {
+        self.0.set_replication_faults(faults);
+    }
+
+    /// The replication link (fault counters).
+    pub fn replica_link(&self) -> &Arc<ReplicaLink> {
+        self.0.replica_link()
+    }
+
+    /// The backup replica.
+    pub fn backup(&self) -> &Arc<Database> {
+        self.0.backup()
     }
 }
 

@@ -8,6 +8,7 @@
 //! holds its write locks for a replication round trip.
 
 use crate::driver::{build_full_database, BaselineConfig};
+use crate::replication::ReplicaLink;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,6 +16,7 @@ use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{Epoch, Error, ReplicationMode, Result, TidGenerator};
 use star_core::history::{CommittedTxn, HistoryRecorder};
 use star_core::Workload;
+use star_net::LinkFaults;
 use star_occ::{commit_single_master, TxnCtx};
 use star_replication::{build_log_entries, ExecutionPhase, LogEntry};
 use star_storage::Database;
@@ -27,8 +29,9 @@ pub struct PbOcc {
     workload: Arc<dyn Workload>,
     primary: Arc<Database>,
     backup: Arc<Database>,
-    /// Replication entries buffered since the last group commit.
-    pending: Arc<Mutex<Vec<LogEntry>>>,
+    /// The primary→backup replication stream (buffers entries between group
+    /// commits; fault-injectable through the shared fault plane).
+    link: Arc<ReplicaLink>,
     counters: Arc<RunCounters>,
     epoch: Epoch,
     history: Option<Arc<HistoryRecorder>>,
@@ -46,7 +49,7 @@ impl PbOcc {
             workload,
             primary,
             backup,
-            pending: Arc::new(Mutex::new(Vec::new())),
+            link: Arc::new(ReplicaLink::new()),
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
             history: None,
@@ -57,6 +60,17 @@ impl PbOcc {
     /// epoch, so every commit is recorded as final immediately.
     pub fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
         self.history = Some(recorder);
+    }
+
+    /// Injects faults into the primary→backup replication stream, seeded
+    /// from the cluster seed (see [`ReplicaLink`]).
+    pub fn set_replication_faults(&mut self, faults: LinkFaults) {
+        self.link.set_faults(self.config.cluster.seed, faults);
+    }
+
+    /// The replication link (fault counters).
+    pub fn replica_link(&self) -> &Arc<ReplicaLink> {
+        &self.link
     }
 
     /// The primary replica (for inspection in tests).
@@ -78,10 +92,7 @@ impl PbOcc {
     /// commit of asynchronous replication) and advances the epoch.
     fn group_commit(&mut self) {
         let start = Instant::now();
-        let pending = std::mem::take(&mut *self.pending.lock());
-        for entry in pending {
-            let _ = entry.apply(&self.backup);
-        }
+        self.link.group_commit(&self.backup);
         self.epoch += 1;
         self.counters.add_fence(start.elapsed());
     }
@@ -102,7 +113,7 @@ impl PbOcc {
             let epoch_deadline = Instant::now() + epoch_interval;
             let primary = &self.primary;
             let backup = &self.backup;
-            let pending = &self.pending;
+            let link = &self.link;
             let counters = &self.counters;
             let workload = &self.workload;
             let latency = &latency;
@@ -111,7 +122,7 @@ impl PbOcc {
                 for worker in 0..workers {
                     let primary = Arc::clone(primary);
                     let backup = Arc::clone(backup);
-                    let pending = Arc::clone(pending);
+                    let link = Arc::clone(link);
                     let counters = Arc::clone(counters);
                     let workload = Arc::clone(workload);
                     let latency = Arc::clone(latency);
@@ -173,13 +184,11 @@ impl PbOcc {
                                 // Synchronous replication: apply on the
                                 // backup and pay the round trip while the
                                 // write locks are (logically) held.
-                                for entry in &entries {
-                                    let _ = entry.apply(&backup);
-                                }
+                                link.deliver_now(&entries, &backup);
                                 std::thread::sleep(round_trip);
                                 local_latency.record(txn_start.elapsed());
                             } else {
-                                pending.lock().extend(entries);
+                                link.offer(entries);
                                 // Under async replication + group commit the
                                 // result is only released at the end of the
                                 // epoch; latency is recorded then.

@@ -5,27 +5,45 @@
 //! committed history against a sequential oracle.
 //!
 //! ```bash
-//! cargo run --release -p star-chaos --bin star-chaos                     # 100-seed sweep
-//! cargo run --release -p star-chaos --bin star-chaos -- --seeds 200
-//! cargo run --release -p star-chaos --bin star-chaos -- --seed 17       # reproduce one seed
+//! cargo run --release -p star-chaos --bin star-chaos                 # 100-seed template sweep
+//! cargo run --release -p star-chaos --bin star-chaos -- --synth      # 1000 synthesized schedules
+//! cargo run --release -p star-chaos --bin star-chaos -- --seed 17    # reproduce one seed
+//! cargo run --release -p star-chaos --bin star-chaos -- --synth --seed 17   # synth variant
 //! cargo run --release -p star-chaos --bin star-chaos -- --fail-fast --json CHAOS_report.json
+//! cargo run --release -p star-chaos --bin star-chaos -- --synth --inject-bug --seeds 64
 //! ```
 //!
 //! Determinism contract: identical seed ⇒ identical fault schedule,
 //! identical committed history (fingerprint) and identical checker verdict.
 //! The sweep verifies this by re-running its first seeds; a failing seed's
-//! report therefore reproduces the bug exactly with `--seed N`.
+//! report therefore reproduces the bug exactly with `--seed N` (plus
+//! `--synth` if the sweep was synthesized).
+//!
+//! On a red seed the harness additionally runs the shrinker: the minimal
+//! schedule that still fails with the same violation category is printed
+//! and embedded in the JSON report next to the seed.
 
 use star_chaos::engines::check_baseline_engines;
-use star_chaos::{plan_for_seed, run_seed, ChaosOutcome};
+use star_chaos::shrink::shrink_plan_from;
+use star_chaos::{plan_for_seed, run_plan, synth_plan, ChaosOutcome, ChaosPlan, SynthOptions};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+/// Red seeds shrunk per sweep. A systemic regression can red hundreds of
+/// seeds; shrinking each one costs up to `MAX_SHRINK_RUNS` verification
+/// runs, so the sweep minimizes only the first few counterexamples (every
+/// red seed still reproduces exactly via `--seed N`, where it is shrunk
+/// individually).
+const SHRINK_BUDGET_PER_SWEEP: usize = 10;
+
 struct Options {
-    seeds: u64,
+    seeds: Option<u64>,
     single_seed: Option<u64>,
+    synth: bool,
+    inject_bug: bool,
     fail_fast: bool,
     skip_engines: bool,
+    no_shrink: bool,
     determinism_checks: u64,
     json: Option<PathBuf>,
     verbose: bool,
@@ -33,18 +51,21 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: star-chaos [--seeds N] [--seed K] [--fail-fast] [--skip-engines] \
-         [--determinism-checks N] [--json PATH] [--verbose]"
+        "usage: star-chaos [--seeds N] [--seed K] [--synth] [--inject-bug] [--fail-fast] \
+         [--skip-engines] [--no-shrink] [--determinism-checks N] [--json PATH] [--verbose]"
     );
     std::process::exit(2);
 }
 
 fn parse_options() -> Options {
     let mut options = Options {
-        seeds: 100,
+        seeds: None,
         single_seed: None,
+        synth: false,
+        inject_bug: false,
         fail_fast: false,
         skip_engines: false,
+        no_shrink: false,
         determinism_checks: 3,
         json: None,
         verbose: false,
@@ -57,7 +78,7 @@ fn parse_options() -> Options {
                     eprintln!("--seeds requires an integer");
                     usage();
                 };
-                options.seeds = value;
+                options.seeds = Some(value);
             }
             "--seed" => {
                 let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
@@ -66,8 +87,16 @@ fn parse_options() -> Options {
                 };
                 options.single_seed = Some(value);
             }
+            "--synth" => options.synth = true,
+            "--inject-bug" => {
+                // A deliberately planted checker-visible bug, for validating
+                // the sweep-and-shrink pipeline end to end.
+                options.synth = true;
+                options.inject_bug = true;
+            }
             "--fail-fast" => options.fail_fast = true,
             "--skip-engines" => options.skip_engines = true,
+            "--no-shrink" => options.no_shrink = true,
             "--determinism-checks" => {
                 let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("--determinism-checks requires an integer");
@@ -97,13 +126,32 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
-fn outcome_json(outcome: &ChaosOutcome) -> String {
+/// A red outcome's shrink result, for the report.
+struct ShrunkReport {
+    ops: usize,
+    original_ops: usize,
+    category: String,
+    schedule: String,
+}
+
+fn outcome_json(outcome: &ChaosOutcome, shrunk: Option<&ShrunkReport>) -> String {
     let violations: Vec<String> =
         outcome.violations.iter().map(|v| format!("\"{}\"", json_escape(v))).collect();
     let cases: Vec<String> = outcome.cases_seen.iter().map(|c| format!("\"{c:?}\"")).collect();
+    let shrunk_json = match shrunk {
+        Some(s) => format!(
+            ",\"shrunk\":{{\"ops\":{},\"original_ops\":{},\"category\":\"{}\",\
+             \"schedule\":\"{}\"}}",
+            s.ops,
+            s.original_ops,
+            json_escape(&s.category),
+            json_escape(&s.schedule),
+        ),
+        None => String::new(),
+    };
     format!(
         "{{\"seed\":{},\"scenario\":\"{}\",\"committed\":{},\"fingerprint\":\"{:016x}\",\
-         \"cases_seen\":[{}],\"passed\":{},\"violations\":[{}],\"schedule\":\"{}\"}}",
+         \"cases_seen\":[{}],\"passed\":{},\"violations\":[{}],\"schedule\":\"{}\"{}}}",
         outcome.seed,
         json_escape(&outcome.label),
         outcome.committed,
@@ -112,29 +160,71 @@ fn outcome_json(outcome: &ChaosOutcome) -> String {
         outcome.passed(),
         violations.join(","),
         json_escape(&format!("{:?}", outcome.schedule)),
+        shrunk_json,
     )
 }
 
-fn print_failure(outcome: &ChaosOutcome) {
+fn print_failure(outcome: &ChaosOutcome, synth: bool, inject_bug: bool) {
     eprintln!("\nseed {} FAILED ({}):", outcome.seed, outcome.label);
     for violation in &outcome.violations {
         eprintln!("  violation: {violation}");
     }
     eprintln!("  cases seen: {:?}", outcome.cases_seen);
     eprintln!("  fingerprint: {:016x}", outcome.fingerprint);
-    eprintln!("  reproduce with: star-chaos --seed {}", outcome.seed);
+    let flags = if inject_bug {
+        "--inject-bug "
+    } else if synth {
+        "--synth "
+    } else {
+        ""
+    };
+    eprintln!("  reproduce with: star-chaos {flags}--seed {}", outcome.seed);
     eprintln!("  schedule: {:?}", outcome.schedule);
+}
+
+fn shrink_failure(plan: &ChaosPlan, violations: &[String]) -> Option<ShrunkReport> {
+    match shrink_plan_from(plan, violations) {
+        Ok(Some(shrunk)) => {
+            eprintln!(
+                "  shrunk: {} of {} op(s) remain after {} verification run(s) ({}):",
+                shrunk.shrunk_ops, shrunk.original_ops, shrunk.runs, shrunk.category
+            );
+            eprintln!("  minimal schedule: {:?}", shrunk.plan.schedule);
+            Some(ShrunkReport {
+                ops: shrunk.shrunk_ops,
+                original_ops: shrunk.original_ops,
+                category: shrunk.category,
+                schedule: format!("{:?}", shrunk.plan.schedule),
+            })
+        }
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("  shrink failed to run: {e}");
+            None
+        }
+    }
 }
 
 fn main() {
     let options = parse_options();
     let start = Instant::now();
+    let synth_options = SynthOptions { inject_unsafe_loss: options.inject_bug };
+    let make_plan = |seed: u64| -> ChaosPlan {
+        if options.synth {
+            synth_plan(seed, &synth_options)
+        } else {
+            plan_for_seed(seed)
+        }
+    };
+    // A synthesized sweep defaults to 1000 schedules; the template sweep
+    // keeps its fast 100-seed default (the CI smoke job).
+    let default_seeds = if options.synth { 1000 } else { 100 };
     let seeds: Vec<u64> = match options.single_seed {
         Some(seed) => vec![seed],
-        None => (0..options.seeds).collect(),
+        None => (0..options.seeds.unwrap_or(default_seeds)).collect(),
     };
 
-    let mut outcomes: Vec<ChaosOutcome> = Vec::new();
+    let mut outcomes: Vec<(ChaosOutcome, Option<ShrunkReport>)> = Vec::new();
     let mut failed = false;
 
     // Determinism self-check: the first seeds run twice; schedule, history
@@ -142,9 +232,9 @@ fn main() {
     let determinism_seeds: Vec<u64> =
         seeds.iter().copied().take(options.determinism_checks as usize).collect();
     for &seed in &determinism_seeds {
-        let first = run_seed(seed).expect("chaos run failed to start");
-        let second = run_seed(seed).expect("chaos run failed to start");
-        let plans_equal = plan_for_seed(seed).schedule == plan_for_seed(seed).schedule;
+        let first = run_plan(&make_plan(seed)).expect("chaos run failed to start");
+        let second = run_plan(&make_plan(seed)).expect("chaos run failed to start");
+        let plans_equal = make_plan(seed).schedule == make_plan(seed).schedule;
         if first.fingerprint != second.fingerprint
             || first.passed() != second.passed()
             || !plans_equal
@@ -160,8 +250,10 @@ fn main() {
         println!("determinism check: {} seed(s) re-ran identically", determinism_seeds.len());
     }
 
+    let mut shrinks_spent = 0usize;
     for &seed in &seeds {
-        let outcome = run_seed(seed).expect("chaos run failed to start");
+        let plan = make_plan(seed);
+        let outcome = run_plan(&plan).expect("chaos run failed to start");
         if options.verbose || !outcome.passed() {
             println!(
                 "seed {:>4} {:<40} committed {:>5}  cases {:?}  {}",
@@ -172,12 +264,22 @@ fn main() {
                 if outcome.passed() { "ok" } else { "FAILED" }
             );
         }
+        let mut shrunk = None;
         if !outcome.passed() {
-            print_failure(&outcome);
+            print_failure(&outcome, options.synth, options.inject_bug);
+            if !options.no_shrink && shrinks_spent < SHRINK_BUDGET_PER_SWEEP {
+                shrinks_spent += 1;
+                shrunk = shrink_failure(&plan, &outcome.violations);
+            } else if !options.no_shrink {
+                eprintln!(
+                    "  (shrink budget of {SHRINK_BUDGET_PER_SWEEP} per sweep exhausted; \
+                     reproduce and shrink with --seed {seed})"
+                );
+            }
             failed = true;
         }
         let stop = failed && options.fail_fast;
-        outcomes.push(outcome);
+        outcomes.push((outcome, shrunk));
         if stop {
             break;
         }
@@ -185,7 +287,7 @@ fn main() {
 
     // Coverage summary.
     let mut cases: Vec<String> = Vec::new();
-    for outcome in &outcomes {
+    for (outcome, _) in &outcomes {
         for case in &outcome.cases_seen {
             let name = format!("{case:?}");
             if !cases.contains(&name) {
@@ -193,10 +295,11 @@ fn main() {
             }
         }
     }
-    let total_committed: usize = outcomes.iter().map(|o| o.committed).sum();
+    let total_committed: usize = outcomes.iter().map(|(o, _)| o.committed).sum();
     println!(
-        "\nswept {} seed(s) in {:.1?}: {} committed txns checked, cases covered: {:?}",
+        "\nswept {} seed(s){} in {:.1?}: {} committed txns checked, cases covered: {:?}",
         outcomes.len(),
+        if options.synth { " (synthesized)" } else { "" },
         start.elapsed(),
         total_committed,
         cases
@@ -205,7 +308,11 @@ fn main() {
         ["FullAndPartialRemain", "OnlyPartialRemains", "OnlyFullRemains", "NothingRemains"]
             .iter()
             .all(|c| cases.iter().any(|s| s == c));
-    if options.single_seed.is_none() && seeds.len() >= 4 && !all_four {
+    // The guided families repeat every 8 seeds in synth mode and every 4 in
+    // template mode, so any sweep at least that long must reach all four
+    // Figure-7 cases.
+    let coverage_window = if options.synth { 8 } else { 4 };
+    if options.single_seed.is_none() && seeds.len() >= coverage_window && !all_four {
         eprintln!("coverage violation: not every Figure-7 failure case was reached");
         failed = true;
     }
@@ -234,10 +341,11 @@ fn main() {
     }
 
     if let Some(path) = &options.json {
-        let body: Vec<String> = outcomes.iter().map(outcome_json).collect();
+        let body: Vec<String> = outcomes.iter().map(|(o, s)| outcome_json(o, s.as_ref())).collect();
         let json = format!(
-            "{{\"seeds\":{},\"failed\":{},\"outcomes\":[\n{}\n]}}\n",
+            "{{\"seeds\":{},\"synth\":{},\"failed\":{},\"outcomes\":[\n{}\n]}}\n",
             outcomes.len(),
+            options.synth,
             failed,
             body.join(",\n")
         );

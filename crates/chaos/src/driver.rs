@@ -426,6 +426,73 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_crashes_with_interleaved_recoveries_stay_serializable() {
+        // A majority of partition 1's replicas (nodes 1 and 2 of {0,1,2})
+        // die in overlapping windows; their recoveries interleave with a
+        // later crash of node 3. The committed history must stay
+        // serializable and all replicas must converge.
+        let mut plan = base_plan(61);
+        plan.iterations = 6;
+        plan.schedule = FaultSchedule::new()
+            .at(1, InjectionPoint::MidPartitioned, FaultOp::Crash(1))
+            .at(1, InjectionPoint::MidSingleMaster, FaultOp::Crash(2))
+            .at(2, InjectionPoint::IterationEnd, FaultOp::Recover(1))
+            // Iteration 3 runs with only node 2 down — the fences there
+            // observe Case 1 before the next crash lands in iteration 4.
+            .at(4, InjectionPoint::MidPartitioned, FaultOp::Crash(3))
+            .at(4, InjectionPoint::IterationEnd, FaultOp::Recover(2))
+            .at(4, InjectionPoint::IterationEnd, FaultOp::Recover(3));
+        let outcome = run_plan(&plan).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert!(outcome.committed > 0);
+        // Node 1 is the sole partial holder of partition 0, so its crash is
+        // Case 3; after it rejoins, only node 2 (a redundant holder) is
+        // down, which a fence observes as Case 1.
+        assert!(outcome.cases_seen.contains(&FailureCase::OnlyFullRemains));
+        assert!(outcome.cases_seen.contains(&FailureCase::FullAndPartialRemain));
+    }
+
+    #[test]
+    fn master_and_partial_crash_together_and_both_recover() {
+        // Node 0 (the only full replica) and node 2 crash in the same
+        // iteration: no full replica remains, but the partials still cover
+        // the database (Case 2), so the run degrades to partitioned-only
+        // execution until the staggered recoveries bring both back.
+        let mut plan = base_plan(62);
+        plan.iterations = 6;
+        plan.schedule = FaultSchedule::new()
+            .at(1, InjectionPoint::MidPartitioned, FaultOp::Crash(0))
+            .at(1, InjectionPoint::MidPartitioned, FaultOp::Crash(2))
+            .at(2, InjectionPoint::IterationEnd, FaultOp::Recover(2))
+            .at(3, InjectionPoint::IterationEnd, FaultOp::Recover(0));
+        let outcome = run_plan(&plan).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert!(outcome.cases_seen.contains(&FailureCase::OnlyPartialRemains));
+        assert!(outcome.committed > 0);
+    }
+
+    #[test]
+    fn infeasible_recovery_is_reported_not_silently_ignored() {
+        // Nodes 0 and 1 are partition 0's only holders; recovering node 1
+        // while node 0 is still down has no memory source and must surface
+        // as a violation (the driver tolerates the attempt, the report
+        // carries it).
+        let mut plan = base_plan(63);
+        plan.iterations = 4;
+        plan.schedule = FaultSchedule::new()
+            .at(1, InjectionPoint::MidPartitioned, FaultOp::Crash(0))
+            .at(1, InjectionPoint::MidPartitioned, FaultOp::Crash(1))
+            .at(2, InjectionPoint::IterationEnd, FaultOp::Recover(1));
+        let outcome = run_plan(&plan).unwrap();
+        assert!(!outcome.passed());
+        assert!(
+            outcome.violations.iter().any(|v| v.contains("recovery")),
+            "expected a recovery violation, got {:?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
     fn unforgiven_message_loss_is_caught_by_the_checker() {
         // A deliberately *unsafe* schedule: the link from partition 1's
         // primary to the master silently drops everything during a committed

@@ -18,14 +18,27 @@
 //!   serialization graph from recorded read versions and installed writes,
 //!   topologically sorts it and replays the witness order through a
 //!   sequential oracle;
-//! * [`runner`] — maps seeds to scenarios (the four Figure-7 failure cases,
-//!   round-robin) and sweeps seed ranges; identical seed ⇒ identical
+//! * [`runner`] — the guided generators: maps seeds to the four Figure-7
+//!   scenario families and sweeps seed ranges; identical seed ⇒ identical
 //!   schedule, committed history and checker verdict, so any red seed
-//!   reproduces with `star-chaos --seed N`.
+//!   reproduces with `star-chaos --seed N`;
+//! * [`synth`] — the schedule synthesizer: a biased random walk over the
+//!   fault DSL that generates arbitrary well-formed multi-fault schedules
+//!   (overlapping multi-node crashes with interleaved recoveries,
+//!   cut-then-heal link storms inside doomed epochs, mid-phase fault
+//!   retuning, planned total-loss events), keeping the guided families for
+//!   half the seed space so Figure-7 coverage never regresses
+//!   (`star-chaos --synth`);
+//! * [`shrink`] — the failure reporter's minimizer: a red schedule is
+//!   delta-debugged down to a minimal op list that still fails with the
+//!   same violation category, and the result is embedded next to the seed
+//!   in the JSON report.
 //!
 //! The [`engines`] module additionally records and checks histories of the
-//! four baseline engines (PB. OCC, Dist. OCC, Dist. S2PL, Calvin), so the
-//! serializability checker covers all five engines in the repository.
+//! four baseline engines (PB. OCC, Dist. OCC, Dist. S2PL, Calvin), whose
+//! replication paths run through the same fault plane
+//! (`star_baselines::ReplicaLink`), so the serializability checker covers
+//! all five engines in the repository — under replication faults too.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,8 +48,14 @@ pub mod driver;
 pub mod engines;
 pub mod runner;
 pub mod schedule;
+pub mod shrink;
+pub mod synth;
 
 pub use checker::{check_history, CheckReport, Violation};
 pub use driver::{run_plan, ChaosOutcome, ChaosPlan, WorkloadSpec};
-pub use runner::{plan_for_seed, run_seed, sweep, ScenarioKind, SweepSummary};
+pub use runner::{
+    canonical_config, family_plan, plan_for_seed, run_seed, sweep, ScenarioKind, SweepSummary,
+};
 pub use schedule::{FaultOp, FaultSchedule, InjectionPoint};
+pub use shrink::{shrink_plan, ShrunkPlan};
+pub use synth::{run_synth_seed, synth_plan, synth_plan_for_seed, SynthOptions};

@@ -76,18 +76,14 @@ impl ScenarioKind {
     }
 }
 
-/// Builds the deterministic plan for one seed.
-///
-/// Cluster shape: 4 nodes, 1 full replica (node 0), 4 partitions, one
-/// worker per node. With this layout the partial holders are
-/// `p0:{1} p1:{1,2} p2:{2,3} p3:{1,3}`, so node 1 is the sole partial
+/// The canonical chaos cluster: 4 nodes, 1 full replica (node 0), 4
+/// partitions, one worker per node. With this layout the partial holders
+/// are `p0:{1} p1:{1,2} p2:{2,3} p3:{1,3}`, so node 1 is the sole partial
 /// holder of partition 0 (its loss is Case 3) while nodes 2 and 3 are
-/// redundant (their loss is Case 1).
-pub fn plan_for_seed(seed: u64) -> ChaosPlan {
-    let kind = ScenarioKind::for_seed(seed);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A0_5EED);
-
-    let mut config = ClusterConfig {
+/// redundant (their loss is Case 1). Shared by the guided family
+/// generators and the schedule synthesizer (`crate::synth`).
+pub fn canonical_config(seed: u64) -> ClusterConfig {
+    ClusterConfig {
         num_nodes: 4,
         full_replicas: 1,
         workers_per_node: 1,
@@ -96,7 +92,24 @@ pub fn plan_for_seed(seed: u64) -> ChaosPlan {
         network_latency: Duration::from_micros(20),
         seed,
         ..ClusterConfig::default()
-    };
+    }
+}
+
+/// Builds the deterministic plan for one seed: the scenario family is
+/// `seed % 4` and the free parameters are drawn from the seed's RNG.
+pub fn plan_for_seed(seed: u64) -> ChaosPlan {
+    family_plan(ScenarioKind::for_seed(seed), seed)
+}
+
+/// Builds the guided plan of one Figure-7 scenario family, with every free
+/// parameter — crash iteration, victim node, recovery point, fault
+/// probabilities — drawn from `seed`'s RNG. `plan_for_seed` picks the
+/// family round-robin; the synthesizer keeps calling these generators for
+/// half its seed space so Figure-7 case coverage never regresses.
+pub fn family_plan(kind: ScenarioKind, seed: u64) -> ChaosPlan {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A0_5EED);
+
+    let mut config = canonical_config(seed);
     let iterations = 6;
     let mut schedule = FaultSchedule::new();
 

@@ -1,0 +1,614 @@
+//! Schedule synthesis: biased random walks over the fault DSL.
+//!
+//! The seeded runner's four scenario templates only ever explore four
+//! points of the schedule space. This module generates *arbitrary*
+//! well-formed multi-fault schedules from a single seed — overlapping
+//! crashes of several nodes with interleaved recoveries, cut-then-heal link
+//! storms inside doomed epochs, probabilistic link faults retuned
+//! mid-phase, faults stacked across consecutive iterations, and planned
+//! total-loss events that exercise the checkpoint + WAL recovery path —
+//! while keeping the four Figure-7 families as guided generators so case
+//! coverage never regresses:
+//!
+//! * seeds with `seed % 8 < 4` run the guided generator of family
+//!   `seed % 8` ([`crate::runner::family_plan`]), so any 8 consecutive
+//!   seeds still reach all four Figure-7 failure cases;
+//! * the remaining seeds run the biased random walk.
+//!
+//! ## Safety envelope
+//!
+//! A synthesized schedule must never be an *expected* violation — a red
+//! seed has to mean a real protocol bug. The walk therefore only emits
+//! faults the protocol claims to survive:
+//!
+//! * crashes are always safe (the next fence detects them and reverts the
+//!   in-flight epoch);
+//! * silent loss (drop faults, cut links) is confined to the epoch a crash
+//!   dooms: the garnish is armed at the doomed epoch's first injection
+//!   point and disarmed immediately before the fence that reverts it;
+//! * delays and duplicates are safe anywhere; reordering is only enabled
+//!   when the walk picked value replication (Thomas write rule);
+//! * a `Recover` is only scheduled at an `IterationEnd` at or after the
+//!   crash's iteration (detection has happened by then) and only when
+//!   every partition the node holds still has another healthy replica —
+//!   the same check [`star_core::StarEngine::can_recover`] performs;
+//! * the walk maintains the *coverage invariant*: unless it deliberately
+//!   plans a total loss, every partition keeps at least one healthy
+//!   holder, so the cluster never wedges in an unrecoverable state by
+//!   accident. A planned total loss enables disk logging and captures a
+//!   checkpoint (while the full replica is still healthy) first, so the
+//!   driver can verify Case-4 disk recovery.
+//!
+//! [`SynthOptions::inject_unsafe_loss`] deliberately breaks the envelope —
+//! a cut-then-heal with no crash inside a committed epoch — to prove the
+//! sweep finds planted bugs and the shrinker minimizes them (see
+//! `star-chaos --synth --inject-bug`).
+
+use crate::driver::{ChaosPlan, WorkloadSpec};
+use crate::runner::{canonical_config, family_plan, ScenarioKind};
+use crate::schedule::{FaultOp, FaultSchedule, InjectionPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use star_common::{ClusterConfig, NodeId, ReplicationStrategy};
+use star_net::LinkFaults;
+use std::time::Duration;
+
+/// Options for the synthesizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthOptions {
+    /// Plant a checker-visible bug: one cut-then-heal of a replication link
+    /// inside an epoch that commits (no crash to forgive the loss). Used to
+    /// validate that the sweep catches planted bugs and that the shrinker
+    /// reduces them to a minimal schedule.
+    pub inject_unsafe_loss: bool,
+}
+
+/// The injection points at which a crash may fire (everything before the
+/// iteration's last fence, so detection always happens within the same
+/// iteration and a recovery at `IterationEnd` is well-formed).
+const CRASH_POINTS: [InjectionPoint; 6] = [
+    InjectionPoint::PartitionedStart,
+    InjectionPoint::MidPartitioned,
+    InjectionPoint::BeforeFirstFence,
+    InjectionPoint::SingleMasterStart,
+    InjectionPoint::MidSingleMaster,
+    InjectionPoint::BeforeSecondFence,
+];
+
+/// The epoch window a crash at `point` dooms: silent loss is safe between
+/// the returned start and end points because the fence closing that epoch
+/// reverts it.
+fn doomed_epoch_window(point: InjectionPoint) -> (InjectionPoint, InjectionPoint) {
+    use InjectionPoint::*;
+    match point {
+        PartitionedStart | MidPartitioned | BeforeFirstFence => {
+            (PartitionedStart, BeforeFirstFence)
+        }
+        _ => (SingleMasterStart, BeforeSecondFence),
+    }
+}
+
+fn benign_faults(rng: &mut StdRng, reorder: bool) -> LinkFaults {
+    LinkFaults {
+        delay_probability: 0.1 + rng.gen::<f64>() * 0.4,
+        extra_delay: Duration::from_micros(rng.gen_range(10..80)),
+        duplicate_probability: 0.05 + rng.gen::<f64>() * 0.25,
+        reorder_probability: if reorder { rng.gen::<f64>() * 0.3 } else { 0.0 },
+        ..LinkFaults::none()
+    }
+}
+
+/// Walk state: who is currently crashed, per the schedule built so far.
+struct WalkState {
+    config: ClusterConfig,
+    crashed: Vec<bool>,
+}
+
+impl WalkState {
+    fn new(config: &ClusterConfig) -> Self {
+        WalkState { config: config.clone(), crashed: vec![false; config.num_nodes] }
+    }
+
+    fn healthy(&self) -> Vec<NodeId> {
+        (0..self.config.num_nodes).filter(|&n| !self.crashed[n]).collect()
+    }
+
+    /// The coverage invariant: with `extra_victim` also crashed, does every
+    /// partition still have a healthy holder?
+    fn covers_all_partitions_without(&self, extra_victim: NodeId) -> bool {
+        (0..self.config.partitions).all(|p| {
+            (0..self.config.num_nodes).any(|n| {
+                n != extra_victim && !self.crashed[n] && self.config.node_stores_partition(n, p)
+            })
+        })
+    }
+
+    /// Whether `node` could be recovered right now: every partition it
+    /// holds has another healthy holder (mirrors `StarEngine::can_recover`).
+    fn recovery_feasible(&self, node: NodeId) -> bool {
+        (0..self.config.partitions).filter(|&p| self.config.node_stores_partition(node, p)).all(
+            |p| {
+                (0..self.config.num_nodes).any(|n| {
+                    n != node && !self.crashed[n] && self.config.node_stores_partition(n, p)
+                })
+            },
+        )
+    }
+}
+
+/// One crash plus its optional silent-loss garnish, confined to the doomed
+/// epoch's window. `window_cuts` remembers which unordered link pairs are
+/// already cut in which `(iteration, window)` so two victims (or one storm)
+/// never double-cut the same link.
+fn emit_crash(
+    schedule: &mut FaultSchedule,
+    rng: &mut StdRng,
+    state: &mut WalkState,
+    window_cuts: &mut Vec<(usize, InjectionPoint, NodeId, NodeId)>,
+    iteration: usize,
+    victim: NodeId,
+) {
+    let point = CRASH_POINTS[rng.gen_range(0..CRASH_POINTS.len())];
+    let (window_start, window_end) = doomed_epoch_window(point);
+    if rng.gen_bool(0.6) {
+        // Cut-then-heal link storm / lossy links while the node dies. The
+        // loss is forgiven because the epoch it lands in is reverted by the
+        // fence that detects this crash.
+        let storm_links = rng.gen_range(1..=2);
+        for _ in 0..storm_links {
+            let mut peer = rng.gen_range(0..state.config.num_nodes - 1);
+            if peer >= victim {
+                peer += 1;
+            }
+            if rng.gen_bool(0.5) {
+                let pair = (iteration, window_start, victim.min(peer), victim.max(peer));
+                if window_cuts.contains(&pair) {
+                    continue;
+                }
+                window_cuts.push(pair);
+                schedule.push(iteration, window_start, FaultOp::CutLink(victim, peer));
+                schedule.push(iteration, window_end, FaultOp::HealLink(victim, peer));
+            } else {
+                let (from, to) = if rng.gen_bool(0.5) { (victim, peer) } else { (peer, victim) };
+                let drops = LinkFaults::dropping(0.3 + rng.gen::<f64>() * 0.6);
+                schedule.push(iteration, window_start, FaultOp::SetLinkFaults(from, to, drops));
+                schedule.push(
+                    iteration,
+                    window_end,
+                    FaultOp::SetLinkFaults(from, to, LinkFaults::none()),
+                );
+            }
+        }
+    }
+    schedule.push(iteration, point, FaultOp::Crash(victim));
+    state.crashed[victim] = true;
+}
+
+/// Builds a synthesized plan for one seed (see the module docs for the
+/// seed-space split and the safety envelope).
+pub fn synth_plan_for_seed(seed: u64) -> ChaosPlan {
+    synth_plan(seed, &SynthOptions::default())
+}
+
+/// Builds a synthesized plan for one seed with explicit options.
+pub fn synth_plan(seed: u64, options: &SynthOptions) -> ChaosPlan {
+    if seed % 8 < 4 {
+        // Guided generators: the four Figure-7 families keep appearing
+        // throughout the synthesized seed space, so any 100-seed window
+        // still covers every failure case end-to-end.
+        return family_plan(ScenarioKind::for_seed(seed), seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_CAFE);
+    let mut config = canonical_config(seed);
+    let iterations = rng.gen_range(4..=7usize);
+    let mut schedule = FaultSchedule::new();
+    let mut state = WalkState::new(&config);
+    let mut label = String::from("synth-walk");
+
+    // Replication strategy: value replication tolerates reordering, so the
+    // walk may only enable reorder faults when it picks it.
+    let value_replication = rng.gen_bool(0.4);
+    if value_replication {
+        config.replication_strategy = ReplicationStrategy::Value;
+        label.push_str("+value-repl");
+    }
+    let workload = if rng.gen_bool(0.3) {
+        WorkloadSpec::Ycsb { rows_per_partition: 24 }
+    } else {
+        WorkloadSpec::Kv { rows_per_partition: 16 }
+    };
+
+    // A planned total loss kills every replica of partition 0 (nodes 0 and
+    // 1). Disk logging is enabled and a checkpoint captured first, so the
+    // run ends unavailable and the driver verifies recovery from disk.
+    let total_loss = rng.gen_bool(0.2);
+    let doom_iteration =
+        if total_loss { rng.gen_range(1..iterations.max(2) - 1).max(1) } else { 0 };
+    if total_loss {
+        config.disk_logging = true;
+        label.push_str("+total-loss");
+    }
+
+    schedule.push(
+        0,
+        InjectionPoint::PartitionedStart,
+        FaultOp::SetDefaultFaults(benign_faults(&mut rng, value_replication)),
+    );
+
+    // Which nodes the pre-doom storms may crash: with a planned total loss,
+    // nodes 0 and 1 are kept healthy until the doom iteration (the
+    // checkpoint needs a healthy full replica, the doom needs both).
+    let mut healthy_per_iteration: Vec<Vec<bool>> = Vec::with_capacity(iterations);
+    let mut crash_iterations: Vec<bool> = vec![false; iterations];
+    let mut window_cuts: Vec<(usize, InjectionPoint, NodeId, NodeId)> = Vec::new();
+
+    // `iteration` drives schedule pushes, RNG draws and the doom gate, not
+    // just the `crash_iterations` index clippy keys on.
+    #[allow(clippy::needless_range_loop)]
+    for iteration in 0..iterations {
+        healthy_per_iteration.push(state.crashed.iter().map(|c| !c).collect());
+
+        if total_loss && iteration == doom_iteration {
+            // Checkpoint while the full replica is still healthy, then kill
+            // every remaining holder of partition 0 (staggered across the
+            // two phases half the time, for Case-3-then-Case-4 coverage).
+            schedule.push(iteration, InjectionPoint::PartitionedStart, FaultOp::Checkpoint);
+            let stagger = rng.gen_bool(0.5);
+            let first_point = InjectionPoint::MidPartitioned;
+            let second_point = if stagger {
+                InjectionPoint::MidSingleMaster
+            } else {
+                InjectionPoint::MidPartitioned
+            };
+            if !state.crashed[1] {
+                schedule.push(iteration, first_point, FaultOp::Crash(1));
+                state.crashed[1] = true;
+            }
+            schedule.push(iteration, second_point, FaultOp::Crash(0));
+            state.crashed[0] = true;
+            crash_iterations[iteration] = true;
+            // The cluster is unavailable from here on; the remaining
+            // iterations run idle fences, which the driver tolerates.
+            continue;
+        }
+        if total_loss && iteration > doom_iteration {
+            continue;
+        }
+
+        // Occasionally retune the background faults mid-phase.
+        if rng.gen_bool(0.3) {
+            let points = [
+                InjectionPoint::MidPartitioned,
+                InjectionPoint::SingleMasterStart,
+                InjectionPoint::MidSingleMaster,
+            ];
+            schedule.push(
+                iteration,
+                points[rng.gen_range(0..points.len())],
+                FaultOp::SetDefaultFaults(benign_faults(&mut rng, value_replication)),
+            );
+        }
+
+        // Crash storm: up to two overlapping victims per iteration, chosen
+        // so the coverage invariant survives (and, in total-loss mode, so
+        // nodes 0 and 1 stay up until the doom iteration).
+        if rng.gen_bool(0.5) {
+            let storm_size = if rng.gen_bool(0.3) { 2 } else { 1 };
+            for _ in 0..storm_size {
+                let candidates: Vec<NodeId> = state
+                    .healthy()
+                    .into_iter()
+                    .filter(|&v| !(total_loss && v <= 1))
+                    .filter(|&v| state.covers_all_partitions_without(v))
+                    .filter(|&v| v != 0 || rng.gen_bool(0.4))
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let victim = candidates[rng.gen_range(0..candidates.len())];
+                emit_crash(
+                    &mut schedule,
+                    &mut rng,
+                    &mut state,
+                    &mut window_cuts,
+                    iteration,
+                    victim,
+                );
+                crash_iterations[iteration] = true;
+            }
+        }
+
+        // Interleaved recoveries: each crashed node may rejoin at this
+        // iteration's end if a memory source exists for all its partitions.
+        // The second-to-last iteration recovers aggressively so most runs
+        // end with a fully healthy, fully verifiable cluster.
+        let force = iteration + 2 >= iterations;
+        for node in 0..state.config.num_nodes {
+            if state.crashed[node] && (force || rng.gen_bool(0.5)) && state.recovery_feasible(node)
+            {
+                schedule.push(iteration, InjectionPoint::IterationEnd, FaultOp::Recover(node));
+                state.crashed[node] = false;
+            }
+        }
+
+        // Occasionally wipe the fault configuration and re-arm it at the
+        // next iteration (all cut links are healed within their doomed
+        // epoch, so this never un-cuts anything).
+        if rng.gen_bool(0.15) && iteration + 1 < iterations {
+            schedule.push(iteration, InjectionPoint::IterationEnd, FaultOp::ClearFaults);
+            schedule.push(
+                iteration + 1,
+                InjectionPoint::PartitionedStart,
+                FaultOp::SetDefaultFaults(benign_faults(&mut rng, value_replication)),
+            );
+        }
+    }
+
+    if options.inject_unsafe_loss {
+        // Plant the bug inside an epoch that commits: an iteration with no
+        // crash where nodes 0 and 1 were both healthy. The loss is silent
+        // and unforgiven, so the checker (or the replica comparison) must
+        // catch it.
+        let target = (0..iterations).find(|&i| {
+            !crash_iterations[i]
+                && healthy_per_iteration.get(i).map(|h| h[0] && h[1]).unwrap_or(false)
+                && !(total_loss && i >= doom_iteration)
+        });
+        if let Some(iteration) = target {
+            schedule.push(iteration, InjectionPoint::PartitionedStart, FaultOp::CutLink(1, 0));
+            schedule.push(iteration, InjectionPoint::BeforeFirstFence, FaultOp::HealLink(1, 0));
+            label.push_str("+injected-loss");
+        }
+    }
+
+    ChaosPlan {
+        seed,
+        label,
+        config,
+        workload,
+        iterations,
+        partitioned_txns: 24,
+        single_master_txns: 32,
+        schedule,
+        expect_disk_recovery: total_loss,
+    }
+}
+
+/// Runs the synthesized plan for one seed.
+pub fn run_synth_seed(seed: u64) -> star_common::Result<crate::driver::ChaosOutcome> {
+    crate::driver::run_plan(&synth_plan_for_seed(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_plan;
+    use crate::runner::SweepSummary;
+    use star_core::FailureCase;
+
+    #[test]
+    fn identical_seeds_yield_byte_identical_schedules() {
+        for seed in 0..64u64 {
+            let a = synth_plan_for_seed(seed);
+            let b = synth_plan_for_seed(seed);
+            assert_eq!(a.schedule, b.schedule, "seed {seed}");
+            assert_eq!(
+                format!("{:?}", a.schedule),
+                format!("{:?}", b.schedule),
+                "seed {seed}: debug repr diverged"
+            );
+            assert_eq!(a.label, b.label, "seed {seed}");
+            assert_eq!(a.iterations, b.iterations, "seed {seed}");
+            assert_eq!(a.config, b.config, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn guided_families_cover_all_four_cases_in_any_100_seed_window() {
+        for window_start in [0u64, 37, 250, 4096] {
+            let mut families = [false; 4];
+            for seed in window_start..window_start + 100 {
+                if seed % 8 < 4 {
+                    families[(seed % 4) as usize] = true;
+                    let plan = synth_plan_for_seed(seed);
+                    assert!(
+                        plan.label.starts_with("case"),
+                        "guided seed {seed} must use a family generator, got {}",
+                        plan.label
+                    );
+                }
+            }
+            assert_eq!(families, [true; 4], "window at {window_start}");
+        }
+    }
+
+    #[test]
+    fn walk_seeds_produce_multi_fault_schedules() {
+        // The walk half of the seed space must actually exercise the DSL:
+        // across a modest window we expect overlapping crashes, recoveries,
+        // link storms and at least one planned total loss.
+        let mut saw_two_simultaneous_crashes = false;
+        let mut saw_recovery = false;
+        let mut saw_cut = false;
+        let mut saw_total_loss = false;
+        for seed in 0..256u64 {
+            if seed % 8 < 4 {
+                continue;
+            }
+            let plan = synth_plan_for_seed(seed);
+            let mut down = 0i32;
+            let mut max_down = 0i32;
+            for op in plan.schedule.ops() {
+                match op.op {
+                    FaultOp::Crash(_) => {
+                        down += 1;
+                        max_down = max_down.max(down);
+                    }
+                    FaultOp::Recover(_) => {
+                        down -= 1;
+                        saw_recovery = true;
+                    }
+                    FaultOp::CutLink(..) => saw_cut = true,
+                    _ => {}
+                }
+            }
+            if max_down >= 2 {
+                saw_two_simultaneous_crashes = true;
+            }
+            if plan.expect_disk_recovery {
+                saw_total_loss = true;
+                assert!(plan.config.disk_logging);
+                assert!(
+                    plan.schedule.ops().iter().any(|s| s.op == FaultOp::Checkpoint),
+                    "seed {seed}: total loss without a checkpoint cannot be verified"
+                );
+            }
+        }
+        assert!(saw_two_simultaneous_crashes, "no overlapping multi-node crash was synthesized");
+        assert!(saw_recovery);
+        assert!(saw_cut, "no cut-then-heal link storm was synthesized");
+        assert!(saw_total_loss);
+    }
+
+    /// Replays a schedule against the well-formedness rules the walk
+    /// promises (shared with the property test below).
+    fn assert_well_formed(plan: &ChaosPlan) {
+        let seed = plan.seed;
+        // Execution order: iteration, then point order, then insertion
+        // order within a point (what the driver does).
+        let mut ordered: Vec<(usize, InjectionPoint, &FaultOp)> = Vec::new();
+        for iteration in 0..plan.iterations {
+            for point in CRASH_POINTS.iter().copied().chain([InjectionPoint::IterationEnd]) {
+                for op in plan.schedule.ops_at(iteration, point) {
+                    ordered.push((iteration, point, op));
+                }
+            }
+        }
+        assert_eq!(
+            ordered.len(),
+            plan.schedule.ops().len(),
+            "seed {seed}: some op sits outside the planned iterations"
+        );
+        assert!(
+            plan.schedule.iterations_required() <= plan.iterations,
+            "seed {seed}: schedule runs past the planned iterations"
+        );
+        let nodes = plan.config.num_nodes;
+        let mut crashed = vec![false; nodes];
+        let mut crash_iteration = vec![0usize; nodes];
+        let mut cut: Vec<(usize, usize)> = Vec::new();
+        for (iteration, point, op) in ordered {
+            match op {
+                FaultOp::Crash(n) => {
+                    assert!(!crashed[*n], "seed {seed}: node {n} crashed twice without recovery");
+                    assert_ne!(
+                        point,
+                        InjectionPoint::IterationEnd,
+                        "seed {seed}: a crash at IterationEnd cannot be detected in time"
+                    );
+                    crashed[*n] = true;
+                    crash_iteration[*n] = iteration;
+                }
+                FaultOp::Recover(n) => {
+                    assert!(crashed[*n], "seed {seed}: Recover({n}) without a preceding crash");
+                    assert_eq!(
+                        point,
+                        InjectionPoint::IterationEnd,
+                        "seed {seed}: recoveries must happen after detection"
+                    );
+                    assert!(
+                        iteration >= crash_iteration[*n],
+                        "seed {seed}: node {n} recovered before its crash"
+                    );
+                    crashed[*n] = false;
+                }
+                FaultOp::CutLink(a, b) => {
+                    assert!(
+                        !cut.contains(&(*a, *b)) && !cut.contains(&(*b, *a)),
+                        "seed {seed}: link ({a},{b}) cut twice"
+                    );
+                    cut.push((*a, *b));
+                }
+                FaultOp::HealLink(a, b) => {
+                    let index = cut
+                        .iter()
+                        .position(|&(x, y)| (x, y) == (*a, *b) || (x, y) == (*b, *a))
+                        .unwrap_or_else(|| {
+                            panic!("seed {seed}: HealLink({a},{b}) without a preceding cut")
+                        });
+                    cut.remove(index);
+                }
+                _ => {}
+            }
+        }
+        assert!(cut.is_empty(), "seed {seed}: cut links left dangling: {cut:?}");
+    }
+
+    #[test]
+    fn synthesized_schedules_are_well_formed() {
+        for seed in 0..512u64 {
+            assert_well_formed(&synth_plan_for_seed(seed));
+        }
+        // The planted-bug variant must stay well-formed too (its cut is
+        // healed in the same epoch — it is unsafe, not malformed).
+        let options = SynthOptions { inject_unsafe_loss: true };
+        for seed in 0..128u64 {
+            assert_well_formed(&synth_plan(seed, &options));
+        }
+    }
+
+    #[test]
+    fn synth_runs_are_deterministic_end_to_end() {
+        for seed in [4u64, 5, 6, 7, 12, 21] {
+            let a = run_synth_seed(seed).unwrap();
+            let b = run_synth_seed(seed).unwrap();
+            assert_eq!(a.fingerprint, b.fingerprint, "seed {seed}: history diverged");
+            assert_eq!(a.passed(), b.passed(), "seed {seed}: verdict diverged");
+            assert_eq!(a.cases_seen, b.cases_seen, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn synthesized_walk_seeds_pass_the_checker() {
+        // A protocol-safe schedule must never be red: sweep a window of
+        // pure walk seeds (the guided families are covered elsewhere).
+        let mut summary = SweepSummary::default();
+        for seed in 0..48u64 {
+            if seed % 8 < 4 {
+                continue;
+            }
+            let outcome = run_synth_seed(seed).unwrap();
+            assert!(
+                outcome.passed(),
+                "seed {seed} ({}) violated: {:?}\nschedule: {:?}",
+                outcome.label,
+                outcome.violations,
+                outcome.schedule
+            );
+            summary.outcomes.push(outcome);
+        }
+        // The walk's multi-fault schedules must still reach real failure
+        // cases (crashes are detected and classified).
+        assert!(summary.cases_covered().iter().any(|c| *c != FailureCase::NoFailure));
+    }
+
+    #[test]
+    fn planted_bug_turns_seeds_red() {
+        let options = SynthOptions { inject_unsafe_loss: true };
+        let mut planted = 0;
+        let mut caught = 0;
+        for seed in 0..24u64 {
+            let plan = synth_plan(seed, &options);
+            if !plan.label.ends_with("+injected-loss") {
+                continue;
+            }
+            planted += 1;
+            let outcome = run_plan(&plan).unwrap();
+            if !outcome.passed() {
+                caught += 1;
+            }
+        }
+        assert!(planted > 0, "no walk seed accepted the planted bug");
+        assert_eq!(caught, planted, "every planted silent loss must be caught");
+    }
+}

@@ -291,8 +291,14 @@ impl Drop for StarEngine {
         // The per-engine WAL directory models this cluster's disks; once the
         // engine is gone nothing can read it back (wal_paths() borrows the
         // engine), so remove it rather than leaking one directory per engine
-        // into the temp dir — chaos sweeps construct hundreds of engines.
-        if let Some(dir) = &self.wal_dir {
+        // into the temp dir — chaos sweeps construct thousands of engines.
+        // Writers are closed first: a crashed-then-never-recovered node's
+        // WAL still holds an open handle with unflushed bytes (fences skip
+        // failed nodes), and unlinking files that are still open is
+        // platform-dependent — dropping the writers first makes the cleanup
+        // unconditional.
+        self.wal = None;
+        if let Some(dir) = self.wal_dir.take() {
             let _ = std::fs::remove_dir_all(dir);
         }
     }
@@ -329,7 +335,17 @@ impl StarEngine {
                     let path = dir.join(format!("node-{n}.wal"));
                     WalWriter::open(path).map(|w| Arc::new(Mutex::new(w)))
                 })
-                .collect::<Result<Vec<_>>>()?;
+                .collect::<Result<Vec<_>>>();
+            let writers = match writers {
+                Ok(writers) => writers,
+                Err(e) => {
+                    // No engine will ever own the directory we just created,
+                    // so its Drop cannot clean it up — do it here or the
+                    // half-initialised directory leaks.
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return Err(e);
+                }
+            };
             (Some(writers), Some(dir))
         } else {
             (None, None)
@@ -903,16 +919,46 @@ impl StarEngine {
         let _ = self.replication_fence();
     }
 
+    /// Whether a memory-to-memory recovery of `node` is currently possible:
+    /// every partition the node holds must have at least one *other* healthy
+    /// replica to copy from. When several replicas of a partition died
+    /// together, this is what decides which of them can rejoin first — the
+    /// schedule synthesizer and the chaos driver consult it before
+    /// scheduling overlapping recoveries.
+    pub fn can_recover(&self, node: NodeId) -> bool {
+        let Some(node_db) = self.cluster.nodes().get(node).map(|n| &n.db) else {
+            return false;
+        };
+        node_db.held_partitions().into_iter().all(|partition| {
+            (0..self.cluster.config().num_nodes).any(|n| {
+                n != node && !self.failed[n] && self.cluster.nodes()[n].db.holds(partition)
+            })
+        })
+    }
+
     /// Recovers a previously failed node: the node copies the partitions it
     /// holds from healthy replicas (preferring a full replica), is healed in
     /// the network and rejoins the cluster. Corresponds to the per-node
     /// recovery path shared by Cases 1–3.
+    ///
+    /// Source availability is checked for *every* held partition before any
+    /// data moves, so an impossible recovery (all other replicas of some
+    /// partition dead — the Case-4 situation that needs disk recovery
+    /// instead) fails atomically: the node stays down, its pre-crash state
+    /// untouched, and a later recovery attempt — e.g. after another replica
+    /// rejoined — can still succeed.
     pub fn recover_node(&mut self, node: NodeId) -> Result<usize> {
         if node >= self.failed.len() {
             return Err(Error::Config(format!("no such node {node}")));
         }
         if !self.failed[node] {
             return Ok(0);
+        }
+        if !self.can_recover(node) {
+            return Err(Error::Config(format!(
+                "node {node}: no healthy replica holds every partition it needs; recover \
+                 another replica first or recover from disk"
+            )));
         }
         // The failed node's replica may still contain writes from the epoch
         // that was in flight when it crashed; that epoch was discarded by the
@@ -1133,6 +1179,94 @@ mod tests {
         let mut engine = StarEngine::new(small_config(), workload(0.1)).unwrap();
         assert_eq!(engine.recover_node(2).unwrap(), 0);
         assert!(engine.recover_node(99).is_err());
+    }
+
+    #[test]
+    fn overlapping_crashes_recover_in_dependency_order() {
+        // Nodes 0 (full) and 1 hold partition 0 between them; crashing both
+        // makes node 0 unrecoverable from memory until node 1 is back. The
+        // failed recovery must be atomic (node 0 stays down, untouched) and
+        // the same call must succeed once node 1 has rejoined.
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.inject_failure(0);
+        engine.inject_failure(1);
+        engine.run_iteration();
+        assert_eq!(engine.failed_nodes(), vec![0, 1]);
+        // Partition 0 is held only by nodes 0 and 1, so with both down
+        // neither has a memory source — the mutual-dependency deadlock that
+        // needs disk recovery (Case 4). Both attempts must fail atomically.
+        let config = engine.cluster().config().clone();
+        let p0_holders: Vec<usize> =
+            (0..config.num_nodes).filter(|&n| config.node_stores_partition(n, 0)).collect();
+        assert_eq!(p0_holders, vec![0, 1]);
+        assert!(!engine.can_recover(0), "partition 0 has no healthy source");
+        assert!(!engine.can_recover(1), "p0's only other holder (node 0) is down too");
+        assert!(engine.recover_node(0).is_err(), "recovery without a source must fail");
+        assert!(engine.failed_nodes().contains(&0), "failed recovery must leave the node down");
+        assert!(engine.recover_node(1).is_err());
+        // The engine must survive the unavailable state: fences keep running
+        // and detection stays consistent.
+        engine.run_iteration();
+        assert_eq!(engine.failed_nodes(), vec![0, 1]);
+        // Node 2 (holds p1: {0,1,2} and p2: {0,2,3}) crashed on top would
+        // still be recoverable through node 3? No — p1's other holders are
+        // both down, so overlapping a third crash makes it stuck too.
+        engine.inject_failure(2);
+        engine.run_iteration();
+        assert!(!engine.can_recover(2));
+    }
+
+    #[test]
+    fn majority_of_a_partitions_replicas_die_and_recover() {
+        // Partition 1 is held by nodes 0, 1 and 2. Crash 1 and 2 (a majority
+        // of its replicas) in overlapping windows, then recover them in
+        // sequence; the cluster must keep committing throughout and converge
+        // afterwards.
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.inject_failure(1);
+        engine.run_iteration();
+        engine.inject_failure(2);
+        engine.run_iteration();
+        assert_eq!(engine.failed_nodes(), vec![1, 2]);
+        let report = engine.run_for(Duration::from_millis(15));
+        assert!(report.counters.committed > 0, "the survivors must keep committing");
+        assert!(engine.can_recover(1), "node 0 still covers everything node 1 holds");
+        let copied = engine.recover_node(1).unwrap();
+        assert!(copied > 0);
+        engine.run_for(Duration::from_millis(10));
+        let copied = engine.recover_node(2).unwrap();
+        assert!(copied > 0);
+        assert!(engine.failed_nodes().is_empty());
+        engine.run_for(Duration::from_millis(10));
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn wal_dir_is_removed_even_for_crashed_never_recovered_nodes() {
+        // Crashed nodes' WAL writers are skipped by every later fence, so
+        // they still hold open handles and unflushed bytes when the engine
+        // dies. The Drop impl must close the writers *before* unlinking the
+        // directory, and the directory must be gone afterwards — chaos
+        // sweeps construct thousands of engines and a leak per crashed node
+        // fills the temp dir.
+        let mut config = small_config();
+        config.disk_logging = true;
+        let dir = {
+            let mut engine = StarEngine::new(config, workload(0.2)).unwrap();
+            let dir = engine.wal_dir().expect("disk logging must create a WAL dir").to_path_buf();
+            assert!(dir.exists());
+            engine.run_for(Duration::from_millis(10));
+            engine.inject_failure(1);
+            engine.run_iteration();
+            // More commits while node 1 is down leave its WAL buffer with
+            // bytes no fence will ever flush.
+            engine.run_for(Duration::from_millis(10));
+            assert!(engine.failed_nodes().contains(&1));
+            dir
+        };
+        assert!(!dir.exists(), "engine drop must remove the per-engine WAL dir");
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl LinkFaults {
 
 /// What the fault plane decided for one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FaultVerdict {
+pub enum FaultVerdict {
     /// Deliver normally, with an optional extra delay.
     Deliver {
         /// Additional latency on top of the configured link latency.
@@ -120,8 +120,13 @@ struct FaultState {
 }
 
 /// Shared fault-injection state of one [`crate::SimNetwork`].
+///
+/// The plane is also usable standalone: the baseline engines route their
+/// primary→backup replication stream through one (see
+/// `star_baselines::replication`), so the same seeded drop / duplicate /
+/// reorder decisions drive every replication path in the repository.
 #[derive(Debug, Default)]
-pub(crate) struct FaultPlane {
+pub struct FaultPlane {
     state: Mutex<FaultState>,
 }
 
@@ -134,49 +139,57 @@ fn link_rng_seed(base: u64, from: usize, to: usize) -> u64 {
 impl FaultPlane {
     /// Re-seeds every per-link RNG. Existing RNG state is discarded, so a
     /// fresh seed restarts the fault stream deterministically.
-    pub(crate) fn seed(&self, seed: u64) {
+    pub fn seed(&self, seed: u64) {
         let mut state = self.state.lock().unwrap();
         state.seed = seed;
         state.rngs.clear();
     }
 
-    pub(crate) fn set_default_faults(&self, faults: LinkFaults) {
+    /// Applies `faults` to every link without a per-link override.
+    pub fn set_default_faults(&self, faults: LinkFaults) {
         self.state.lock().unwrap().default_faults = faults;
     }
 
-    pub(crate) fn set_link_faults(&self, from: usize, to: usize, faults: LinkFaults) {
+    /// Applies `faults` to the directed link `from → to`.
+    pub fn set_link_faults(&self, from: usize, to: usize, faults: LinkFaults) {
         self.state.lock().unwrap().links.insert((from, to), faults);
     }
 
-    pub(crate) fn clear_faults(&self) {
+    /// Removes every fault configuration: defaults, per-link overrides and
+    /// cut links. Per-link RNG state is kept.
+    pub fn clear_faults(&self) {
         let mut state = self.state.lock().unwrap();
         state.default_faults = LinkFaults::none();
         state.links.clear();
         state.cut.clear();
     }
 
-    pub(crate) fn cut_link(&self, a: usize, b: usize) {
+    /// Cuts the bidirectional link between `a` and `b` (silent loss).
+    pub fn cut_link(&self, a: usize, b: usize) {
         let mut state = self.state.lock().unwrap();
         state.cut.insert((a, b));
         state.cut.insert((b, a));
     }
 
-    pub(crate) fn heal_link(&self, a: usize, b: usize) {
+    /// Restores a previously cut link.
+    pub fn heal_link(&self, a: usize, b: usize) {
         let mut state = self.state.lock().unwrap();
         state.cut.remove(&(a, b));
         state.cut.remove(&(b, a));
     }
 
-    pub(crate) fn heal_all_links(&self) {
+    /// Restores every cut link.
+    pub fn heal_all_links(&self) {
         self.state.lock().unwrap().cut.clear();
     }
 
-    pub(crate) fn is_link_cut(&self, from: usize, to: usize) -> bool {
+    /// Whether the directed link `from → to` is currently cut.
+    pub fn is_link_cut(&self, from: usize, to: usize) -> bool {
         self.state.lock().unwrap().cut.contains(&(from, to))
     }
 
     /// Rolls the fate of one message on `from → to`.
-    pub(crate) fn roll(&self, from: usize, to: usize) -> FaultVerdict {
+    pub fn roll(&self, from: usize, to: usize) -> FaultVerdict {
         let mut state = self.state.lock().unwrap();
         if state.cut.contains(&(from, to)) {
             return FaultVerdict::Drop;

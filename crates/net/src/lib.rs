@@ -32,5 +32,5 @@ pub mod fault;
 pub mod stats;
 
 pub use endpoint::{Endpoint, Envelope, Message, NetworkConfig, RecvError, SendError, SimNetwork};
-pub use fault::LinkFaults;
+pub use fault::{FaultPlane, FaultVerdict, LinkFaults};
 pub use stats::NetStats;

@@ -280,7 +280,10 @@ mod tests {
         let entries = reader.entries().unwrap();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[1].key, 2);
-        std::fs::remove_file(&path).ok();
+        // Remove the whole directory, not just the file — leaving the empty
+        // per-pid directory behind leaks one temp dir per test run.
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!dir.exists());
     }
 
     #[test]

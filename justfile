@@ -49,9 +49,23 @@ chaos seeds="100":
 chaos-seed seed:
     cargo run --release -p star-chaos --bin star-chaos -- --seed {{seed}} --verbose
 
+# Generative chaos: sweep synthesized multi-fault schedules (red seeds are
+# shrunk to a minimal failing schedule in the report).
+chaos-synth seeds="1000":
+    cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds {{seeds}}
+
+# Reproduce one synthesized seed (and its shrunk schedule, if red).
+chaos-synth-seed seed:
+    cargo run --release -p star-chaos --bin star-chaos -- --synth --seed {{seed}} --verbose
+
+# The nightly CI deep sweep, locally: 5000 synthesized seeds, no fail-fast.
+chaos-nightly:
+    cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 5000 --json CHAOS_nightly.json
+
 # The CI chaos job, locally: fail fast and write the machine-readable report.
 chaos-smoke:
     cargo run --release -p star-chaos --bin star-chaos -- --seeds 100 --fail-fast --json CHAOS_report.json
+    cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 120 --skip-engines --fail-fast --json CHAOS_synth_smoke.json
 
 # Regenerate the paper's figures (quick scale).
 figures:
