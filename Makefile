@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint bench bench-baseline bench-smoke bench-contention chaos chaos-synth chaos-nightly chaos-smoke figures ci
+.PHONY: build test lint bench bench-baseline bench-smoke bench-contention chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke figures ci
 
 build:
 	cargo build --release
@@ -41,14 +41,24 @@ chaos:
 chaos-synth:
 	cargo run --release -p star-chaos --bin star-chaos -- --synth
 
+# Coverage-guided chaos: bias the walk toward uncovered op bigrams /
+# injection points; reproduce one seed with `--synth-guided --seed N`.
+chaos-guided:
+	cargo run --release -p star-chaos --bin star-chaos -- --synth-guided
+
+# Replay the committed regression corpus (tests/chaos_corpus).
+chaos-corpus:
+	cargo run --release -p star-chaos --bin star-chaos -- --replay-corpus
+
 chaos-nightly:
-	cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 5000 --json CHAOS_nightly.json
+	cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds 5000 --json CHAOS_nightly.json --corpus-out chaos_corpus_candidates
 
 chaos-smoke:
 	cargo run --release -p star-chaos --bin star-chaos -- --seeds 100 --fail-fast --json CHAOS_report.json
 	cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 120 --skip-engines --fail-fast --json CHAOS_synth_smoke.json
+	cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds 120 --skip-engines --fail-fast --json CHAOS_guided_smoke.json
 
 figures:
 	cargo run --release -p star-bench --bin figures -- --quick all
 
-ci: lint build test bench-smoke chaos-smoke
+ci: lint build test bench-smoke chaos-smoke chaos-corpus

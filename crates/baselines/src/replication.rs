@@ -16,11 +16,14 @@
 //! * **drop** — the entry is lost silently. Nothing in a baseline's
 //!   protocol can detect this, so the backup diverges — which is exactly
 //!   what the chaos harness's backup-vs-oracle comparison must catch (the
-//!   negative control for the baselines' fault coverage).
+//!   negative control for the baselines' fault coverage);
+//! * **corrupt** — the entry's row payload is bit-flipped in flight
+//!   (byzantine). Like drops, never protocol-safe: the backup applies the
+//!   garbage silently and the backup-vs-oracle comparison must flag it.
 
 use parking_lot::Mutex;
 use star_net::{FaultPlane, FaultVerdict, LinkFaults};
-use star_replication::LogEntry;
+use star_replication::{LogEntry, Payload};
 use star_storage::Database;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -50,6 +53,17 @@ pub struct ReplicaLink {
     dropped: AtomicU64,
     duplicated: AtomicU64,
     reordered: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+/// Corrupts one entry's payload with the shared salt-driven mutation
+/// (`star_common`'s `Row::corrupt` / `Operation::corrupt`), so the STAR and
+/// baseline harnesses inject identical byzantine faults for the same salt.
+fn corrupt_entry(entry: &mut LogEntry, salt: u64) -> bool {
+    match &mut entry.payload {
+        Payload::Value(row) => row.corrupt(salt),
+        Payload::Operation(op) => op.corrupt(salt),
+    }
 }
 
 impl ReplicaLink {
@@ -82,6 +96,11 @@ impl ReplicaLink {
         self.reordered.load(Ordering::Relaxed)
     }
 
+    /// Entries delivered with a bit-flipped payload so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+
     /// Rolls the fate of one entry, pushing the survivors onto `out`.
     fn admit(&self, entry: LogEntry, out: &mut Vec<LogEntry>) {
         match self.plane.roll(PRIMARY, BACKUP) {
@@ -104,6 +123,14 @@ impl ReplicaLink {
             FaultVerdict::Reorder => {
                 self.reordered.fetch_add(1, Ordering::Relaxed);
                 self.stash.lock().push(entry);
+            }
+            FaultVerdict::Corrupt { salt, .. } => {
+                let mut entry = entry;
+                if corrupt_entry(&mut entry, salt) {
+                    self.corrupted.fetch_add(1, Ordering::Relaxed);
+                }
+                out.push(entry);
+                out.append(&mut self.stash.lock());
             }
         }
     }

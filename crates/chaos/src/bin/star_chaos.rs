@@ -7,26 +7,43 @@
 //! ```bash
 //! cargo run --release -p star-chaos --bin star-chaos                 # 100-seed template sweep
 //! cargo run --release -p star-chaos --bin star-chaos -- --synth      # 1000 synthesized schedules
+//! cargo run --release -p star-chaos --bin star-chaos -- --synth-guided    # coverage-guided walk
 //! cargo run --release -p star-chaos --bin star-chaos -- --seed 17    # reproduce one seed
 //! cargo run --release -p star-chaos --bin star-chaos -- --synth --seed 17   # synth variant
 //! cargo run --release -p star-chaos --bin star-chaos -- --fail-fast --json CHAOS_report.json
-//! cargo run --release -p star-chaos --bin star-chaos -- --synth --inject-bug --seeds 64
+//! cargo run --release -p star-chaos --bin star-chaos -- --inject-bug corrupt --seeds 64
+//! cargo run --release -p star-chaos --bin star-chaos -- --replay-corpus    # regression corpus
 //! ```
 //!
 //! Determinism contract: identical seed ⇒ identical fault schedule,
 //! identical committed history (fingerprint) and identical checker verdict.
 //! The sweep verifies this by re-running its first seeds; a failing seed's
 //! report therefore reproduces the bug exactly with `--seed N` (plus
-//! `--synth` if the sweep was synthesized).
+//! `--synth` / `--synth-guided` if the sweep was synthesized — guided
+//! selection replays the choices of every earlier seed, so a single seed
+//! reproduces without re-running the sweep).
 //!
 //! On a red seed the harness additionally runs the shrinker: the minimal
-//! schedule that still fails with the same violation category is printed
-//! and embedded in the JSON report next to the seed.
+//! schedule that still fails with the same violation category is printed,
+//! embedded in the JSON report next to the seed and — with `--corpus-out
+//! DIR` — serialized as a corpus-entry JSON ready to be promoted into
+//! `tests/chaos_corpus/` once the underlying bug is fixed.
+//!
+//! The JSON report carries the corpus/schedule format versions, the synth
+//! walk parameters and the merged schedule-space coverage map (op bigrams,
+//! injection points, phase × fault combinations — including the bigrams
+//! *not* covered), so the nightly artifact shows where the walk has never
+//! been.
 
+use star_chaos::corpus::{load_corpus, plan_to_json};
 use star_chaos::engines::check_baseline_engines;
 use star_chaos::shrink::shrink_plan_from;
-use star_chaos::{plan_for_seed, run_plan, synth_plan, ChaosOutcome, ChaosPlan, SynthOptions};
-use std::path::PathBuf;
+use star_chaos::synth::GUIDED_CANDIDATES;
+use star_chaos::{
+    plan_for_seed, run_plan, synth_plan, ChaosOutcome, ChaosPlan, CoverageMap, GuidedSynth,
+    PlantedBug, SynthOptions, CORPUS_FORMAT_VERSION, SCHEDULE_FORMAT_VERSION,
+};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Red seeds shrunk per sweep. A systemic regression can red hundreds of
@@ -36,23 +53,32 @@ use std::time::{Duration, Instant};
 /// individually).
 const SHRINK_BUDGET_PER_SWEEP: usize = 10;
 
+/// Default location of the committed regression corpus, relative to the
+/// repository root.
+const DEFAULT_CORPUS_DIR: &str = "tests/chaos_corpus";
+
 struct Options {
     seeds: Option<u64>,
     single_seed: Option<u64>,
     synth: bool,
-    inject_bug: bool,
+    guided: bool,
+    inject_bug: Option<PlantedBug>,
     fail_fast: bool,
     skip_engines: bool,
     no_shrink: bool,
     determinism_checks: u64,
     json: Option<PathBuf>,
+    replay_corpus: Option<PathBuf>,
+    corpus_out: Option<PathBuf>,
     verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: star-chaos [--seeds N] [--seed K] [--synth] [--inject-bug] [--fail-fast] \
-         [--skip-engines] [--no-shrink] [--determinism-checks N] [--json PATH] [--verbose]"
+        "usage: star-chaos [--seeds N] [--seed K] [--synth] [--synth-guided] \
+         [--inject-bug [loss|corrupt|torn-wal]] [--fail-fast] [--skip-engines] [--no-shrink] \
+         [--determinism-checks N] [--json PATH] [--replay-corpus [DIR]] [--corpus-out DIR] \
+         [--verbose]"
     );
     std::process::exit(2);
 }
@@ -62,54 +88,96 @@ fn parse_options() -> Options {
         seeds: None,
         single_seed: None,
         synth: false,
-        inject_bug: false,
+        guided: false,
+        inject_bug: None,
         fail_fast: false,
         skip_engines: false,
         no_shrink: false,
         determinism_checks: 3,
         json: None,
+        replay_corpus: None,
+        corpus_out: None,
         verbose: false,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} requires a value");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
             "--seeds" => {
-                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                let Ok(v) = value(&mut i, "--seeds").parse() else {
                     eprintln!("--seeds requires an integer");
                     usage();
                 };
-                options.seeds = Some(value);
+                options.seeds = Some(v);
             }
             "--seed" => {
-                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                let Ok(v) = value(&mut i, "--seed").parse() else {
                     eprintln!("--seed requires an integer");
                     usage();
                 };
-                options.single_seed = Some(value);
+                options.single_seed = Some(v);
             }
             "--synth" => options.synth = true,
+            "--synth-guided" => {
+                options.synth = true;
+                options.guided = true;
+            }
             "--inject-bug" => {
                 // A deliberately planted checker-visible bug, for validating
-                // the sweep-and-shrink pipeline end to end.
+                // the sweep-and-shrink pipeline end to end. The optional
+                // value picks the corruption class (default: silent loss).
                 options.synth = true;
-                options.inject_bug = true;
+                let kind = match args.get(i + 1).map(|s| s.as_str()) {
+                    Some(name) if !name.starts_with("--") => {
+                        i += 1;
+                        match PlantedBug::parse(name) {
+                            Some(kind) => kind,
+                            None => {
+                                eprintln!(
+                                    "unknown --inject-bug kind \"{name}\" \
+                                     (expected loss, corrupt or torn-wal)"
+                                );
+                                usage();
+                            }
+                        }
+                    }
+                    _ => PlantedBug::SilentLoss,
+                };
+                options.inject_bug = Some(kind);
             }
             "--fail-fast" => options.fail_fast = true,
             "--skip-engines" => options.skip_engines = true,
             "--no-shrink" => options.no_shrink = true,
             "--determinism-checks" => {
-                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                let Ok(v) = value(&mut i, "--determinism-checks").parse() else {
                     eprintln!("--determinism-checks requires an integer");
                     usage();
                 };
-                options.determinism_checks = value;
+                options.determinism_checks = v;
             }
-            "--json" => {
-                let Some(value) = args.next() else {
-                    eprintln!("--json requires a path");
-                    usage();
+            "--json" => options.json = Some(PathBuf::from(value(&mut i, "--json"))),
+            "--replay-corpus" => {
+                let dir = match args.get(i + 1).map(|s| s.as_str()) {
+                    Some(path) if !path.starts_with("--") => {
+                        i += 1;
+                        PathBuf::from(path)
+                    }
+                    _ => PathBuf::from(DEFAULT_CORPUS_DIR),
                 };
-                options.json = Some(PathBuf::from(value));
+                options.replay_corpus = Some(dir);
+            }
+            "--corpus-out" => {
+                options.corpus_out = Some(PathBuf::from(value(&mut i, "--corpus-out")));
             }
             "--verbose" => options.verbose = true,
             "--help" | "-h" => usage(),
@@ -118,6 +186,7 @@ fn parse_options() -> Options {
                 usage();
             }
         }
+        i += 1;
     }
     options
 }
@@ -164,25 +233,28 @@ fn outcome_json(outcome: &ChaosOutcome, shrunk: Option<&ShrunkReport>) -> String
     )
 }
 
-fn print_failure(outcome: &ChaosOutcome, synth: bool, inject_bug: bool) {
+fn print_failure(outcome: &ChaosOutcome, options: &Options) {
     eprintln!("\nseed {} FAILED ({}):", outcome.seed, outcome.label);
     for violation in &outcome.violations {
         eprintln!("  violation: {violation}");
     }
     eprintln!("  cases seen: {:?}", outcome.cases_seen);
     eprintln!("  fingerprint: {:016x}", outcome.fingerprint);
-    let flags = if inject_bug {
-        "--inject-bug "
-    } else if synth {
-        "--synth "
-    } else {
-        ""
+    let flags = match (&options.inject_bug, options.guided, options.synth) {
+        (Some(kind), _, _) => format!("--inject-bug {} ", kind.name()),
+        (None, true, _) => "--synth-guided ".to_string(),
+        (None, false, true) => "--synth ".to_string(),
+        (None, false, false) => String::new(),
     };
     eprintln!("  reproduce with: star-chaos {flags}--seed {}", outcome.seed);
     eprintln!("  schedule: {:?}", outcome.schedule);
 }
 
-fn shrink_failure(plan: &ChaosPlan, violations: &[String]) -> Option<ShrunkReport> {
+fn shrink_failure(
+    plan: &ChaosPlan,
+    violations: &[String],
+    corpus_out: Option<&PathBuf>,
+) -> Option<ShrunkReport> {
     match shrink_plan_from(plan, violations) {
         Ok(Some(shrunk)) => {
             eprintln!(
@@ -190,6 +262,25 @@ fn shrink_failure(plan: &ChaosPlan, violations: &[String]) -> Option<ShrunkRepor
                 shrunk.shrunk_ops, shrunk.original_ops, shrunk.runs, shrunk.category
             );
             eprintln!("  minimal schedule: {:?}", shrunk.plan.schedule);
+            if let Some(dir) = corpus_out {
+                // A fresh counterexample: serialized next to the sweep so it
+                // can be promoted into tests/chaos_corpus/ once the bug it
+                // found is fixed (a corpus entry must replay green).
+                let description = format!(
+                    "shrunk counterexample from seed {} ({}); promote to tests/chaos_corpus/ \
+                     after the bug is fixed",
+                    shrunk.plan.seed, shrunk.plan.label
+                );
+                let text = plan_to_json(&shrunk.plan, &description, &shrunk.category);
+                let path = dir.join(format!("seed-{}.json", shrunk.plan.seed));
+                if let Err(e) =
+                    std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, text))
+                {
+                    eprintln!("  cannot write corpus entry {}: {e}", path.display());
+                } else {
+                    eprintln!("  corpus entry written: {}", path.display());
+                }
+            }
             Some(ShrunkReport {
                 ops: shrunk.shrunk_ops,
                 original_ops: shrunk.original_ops,
@@ -205,12 +296,81 @@ fn shrink_failure(plan: &ChaosPlan, violations: &[String]) -> Option<ShrunkRepor
     }
 }
 
+/// `--replay-corpus`: re-run every committed counterexample as a regression
+/// seed. Every entry must be green — each schedule once exposed a real bug
+/// that has since been fixed, so a red replay is a regression of that exact
+/// fix. Exits the process.
+fn replay_corpus(dir: &Path, options: &Options) -> ! {
+    let start = Instant::now();
+    let entries = match load_corpus(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("cannot load corpus: {e}");
+            std::process::exit(2);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("corpus {} holds no entries", dir.display());
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    let mut outcomes: Vec<(ChaosOutcome, Option<ShrunkReport>)> = Vec::new();
+    for (path, entry) in &entries {
+        let outcome = run_plan(&entry.plan).expect("corpus replay failed to start");
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("<entry>");
+        if outcome.passed() {
+            println!(
+                "corpus {:<44} committed {:>5}  ok   ({})",
+                name, outcome.committed, entry.description
+            );
+        } else {
+            failed = true;
+            eprintln!("\ncorpus entry {name} REGRESSED ({}):", entry.description);
+            eprintln!("  once-red category: {}", entry.category);
+            for violation in &outcome.violations {
+                eprintln!("  violation: {violation}");
+            }
+            eprintln!("  schedule: {:?}", entry.plan.schedule);
+        }
+        outcomes.push((outcome, None));
+    }
+    println!(
+        "\nreplayed {} corpus entr{} in {:.1?}: {}",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+        start.elapsed(),
+        if failed { "REGRESSED" } else { "all green" }
+    );
+    if let Some(path) = &options.json {
+        let body: Vec<String> = outcomes.iter().map(|(o, s)| outcome_json(o, s.as_ref())).collect();
+        let json = format!(
+            "{{\"format_version\":{CORPUS_FORMAT_VERSION},\
+             \"schedule_format\":{SCHEDULE_FORMAT_VERSION},\"mode\":\"replay-corpus\",\
+             \"entries\":{},\"failed\":{},\"outcomes\":[\n{}\n]}}\n",
+            outcomes.len(),
+            failed,
+            body.join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let options = parse_options();
+    if let Some(dir) = &options.replay_corpus {
+        replay_corpus(dir, &options);
+    }
     let start = Instant::now();
-    let synth_options = SynthOptions { inject_unsafe_loss: options.inject_bug };
+    let synth_options = SynthOptions { planted: options.inject_bug };
     let make_plan = |seed: u64| -> ChaosPlan {
-        if options.synth {
+        if options.guided {
+            GuidedSynth::plan_for_seed(seed, &synth_options)
+        } else if options.synth {
             synth_plan(seed, &synth_options)
         } else {
             plan_for_seed(seed)
@@ -223,37 +383,47 @@ fn main() {
         Some(seed) => vec![seed],
         None => (0..options.seeds.unwrap_or(default_seeds)).collect(),
     };
+    // Generate the sweep's plans up front. The guided sweep is stateful —
+    // each choice depends on the coverage of every earlier seed — so plans
+    // come from one selection pass; `--synth-guided --seed N` reproduces a
+    // single seed by replaying the selection (schedules only, no runs).
+    let plans: Vec<ChaosPlan> = if options.guided && options.single_seed.is_none() {
+        let mut guided = GuidedSynth::new(synth_options);
+        seeds.iter().map(|&seed| guided.next_plan(seed)).collect()
+    } else {
+        seeds.iter().map(|&seed| make_plan(seed)).collect()
+    };
 
     let mut outcomes: Vec<(ChaosOutcome, Option<ShrunkReport>)> = Vec::new();
     let mut failed = false;
 
     // Determinism self-check: the first seeds run twice; schedule, history
     // fingerprint and verdict must be identical.
-    let determinism_seeds: Vec<u64> =
-        seeds.iter().copied().take(options.determinism_checks as usize).collect();
-    for &seed in &determinism_seeds {
-        let first = run_plan(&make_plan(seed)).expect("chaos run failed to start");
-        let second = run_plan(&make_plan(seed)).expect("chaos run failed to start");
-        let plans_equal = make_plan(seed).schedule == make_plan(seed).schedule;
+    let determinism_count = (options.determinism_checks as usize).min(plans.len());
+    for plan in &plans[..determinism_count] {
+        let first = run_plan(plan).expect("chaos run failed to start");
+        let second = run_plan(plan).expect("chaos run failed to start");
+        let regenerated = make_plan(plan.seed);
         if first.fingerprint != second.fingerprint
             || first.passed() != second.passed()
-            || !plans_equal
+            || regenerated.schedule != plan.schedule
         {
             eprintln!(
-                "determinism violation at seed {seed}: fingerprints {:016x} vs {:016x}",
-                first.fingerprint, second.fingerprint
+                "determinism violation at seed {}: fingerprints {:016x} vs {:016x}",
+                plan.seed, first.fingerprint, second.fingerprint
             );
             failed = true;
         }
     }
-    if !determinism_seeds.is_empty() && !failed {
-        println!("determinism check: {} seed(s) re-ran identically", determinism_seeds.len());
+    if determinism_count > 0 && !failed {
+        println!("determinism check: {determinism_count} seed(s) re-ran identically");
     }
 
+    let mut coverage = CoverageMap::new();
     let mut shrinks_spent = 0usize;
-    for &seed in &seeds {
-        let plan = make_plan(seed);
-        let outcome = run_plan(&plan).expect("chaos run failed to start");
+    for plan in &plans {
+        let outcome = run_plan(plan).expect("chaos run failed to start");
+        coverage.observe(&outcome.schedule);
         if options.verbose || !outcome.passed() {
             println!(
                 "seed {:>4} {:<40} committed {:>5}  cases {:?}  {}",
@@ -266,14 +436,15 @@ fn main() {
         }
         let mut shrunk = None;
         if !outcome.passed() {
-            print_failure(&outcome, options.synth, options.inject_bug);
+            print_failure(&outcome, &options);
             if !options.no_shrink && shrinks_spent < SHRINK_BUDGET_PER_SWEEP {
                 shrinks_spent += 1;
-                shrunk = shrink_failure(&plan, &outcome.violations);
+                shrunk = shrink_failure(plan, &outcome.violations, options.corpus_out.as_ref());
             } else if !options.no_shrink {
                 eprintln!(
                     "  (shrink budget of {SHRINK_BUDGET_PER_SWEEP} per sweep exhausted; \
-                     reproduce and shrink with --seed {seed})"
+                     reproduce and shrink with --seed {})",
+                    plan.seed
                 );
             }
             failed = true;
@@ -285,7 +456,7 @@ fn main() {
         }
     }
 
-    // Coverage summary.
+    // Coverage summary: failure cases reached, plus the schedule-space map.
     let mut cases: Vec<String> = Vec::new();
     for (outcome, _) in &outcomes {
         for case in &outcome.cases_seen {
@@ -299,10 +470,24 @@ fn main() {
     println!(
         "\nswept {} seed(s){} in {:.1?}: {} committed txns checked, cases covered: {:?}",
         outcomes.len(),
-        if options.synth { " (synthesized)" } else { "" },
+        if options.guided {
+            " (synthesized, coverage-guided)"
+        } else if options.synth {
+            " (synthesized)"
+        } else {
+            ""
+        },
         start.elapsed(),
         total_committed,
         cases
+    );
+    println!(
+        "schedule-space coverage: {} op bigram(s), {} point(s), {} phase×fault combination(s); \
+         {} bigram(s) never exercised",
+        coverage.bigram_count(),
+        coverage.point_count(),
+        coverage.phase_fault_count(),
+        coverage.uncovered_bigrams().len(),
     );
     let all_four =
         ["FullAndPartialRemain", "OnlyPartialRemains", "OnlyFullRemains", "NothingRemains"]
@@ -342,11 +527,34 @@ fn main() {
 
     if let Some(path) = &options.json {
         let body: Vec<String> = outcomes.iter().map(|(o, s)| outcome_json(o, s.as_ref())).collect();
+        let mode = if options.guided {
+            "synth-guided"
+        } else if options.synth {
+            "synth"
+        } else {
+            "template"
+        };
+        let planted = match &options.inject_bug {
+            Some(kind) => format!("\"{}\"", kind.name()),
+            None => "null".to_string(),
+        };
+        // The walk parameters and format versions ride in the report so a
+        // corpus entry (or a re-run months later) can detect that it was
+        // produced by an incompatible schedule encoding instead of
+        // replaying something subtly different.
         let json = format!(
-            "{{\"seeds\":{},\"synth\":{},\"failed\":{},\"outcomes\":[\n{}\n]}}\n",
+            "{{\"format_version\":{CORPUS_FORMAT_VERSION},\
+             \"schedule_format\":{SCHEDULE_FORMAT_VERSION},\
+             \"synth_params\":{{\"mode\":\"{mode}\",\"planted\":{planted},\
+             \"guided_candidates\":{GUIDED_CANDIDATES},\"determinism_checks\":{}}},\
+             \"seeds\":{},\"synth\":{},\"failed\":{},\
+             \"coverage\":{},\
+             \"outcomes\":[\n{}\n]}}\n",
+            options.determinism_checks,
             outcomes.len(),
             options.synth,
             failed,
+            coverage.to_json(),
             body.join(",\n")
         );
         if let Err(e) = std::fs::write(path, json) {

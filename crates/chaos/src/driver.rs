@@ -51,7 +51,7 @@ pub enum WorkloadSpec {
 }
 
 /// Everything needed to reproduce one chaos run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosPlan {
     /// The seed every RNG in the run derives from.
     pub seed: u64,
@@ -147,6 +147,14 @@ fn apply_op(
                 violations.push(format!("scheduled recovery of node {node} failed: {e}"));
             }
         }
+        FaultOp::RecoverInterrupted(node, fault) => {
+            // The interruption itself is survivable (the node just stays
+            // down); only a recovery that could not even *start* — no
+            // healthy source — is reported, mirroring `Recover`.
+            if let Err(e) = engine.recover_node_interrupted(*node, *fault) {
+                violations.push(format!("scheduled recovery of node {node} failed: {e}"));
+            }
+        }
         FaultOp::CutLink(a, b) => engine.cluster().network().cut_link(*a, *b),
         FaultOp::HealLink(a, b) => engine.cluster().network().heal_link(*a, *b),
         FaultOp::SetLinkFaults(from, to, faults) => {
@@ -163,6 +171,22 @@ fn apply_op(
                 if !failed.contains(&n) {
                     checkpoints.push((n, Checkpoint::capture(&node.db, epoch)));
                 }
+            }
+        }
+        FaultOp::TruncateWal(node, bytes) => {
+            // A byzantine disk: the tail of the node's WAL silently
+            // disappears. Disk recovery must detect the torn record — this
+            // op only appears in planted-bug schedules, so a run carrying
+            // it is expected red.
+            let paths = engine.wal_paths();
+            match paths.get(*node) {
+                Some(path) => {
+                    if let Err(e) = star_replication::truncate_wal_tail(path, *bytes) {
+                        violations.push(format!("TruncateWal({node}) could not run: {e}"));
+                    }
+                }
+                None => violations
+                    .push(format!("TruncateWal({node}) scheduled without disk logging enabled")),
             }
         }
     }
@@ -291,12 +315,15 @@ fn run_disk_recovery(
     // Recovery needs a checkpoint of a full replica (it covers the whole
     // database; Section 4.5.1 checkpoints every replica, and rebuilding the
     // full replica is the Case-4 path that restores availability).
+    // "disk recovery setup" (not "disk recovery") so the shrinker cannot
+    // conflate a schedule that merely lost its Checkpoint op with one whose
+    // disk recovery genuinely failed — e.g. on a torn WAL record.
     let Some((_, checkpoint)) = checkpoints.iter().find(|(n, _)| config.is_full_replica(*n)) else {
-        violations.push("disk recovery: no full-replica checkpoint was captured".into());
+        violations.push("disk recovery setup: no full-replica checkpoint was captured".into());
         return summary;
     };
     if engine.wal_paths().is_empty() {
-        violations.push("disk recovery: the plan did not enable disk logging".into());
+        violations.push("disk recovery setup: the plan did not enable disk logging".into());
         return summary;
     }
 

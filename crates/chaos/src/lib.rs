@@ -32,7 +32,17 @@
 //! * [`shrink`] — the failure reporter's minimizer: a red schedule is
 //!   delta-debugged down to a minimal op list that still fails with the
 //!   same violation category, and the result is embedded next to the seed
-//!   in the JSON report.
+//!   in the JSON report;
+//! * [`coverage`] — schedule-space coverage maps: which op bigrams,
+//!   injection points and engine-phase × fault combinations a sweep
+//!   actually exercised, merged across seeds and emitted in the report.
+//!   `star-chaos --synth-guided` uses the merged map to bias the walk
+//!   toward uncovered territory;
+//! * [`corpus`] — the regression corpus: shrunk red schedules serialize to
+//!   versioned JSON under `tests/chaos_corpus/`, and
+//!   `star-chaos --replay-corpus` re-runs every committed counterexample
+//!   as a regression seed (stale format versions are rejected with a clear
+//!   error).
 //!
 //! The [`engines`] module additionally records and checks histories of the
 //! four baseline engines (PB. OCC, Dist. OCC, Dist. S2PL, Calvin), whose
@@ -44,6 +54,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod checker;
+pub mod corpus;
+pub mod coverage;
 pub mod driver;
 pub mod engines;
 pub mod runner;
@@ -52,10 +64,14 @@ pub mod shrink;
 pub mod synth;
 
 pub use checker::{check_history, CheckReport, Violation};
+pub use corpus::{load_corpus, plan_from_json, plan_to_json, CorpusEntry, CORPUS_FORMAT_VERSION};
+pub use coverage::{CoverageMap, EnginePhase, OpKind};
 pub use driver::{run_plan, ChaosOutcome, ChaosPlan, WorkloadSpec};
 pub use runner::{
     canonical_config, family_plan, plan_for_seed, run_seed, sweep, ScenarioKind, SweepSummary,
 };
-pub use schedule::{FaultOp, FaultSchedule, InjectionPoint};
+pub use schedule::{FaultOp, FaultSchedule, InjectionPoint, SCHEDULE_FORMAT_VERSION};
 pub use shrink::{shrink_plan, ShrunkPlan};
-pub use synth::{run_synth_seed, synth_plan, synth_plan_for_seed, SynthOptions};
+pub use synth::{
+    run_synth_seed, synth_plan, synth_plan_for_seed, GuidedSynth, PlantedBug, SynthOptions,
+};

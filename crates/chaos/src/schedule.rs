@@ -13,7 +13,16 @@
 //! report contains everything needed to reproduce the run.
 
 use star_common::NodeId;
+use star_core::RecoveryFault;
 use star_net::LinkFaults;
+
+/// Version of the schedule wire format (the JSON encoding used by the
+/// regression corpus under `tests/chaos_corpus/` and by the `star-chaos`
+/// report). Bump this whenever [`FaultOp`], [`InjectionPoint`] or the
+/// [`crate::corpus`] encoding changes shape, so stale corpus entries are
+/// rejected with a clear error instead of silently replaying something
+/// different from what was minimized.
+pub const SCHEDULE_FORMAT_VERSION: u32 = 1;
 
 /// Where inside one iteration of the phase-switching loop an operation
 /// fires. The iteration structure is:
@@ -52,6 +61,11 @@ pub enum FaultOp {
     /// Recover a crashed node by copying its partitions from healthy
     /// replicas (the Cases 1–3 catch-up path).
     Recover(NodeId),
+    /// Start recovering a crashed node but inject a fault mid-copy: the
+    /// recovery aborts, the node stays down, and the fault's side effects
+    /// (a crashed source, a cut link) persist — the recovery path itself is
+    /// under test (`StarEngine::recover_node_interrupted`).
+    RecoverInterrupted(NodeId, RecoveryFault),
     /// Cut the bidirectional link between two nodes (network partition;
     /// silent message loss).
     CutLink(NodeId, NodeId),
@@ -66,6 +80,11 @@ pub enum FaultOp {
     /// Capture a fuzzy checkpoint of every healthy replica (the Case-4
     /// disk-recovery input, Section 4.5.1).
     Checkpoint,
+    /// Byzantine disk fault: tear the tail of a node's on-disk WAL by the
+    /// given number of bytes (see `star_replication::truncate_wal_tail`).
+    /// Never protocol-safe — this is a planted bug that the Case-4 disk
+    /// recovery must detect, so a schedule containing it is expected red.
+    TruncateWal(NodeId, u64),
 }
 
 /// One scheduled operation: `op` fires at `point` of iteration `iteration`.

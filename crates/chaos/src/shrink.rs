@@ -48,10 +48,16 @@ pub struct ShrunkPlan {
 /// The violation *category*: everything before the first `:` (e.g.
 /// `"serializability"`, `"replica consistency"`, `"oracle vs node 2"` is
 /// normalised to `"oracle"` so the reporter does not distinguish nodes).
+/// `"disk recovery setup"` (the plan never captured a usable checkpoint)
+/// stays distinct from `"disk recovery"` (the replay itself failed), so
+/// shrinking a torn-WAL counterexample cannot degenerate into a schedule
+/// that is red merely for lacking its Checkpoint op.
 pub fn violation_category(violation: &str) -> String {
     let head = violation.split(':').next().unwrap_or(violation).trim();
     if head.starts_with("oracle") {
         "oracle".to_string()
+    } else if head.starts_with("disk recovery setup") {
+        "disk recovery setup".to_string()
     } else if head.starts_with("disk recovery") {
         "disk recovery".to_string()
     } else {
@@ -171,6 +177,10 @@ mod tests {
         assert_eq!(violation_category("replica consistency: node 2 …"), "replica consistency");
         assert_eq!(violation_category("oracle vs node 2: record …"), "oracle");
         assert_eq!(violation_category("disk recovery: replay failed"), "disk recovery");
+        assert_eq!(
+            violation_category("disk recovery setup: no full-replica checkpoint was captured"),
+            "disk recovery setup"
+        );
     }
 
     #[test]
@@ -231,28 +241,41 @@ mod tests {
     }
 
     #[test]
-    fn planted_synth_bug_is_found_and_shrunk_small() {
-        // The acceptance check: a checker-bypass bug planted into the
-        // synthesized schedule space is found by sweeping, and its shrunk
-        // schedule is tiny (≤6 ops).
-        let options = SynthOptions { inject_unsafe_loss: true };
-        let red = (0..32u64)
-            .map(|seed| synth_plan(seed, &options))
-            .filter(|plan| plan.label.ends_with("+injected-loss"))
-            .find_map(|plan| {
-                let outcome = run_plan(&plan).ok()?;
-                (!outcome.passed()).then_some(plan)
-            })
-            .expect("the sweep must find a planted red seed");
-        let shrunk = shrink_plan(&red).unwrap().expect("red plan must shrink");
-        assert!(
-            shrunk.shrunk_ops <= 6,
-            "shrunk schedule too large ({} ops): {:?}",
-            shrunk.shrunk_ops,
-            shrunk.plan.schedule
-        );
-        assert!(shrunk.shrunk_ops < shrunk.original_ops, "shrinking must remove noise");
-        let outcome = run_plan(&shrunk.plan).unwrap();
-        assert!(!outcome.passed(), "the minimized schedule must still be red");
+    fn planted_synth_bugs_are_found_and_shrunk_small() {
+        // The acceptance check, for every planted byzantine-bug kind: a
+        // checker-bypass bug planted into the synthesized schedule space is
+        // found by sweeping, and its shrunk schedule is tiny (≤6 ops).
+        for (planted, marker) in [
+            (crate::synth::PlantedBug::SilentLoss, "+injected-loss"),
+            (crate::synth::PlantedBug::CorruptPayload, "+injected-corrupt"),
+            (crate::synth::PlantedBug::TornWal, "+injected-torn-wal"),
+        ] {
+            let options = SynthOptions { planted: Some(planted) };
+            let red = (0..32u64)
+                .map(|seed| synth_plan(seed, &options))
+                .filter(|plan| plan.label.ends_with(marker))
+                .find_map(|plan| {
+                    let outcome = run_plan(&plan).ok()?;
+                    (!outcome.passed()).then_some(plan)
+                })
+                .unwrap_or_else(|| panic!("the sweep must find a planted {planted:?} red seed"));
+            let shrunk = shrink_plan(&red).unwrap().expect("red plan must shrink");
+            assert!(
+                shrunk.shrunk_ops <= 6,
+                "{planted:?}: shrunk schedule too large ({} ops): {:?}",
+                shrunk.shrunk_ops,
+                shrunk.plan.schedule
+            );
+            assert!(
+                shrunk.shrunk_ops >= 1,
+                "{planted:?}: an empty schedule cannot demonstrate a planted bug"
+            );
+            assert!(
+                shrunk.shrunk_ops < shrunk.original_ops,
+                "{planted:?}: shrinking must remove noise"
+            );
+            let outcome = run_plan(&shrunk.plan).unwrap();
+            assert!(!outcome.passed(), "{planted:?}: the minimized schedule must still be red");
+        }
     }
 }

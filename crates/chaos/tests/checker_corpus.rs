@@ -7,12 +7,20 @@
 //! phantom versions from reverted epochs) — and asserts each one is
 //! rejected with the right violation class, plus positive controls proving
 //! the corpus is not trivially red.
+//!
+//! The byzantine section extends the corpus below the history layer: a
+//! bit-flipped committed value in the replication stream, a replication
+//! batch carrying a wrong version, and a truncated final WAL record — each
+//! a corruption the *recorded history* cannot show, so the replica
+//! comparison, the oracle comparison or the disk recovery must flag it.
 
-use star_chaos::checker::{check_history, Violation};
+use star_chaos::checker::{check_history, compare_with_database, Violation};
+use star_chaos::{run_plan, ChaosPlan, FaultOp, FaultSchedule, InjectionPoint, WorkloadSpec};
 use star_common::row::row;
-use star_common::{FieldValue, Key, Tid};
+use star_common::{ClusterConfig, FieldValue, Key, Tid};
 use star_core::history::{CommittedTxn, RecordedRead, RecordedWrite};
 use star_replication::ExecutionPhase;
+use std::time::Duration;
 
 fn txn(tid: Tid, reads: Vec<(Key, Tid)>, writes: Vec<(Key, u64)>) -> CommittedTxn {
     CommittedTxn {
@@ -222,6 +230,150 @@ fn cycle_diagnostics_name_the_involved_transactions() {
     assert_eq!(involved.as_slice(), &[0, 1]);
     let printed = report.violation.as_ref().unwrap().to_string();
     assert!(printed.contains("cycle"), "{printed}");
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine negative controls
+// ---------------------------------------------------------------------------
+
+fn byzantine_base_plan(seed: u64) -> ChaosPlan {
+    let config = ClusterConfig {
+        num_nodes: 4,
+        full_replicas: 1,
+        workers_per_node: 1,
+        partitions: 4,
+        iteration: Duration::from_millis(5),
+        network_latency: Duration::from_micros(20),
+        seed,
+        ..ClusterConfig::default()
+    };
+    ChaosPlan {
+        seed,
+        label: "byzantine-control".into(),
+        config,
+        workload: WorkloadSpec::Kv { rows_per_partition: 16 },
+        iterations: 3,
+        partitioned_txns: 12,
+        single_master_txns: 16,
+        schedule: FaultSchedule::new(),
+        expect_disk_recovery: false,
+    }
+}
+
+#[test]
+fn bit_flipped_committed_value_is_flagged() {
+    // The master's value-replication stream to node 1 is bit-flipped for
+    // the final epoch (`FaultVerdict::Corrupt`). The recorded history is
+    // untouched — the corruption lives only in replica state — so it is the
+    // replica/oracle comparison that must go red.
+    let mut plan = byzantine_base_plan(91);
+    plan.label = "byzantine-bit-flip".into();
+    plan.schedule = FaultSchedule::new()
+        .at(
+            2,
+            InjectionPoint::SingleMasterStart,
+            FaultOp::SetLinkFaults(0, 1, star_net::LinkFaults::corrupting(1.0)),
+        )
+        .at(
+            2,
+            InjectionPoint::BeforeSecondFence,
+            FaultOp::SetLinkFaults(0, 1, star_net::LinkFaults::none()),
+        );
+    let outcome = run_plan(&plan).unwrap();
+    assert!(!outcome.passed(), "a bit-flipped committed value survived to a green verdict");
+    assert!(
+        outcome.violations.iter().any(|v| v.contains("replica") || v.contains("oracle")),
+        "the corruption must surface as replica/oracle divergence: {:?}",
+        outcome.violations
+    );
+    // Positive control: the identical plan without the corrupt faults is
+    // green, so the red verdict above is the corruption's doing.
+    let clean = byzantine_base_plan(91);
+    let outcome = run_plan(&clean).unwrap();
+    assert!(outcome.passed(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn replication_batch_with_wrong_version_is_flagged() {
+    // A byzantine replica applies a batch whose TID lies about the version
+    // it installs: the record ends up at a version no committed transaction
+    // produced. The oracle comparison must refuse it.
+    let plan = byzantine_base_plan(92);
+    let outcome = run_plan(&plan).unwrap();
+    assert!(outcome.passed());
+
+    // Rebuild a replica and the oracle state from a fresh run, then apply
+    // the rogue batch entry to the replica.
+    let workload = std::sync::Arc::new(star_core::testing::KvWorkload {
+        partitions: 4,
+        rows_per_partition: 16,
+        cross_partition_fraction: 0.3,
+    });
+    let mut engine = star_core::StarEngine::new(plan.config.clone(), workload).unwrap();
+    let recorder = std::sync::Arc::new(star_core::HistoryRecorder::new());
+    engine.set_history_recorder(recorder.clone());
+    for _ in 0..3 {
+        engine.run_iteration_stepped(8, 8);
+    }
+    let report = check_history(&recorder.committed());
+    assert!(report.is_serializable());
+    let db = &engine.cluster().nodes()[0].db;
+    assert!(compare_with_database(db, &report.final_state).is_ok());
+
+    // Pick a record the oracle knows and install the same row under a
+    // *wrong* (never-committed) version, as a corrupted batch would.
+    let (&(table, partition, key), (tid, row)) =
+        report.final_state.iter().next().expect("some record was written");
+    let wrong_version = Tid::new(tid.epoch() + 900, 1);
+    let rogue = star_replication::LogEntry {
+        table,
+        partition,
+        key,
+        tid: wrong_version,
+        payload: star_replication::Payload::Value(row.clone()),
+    };
+    rogue.apply(db).unwrap();
+    let err = compare_with_database(db, &report.final_state)
+        .expect_err("a wrong-version record must fail the oracle comparison");
+    assert!(err.contains("version"), "{err}");
+}
+
+#[test]
+fn truncated_final_wal_record_is_flagged_by_disk_recovery() {
+    // Case-4 total loss with a torn WAL tail: the checkpoint is captured,
+    // every holder of partition 0 dies, and the full replica's WAL loses
+    // its last 3 bytes (mid-record by construction — entries are ≥ 25
+    // bytes). Disk recovery must refuse to replay the torn log.
+    let mut plan = byzantine_base_plan(93);
+    plan.label = "byzantine-torn-wal".into();
+    plan.config.disk_logging = true;
+    plan.expect_disk_recovery = true;
+    plan.iterations = 4;
+    plan.schedule = FaultSchedule::new()
+        .at(2, InjectionPoint::PartitionedStart, FaultOp::Checkpoint)
+        .at(2, InjectionPoint::MidPartitioned, FaultOp::Crash(0))
+        .at(2, InjectionPoint::MidPartitioned, FaultOp::Crash(1))
+        .at(2, InjectionPoint::IterationEnd, FaultOp::TruncateWal(0, 3));
+    let outcome = run_plan(&plan).unwrap();
+    assert!(!outcome.passed(), "a torn WAL record survived to a green verdict");
+    assert!(
+        outcome.violations.iter().any(|v| v.starts_with("disk recovery:")),
+        "the tear must surface in disk recovery: {:?}",
+        outcome.violations
+    );
+    // Positive control: the same total-loss plan with an intact WAL
+    // recovers from checkpoint + logs cleanly.
+    let mut clean = byzantine_base_plan(93);
+    clean.config.disk_logging = true;
+    clean.expect_disk_recovery = true;
+    clean.iterations = 4;
+    clean.schedule = FaultSchedule::new()
+        .at(2, InjectionPoint::PartitionedStart, FaultOp::Checkpoint)
+        .at(2, InjectionPoint::MidPartitioned, FaultOp::Crash(0))
+        .at(2, InjectionPoint::MidPartitioned, FaultOp::Crash(1));
+    let outcome = run_plan(&clean).unwrap();
+    assert!(outcome.passed(), "{:?}", outcome.violations);
+    assert!(outcome.disk_recovery.unwrap().records_verified > 0);
 }
 
 #[test]

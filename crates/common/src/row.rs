@@ -79,6 +79,31 @@ impl FieldValue {
             _ => None,
         }
     }
+
+    /// Byzantine corruption: flips one bit of the value (or appends a
+    /// control character to a string), deterministically selected by
+    /// `salt`. Shared by every fault-injection path in the repository —
+    /// the simulated network's `Corrupt` verdict and the baselines'
+    /// replication link — so the same salt always produces the same
+    /// garbage. Returns `true` (every field kind is corruptible).
+    pub fn corrupt(&mut self, salt: u64) -> bool {
+        match self {
+            FieldValue::U64(v) => *v ^= 1 << ((salt >> 16) % 64),
+            FieldValue::I64(v) => *v ^= 1 << ((salt >> 16) % 63),
+            // Flip a mantissa bit so the value stays finite but wrong.
+            FieldValue::F64(v) => *v = f64::from_bits(v.to_bits() ^ (1 << ((salt >> 16) % 52))),
+            FieldValue::Str(s) => s.push('\u{7}'),
+            FieldValue::Bytes(b) => {
+                if b.is_empty() {
+                    b.push(0xFF);
+                } else {
+                    let i = (salt >> 16) as usize % b.len();
+                    b[i] ^= 1 << ((salt >> 24) % 8);
+                }
+            }
+        }
+        true
+    }
 }
 
 impl fmt::Debug for FieldValue {
@@ -184,6 +209,17 @@ impl Row {
     /// must ship).
     pub fn wire_size(&self) -> usize {
         4 + self.fields.iter().map(FieldValue::wire_size).sum::<usize>()
+    }
+
+    /// Byzantine corruption: mutates one salt-selected field in place (see
+    /// [`FieldValue::corrupt`]). Returns `false` only for rows with no
+    /// fields to flip.
+    pub fn corrupt(&mut self, salt: u64) -> bool {
+        if self.fields.is_empty() {
+            return false;
+        }
+        let index = (salt >> 8) as usize % self.fields.len();
+        self.fields[index].corrupt(salt)
     }
 }
 
@@ -349,6 +385,34 @@ impl Operation {
         };
         // field index + discriminant overhead
         payload + 8
+    }
+
+    /// Byzantine corruption of the operation's payload: flips a bit of the
+    /// carried value/delta (or mutates the carried string/row), so a
+    /// corrupted operation-replication entry materialises a wrong row on
+    /// the replica that applies it. Returns `false` only for an empty
+    /// `Multi`.
+    pub fn corrupt(&mut self, salt: u64) -> bool {
+        match self {
+            Operation::SetField { value, .. } => value.corrupt(salt),
+            Operation::AddI64 { delta, .. } => {
+                *delta ^= 1 << ((salt >> 16) % 63);
+                true
+            }
+            Operation::AddF64 { delta, .. } => {
+                *delta = f64::from_bits(delta.to_bits() ^ (1 << ((salt >> 16) % 52)));
+                true
+            }
+            Operation::ConcatStr { prefix, .. } => {
+                prefix.push('\u{7}');
+                true
+            }
+            Operation::SetRow { row } => row.corrupt(salt),
+            Operation::Multi { ops } => match ops.len() {
+                0 => false,
+                n => ops[(salt >> 4) as usize % n].corrupt(salt),
+            },
+        }
     }
 }
 

@@ -60,6 +60,53 @@ pub type SyncReplication = ReplicationMode;
 /// closes the epoch).
 const LATENCY_SAMPLE: u64 = 8;
 
+/// One master (re-)election, recorded at the fence that held it.
+///
+/// Elections are deterministic: the winner is always the lowest-id healthy
+/// full replica (or `None` when no full replica survives — Case 2/4), and
+/// they only happen at replication fences, where failure detection has just
+/// run. Identical seed ⇒ identical election log, which is what lets the
+/// chaos harness assert a *deterministic* new master after a coordinator
+/// crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterElection {
+    /// The epoch whose fence held the election (0 for the initial
+    /// appointment at engine construction).
+    pub epoch: Epoch,
+    /// The elected master, or `None` if no healthy full replica remained.
+    pub master: Option<NodeId>,
+    /// Monotonically increasing election generation (0 = initial
+    /// appointment); bumps exactly when the elected master changes.
+    pub generation: u64,
+}
+
+/// How a memory-to-memory recovery is interrupted mid-copy (the chaos
+/// harness's recovery-path fault injection; see
+/// [`StarEngine::recover_node_interrupted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryFault {
+    /// The node serving the copy crashes mid-stream; the fence detects it
+    /// like any other crash.
+    SourceCrash,
+    /// The recovering node crashes again before the copy completes; it
+    /// simply stays down.
+    TargetCrash,
+    /// The link carrying the recovery state is cut mid-copy; both nodes
+    /// survive but the recovery aborts (heal the link before retrying).
+    LinkCut,
+}
+
+/// What an interrupted recovery managed to do before the fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptedRecovery {
+    /// The node that was serving the aborted copy.
+    pub source: NodeId,
+    /// Records copied before the interruption (a partial prefix; safe to
+    /// leave in place because the copy is idempotent under the Thomas write
+    /// rule and a later successful recovery re-copies everything).
+    pub records_copied: usize,
+}
+
 /// Per-partition worker state that survives across iterations.
 struct PartitionWorkerState {
     tid_gen: TidGenerator,
@@ -274,6 +321,14 @@ pub struct StarEngine {
     history: Option<Arc<HistoryRecorder>>,
     /// Epochs that were discarded by an epoch revert, in detection order.
     reverted_epochs: Vec<Epoch>,
+    /// The currently elected master (fence-time decision; `None` while no
+    /// healthy full replica exists).
+    elected_master: Option<NodeId>,
+    /// Generation of the current election (bumps when the master changes).
+    master_generation: u64,
+    /// Every election ever held, in order (index 0 is the initial
+    /// appointment).
+    elections: Vec<MasterElection>,
 }
 
 impl std::fmt::Debug for StarEngine {
@@ -353,6 +408,7 @@ impl StarEngine {
         let plan = PhasePlan::new(workload.mix().cross_partition_fraction);
         let failed = vec![false; config.num_nodes];
         let failed_at_committed_epoch = vec![None; config.num_nodes];
+        let initial_master = (config.full_replicas > 0).then_some(0);
         Ok(StarEngine {
             cluster,
             workload,
@@ -369,6 +425,9 @@ impl StarEngine {
             wal_dir,
             history: None,
             reverted_epochs: Vec::new(),
+            elected_master: initial_master,
+            master_generation: 0,
+            elections: vec![MasterElection { epoch: 0, master: initial_master, generation: 0 }],
         })
     }
 
@@ -453,10 +512,42 @@ impl StarEngine {
         self.failed.iter().enumerate().filter(|(_, f)| **f).map(|(n, _)| n).collect()
     }
 
-    /// The node currently acting as the designated master: the first healthy
-    /// full replica, if any.
+    /// The node currently acting as the designated master: the winner of the
+    /// most recent election (held at every replication fence, after failure
+    /// detection). `None` while no healthy full replica exists.
     pub fn current_master(&self) -> Option<NodeId> {
-        (0..self.cluster.config().full_replicas).find(|&n| !self.failed[n])
+        self.elected_master.filter(|&m| !self.failed[m])
+    }
+
+    /// Generation of the current master election. Bumps exactly when the
+    /// elected master changes (including to/from `None`), so a re-election
+    /// storm is visible as a strictly increasing generation sequence.
+    pub fn master_generation(&self) -> u64 {
+        self.master_generation
+    }
+
+    /// The full election log, in order. Index 0 is the initial appointment
+    /// at engine construction; later entries record fence-time re-elections.
+    pub fn elections(&self) -> &[MasterElection] {
+        &self.elections
+    }
+
+    /// Holds a deterministic master election: the lowest-id healthy full
+    /// replica wins (matching the paper's "designated master is a full
+    /// replica" rule), or `None` when no full replica survives. Called at
+    /// every fence after failure detection; records a new log entry only
+    /// when the winner changes.
+    fn hold_election(&mut self) {
+        let winner = (0..self.cluster.config().full_replicas).find(|&n| !self.failed[n]);
+        if winner != self.elected_master {
+            self.master_generation += 1;
+            self.elected_master = winner;
+            self.elections.push(MasterElection {
+                epoch: self.epoch,
+                master: winner,
+                generation: self.master_generation,
+            });
+        }
     }
 
     /// The effective primary node of a partition: its configured primary if
@@ -850,6 +941,11 @@ impl StarEngine {
                 }
             }
         }
+        // Re-elect the master now that the failure picture is current: a
+        // crashed coordinator is replaced by the next healthy full replica,
+        // and a recovered lower-id full replica takes the role back — both
+        // deterministically, before the next single-master phase runs.
+        self.hold_election();
 
         // Release any messages held back by reorder faults: the fence's
         // contract is that every *sent* message is either applied now or
@@ -999,6 +1095,88 @@ impl StarEngine {
         self.cluster.network().heal_node(node);
         self.failed[node] = false;
         Ok(copied)
+    }
+
+    /// Starts a recovery of `node` and injects `fault` mid-copy: the first
+    /// held partition is copied from its source, then the fault fires and
+    /// the recovery **aborts** — the node stays down, the network is not
+    /// healed, and the engine's failure bookkeeping is untouched. This is
+    /// the chaos harness's recovery-path fault injection: the paper's
+    /// catch-up protocol must survive its own interruption.
+    ///
+    /// The partial copy is harmless: the failure marker is kept (not
+    /// consumed), so a later successful [`Self::recover_node`] first reverts
+    /// the target back to its crash-time committed epoch — discarding any
+    /// in-flight versions an aborted mid-epoch copy may have picked up from
+    /// the source, even if the cluster later reverted that epoch — and then
+    /// re-copies everything under original TIDs (Thomas write rule). The
+    /// interruption's side effects are exactly those of the fault itself:
+    ///
+    /// * [`RecoveryFault::SourceCrash`] — the source node is marked failed
+    ///   in the network (detected, like any crash, at the next fence);
+    /// * [`RecoveryFault::TargetCrash`] — no additional effect (the
+    ///   recovering node was already down and stays down);
+    /// * [`RecoveryFault::LinkCut`] — the `source ↔ node` link is cut and
+    ///   stays cut until a scheduled heal.
+    ///
+    /// Preconditions mirror [`Self::recover_node`]: recovering a healthy
+    /// node is a no-op (`Ok` with zero records), an infeasible recovery
+    /// (no healthy source) is a typed error.
+    pub fn recover_node_interrupted(
+        &mut self,
+        node: NodeId,
+        fault: RecoveryFault,
+    ) -> Result<InterruptedRecovery> {
+        if node >= self.failed.len() {
+            return Err(Error::Config(format!("no such node {node}")));
+        }
+        if !self.failed[node] {
+            return Ok(InterruptedRecovery { source: node, records_copied: 0 });
+        }
+        if !self.can_recover(node) {
+            return Err(Error::Config(format!(
+                "node {node}: no healthy replica holds every partition it needs; recover \
+                 another replica first or recover from disk"
+            )));
+        }
+        let target_db = Arc::clone(&self.cluster.nodes()[node].db);
+        // Peek — do NOT consume — the revert marker: an interruption can
+        // land mid-epoch, in which case the partial copy below includes the
+        // source's *in-flight* versions. If that epoch later reverts, the
+        // down node keeps the copies (it does not participate in fences),
+        // and the Thomas write rule would block the committed rows from
+        // overwriting them on retry. Keeping the marker makes the retried
+        // `recover_node` revert the target again, discarding anything this
+        // aborted copy resurrected before re-copying.
+        if let Some(committed) = self.failed_at_committed_epoch[node] {
+            target_db.revert_to_epoch(committed);
+        }
+        drop(self.cluster.nodes()[node].endpoint.drain());
+        let partition = target_db
+            .held_partitions()
+            .into_iter()
+            .next()
+            .ok_or_else(|| Error::Config(format!("node {node} holds no partitions")))?;
+        let source = (0..self.cluster.config().num_nodes)
+            .find(|&n| n != node && !self.failed[n] && self.cluster.nodes()[n].db.holds(partition))
+            .expect("can_recover guaranteed a healthy source");
+        let mut copied = 0usize;
+        let source_db = &self.cluster.nodes()[source].db;
+        source_db.for_each_record(|table, p, key, rec| {
+            if p != partition {
+                return;
+            }
+            let read = rec.read();
+            if target_db.apply_value_write(table, p, key, read.row, read.tid).unwrap_or(false) {
+                copied += 1;
+            }
+        });
+        match fault {
+            RecoveryFault::SourceCrash => self.cluster.network().fail_node(source),
+            RecoveryFault::TargetCrash => {}
+            RecoveryFault::LinkCut => self.cluster.network().cut_link(source, node),
+        }
+        Ok(InterruptedRecovery { source, records_copied: copied })
     }
 
     /// Checks that every pair of healthy replicas agrees on the contents of
@@ -1267,6 +1445,167 @@ mod tests {
             dir
         };
         assert!(!dir.exists(), "engine drop must remove the per-engine WAL dir");
+    }
+
+    #[test]
+    fn master_reelection_is_deterministic_and_generation_stamped() {
+        // Two full replicas: killing the coordinator mid-epoch hands the
+        // role to node 1 at the next fence; recovering node 0 hands it back.
+        let mut config = small_config();
+        config.full_replicas = 2;
+        let mut engine = StarEngine::new(config, workload(0.5)).unwrap();
+        assert_eq!(engine.current_master(), Some(0));
+        assert_eq!(engine.master_generation(), 0);
+        engine.run_for(Duration::from_millis(10));
+        assert_eq!(engine.master_generation(), 0, "no failure, no re-election");
+
+        engine.inject_failure(0);
+        engine.run_iteration();
+        assert_eq!(engine.current_master(), Some(1), "next healthy full replica must win");
+        assert_eq!(engine.master_generation(), 1);
+        let election = *engine.elections().last().unwrap();
+        assert_eq!(election.master, Some(1));
+        assert_eq!(election.generation, 1);
+
+        // The cluster keeps committing under the new master.
+        let report = engine.run_for(Duration::from_millis(15));
+        assert!(report.counters.committed > 0);
+        engine.recover_node(0).unwrap();
+        engine.run_iteration();
+        assert_eq!(engine.current_master(), Some(0), "the lowest-id full replica takes back over");
+        assert_eq!(engine.master_generation(), 2);
+        // The log is an audit trail: initial appointment plus two changes.
+        let masters: Vec<Option<NodeId>> = engine.elections().iter().map(|e| e.master).collect();
+        assert_eq!(masters, vec![Some(0), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn losing_every_full_replica_elects_nobody() {
+        let mut config = small_config();
+        config.full_replicas = 2;
+        let mut engine = StarEngine::new(config, workload(0.3)).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.inject_failure(0);
+        engine.inject_failure(1);
+        engine.run_iteration();
+        assert_eq!(engine.current_master(), None);
+        assert_eq!(engine.elections().last().unwrap().master, None);
+        let generation = engine.master_generation();
+        // Idle fences must not re-run the election.
+        engine.run_iteration();
+        assert_eq!(engine.master_generation(), generation);
+    }
+
+    #[test]
+    fn interrupted_recovery_leaves_the_node_down_and_is_retryable() {
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(15));
+        engine.inject_failure(2);
+        engine.run_iteration();
+        engine.run_for(Duration::from_millis(10));
+
+        // Target crashes again mid-copy: nothing else changes.
+        let aborted = engine.recover_node_interrupted(2, RecoveryFault::TargetCrash).unwrap();
+        assert!(aborted.records_copied > 0, "a partial prefix must have been copied");
+        assert!(engine.failed_nodes().contains(&2), "the node must stay down");
+        engine.run_iteration();
+
+        // The retried full recovery succeeds and the cluster converges.
+        engine.recover_node(2).unwrap();
+        assert!(engine.failed_nodes().is_empty());
+        engine.run_for(Duration::from_millis(10));
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn source_crash_mid_recovery_is_detected_at_the_next_fence() {
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(15));
+        engine.inject_failure(2);
+        engine.run_iteration();
+        let aborted = engine.recover_node_interrupted(2, RecoveryFault::SourceCrash).unwrap();
+        // The source died serving the copy; the next fence detects it and
+        // the cluster reverts the in-flight epoch like any other crash.
+        engine.run_iteration();
+        assert!(engine.failed_nodes().contains(&aborted.source));
+        assert!(engine.failed_nodes().contains(&2));
+        // With the source down too, node 2's recovery may now be infeasible;
+        // recover the source first, then node 2.
+        engine.recover_node(aborted.source).unwrap();
+        engine.run_iteration();
+        engine.recover_node(2).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn link_cut_mid_recovery_stays_cut_until_healed() {
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.inject_failure(2);
+        engine.run_iteration();
+        let aborted = engine.recover_node_interrupted(2, RecoveryFault::LinkCut).unwrap();
+        assert!(engine.cluster().network().is_link_cut(aborted.source, 2));
+        engine.cluster().network().heal_link(aborted.source, 2);
+        engine.recover_node(2).unwrap();
+        engine.run_for(Duration::from_millis(10));
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn interrupted_mid_epoch_recovery_does_not_resurrect_reverted_writes() {
+        // Regression test: an interruption can land mid-epoch, so the
+        // partial copy includes the source's *in-flight* versions. If that
+        // epoch then reverts (another node dies before the fence), the down
+        // node keeps the copies — it takes no part in fences — and a
+        // marker-consuming retry would let the Thomas write rule pin the
+        // resurrected rows forever. The retried recovery must revert the
+        // target again before re-copying. A large keyspace and idle
+        // post-revert iterations keep the resurrected keys from being
+        // rewritten (and thereby masked) afterwards.
+        // The full replica (node 0) is down, so partition 0 is re-mastered
+        // onto node 1 — whose db therefore carries *in-flight* versions
+        // mid-phase. Interrupting node 0's recovery mid-epoch copies them.
+        let wl = Arc::new(KvWorkload {
+            partitions: 4,
+            rows_per_partition: 2048,
+            cross_partition_fraction: 0.2,
+        });
+        let mut engine = StarEngine::new(small_config(), wl).unwrap();
+        engine.run_iteration_stepped(64, 16);
+        engine.inject_failure(0);
+        engine.run_iteration_stepped(16, 0);
+        // An epoch with plenty of in-flight writes on the re-mastered
+        // primary, then the aborted copy from it, then a crash that makes
+        // the fence revert the whole epoch.
+        engine.run_partitioned_phase_stepped(64);
+        let aborted = engine.recover_node_interrupted(0, RecoveryFault::TargetCrash).unwrap();
+        assert_eq!(aborted.source, 1, "p0 re-mastered onto node 1, the copy source");
+        engine.inject_failure(2);
+        engine.fence();
+        engine.run_single_master_phase_stepped(0);
+        engine.fence();
+        engine.recover_node(2).unwrap();
+        engine.run_iteration_stepped(0, 0);
+        engine.recover_node(0).unwrap();
+        engine.run_iteration_stepped(0, 0);
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn interrupting_a_healthy_or_unrecoverable_node_mirrors_recover_node() {
+        let mut engine = StarEngine::new(small_config(), workload(0.2)).unwrap();
+        // Healthy node: no-op.
+        let noop = engine.recover_node_interrupted(2, RecoveryFault::TargetCrash).unwrap();
+        assert_eq!(noop.records_copied, 0);
+        assert!(engine.recover_node_interrupted(99, RecoveryFault::TargetCrash).is_err());
+        // Unrecoverable node (no healthy source): typed error, node stays
+        // down, untouched.
+        engine.inject_failure(0);
+        engine.inject_failure(1);
+        engine.run_iteration();
+        assert!(engine.recover_node_interrupted(0, RecoveryFault::LinkCut).is_err());
+        assert!(engine.failed_nodes().contains(&0));
     }
 
     #[test]

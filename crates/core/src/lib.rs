@@ -42,7 +42,7 @@ pub mod testing;
 pub mod workload;
 
 pub use cluster::StarCluster;
-pub use engine::{StarEngine, SyncReplication};
+pub use engine::{InterruptedRecovery, MasterElection, RecoveryFault, StarEngine, SyncReplication};
 pub use failure::{FailureCase, FailureVectorMismatch};
 pub use history::{CommittedTxn, HistoryRecorder, RecordedRead, RecordedWrite};
 pub use model::AnalyticalModel;

@@ -1,7 +1,7 @@
 //! Messages exchanged between nodes of the simulated STAR cluster.
 
 use star_net::Message;
-use star_replication::LogEntry;
+use star_replication::{LogEntry, Payload};
 
 /// A batch of replicated writes shipped from the node that committed them to
 /// a node holding a secondary copy of the affected partitions.
@@ -19,6 +19,22 @@ impl Message for ReplicationBatch {
     fn wire_size(&self) -> usize {
         // from_node + epoch header, then the entries.
         8 + self.entries.iter().map(LogEntry::wire_size).sum::<usize>()
+    }
+
+    /// Byzantine corruption of the replication stream: one entry's payload
+    /// arrives bit-flipped. The receiving replica applies it like any other
+    /// write, so the corruption lands silently — it is the serializability
+    /// checker / replica comparison / disk recovery that must catch the
+    /// divergence, never the transport.
+    fn corrupt(&mut self, salt: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let index = (salt as usize) % self.entries.len();
+        match &mut self.entries[index].payload {
+            Payload::Value(row) => row.corrupt(salt),
+            Payload::Operation(op) => op.corrupt(salt),
+        }
     }
 }
 
@@ -44,5 +60,62 @@ mod tests {
             entries: vec![entry.clone(), entry.clone()],
         };
         assert_eq!(batch.wire_size(), 8 + 2 * entry.wire_size());
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_entry() {
+        let entry = |v: u64| LogEntry {
+            table: 0,
+            partition: 0,
+            key: 1,
+            tid: Tid::new(1, 1),
+            payload: Payload::Value(row([FieldValue::U64(v)])),
+        };
+        let pristine =
+            ReplicationBatch { from_node: 0, epoch: 1, entries: vec![entry(10), entry(20)] };
+        let mut corrupted = pristine.clone();
+        assert!(corrupted.corrupt(0x0101));
+        let changed: Vec<bool> = pristine
+            .entries
+            .iter()
+            .zip(&corrupted.entries)
+            .map(|(a, b)| a.payload != b.payload)
+            .collect();
+        assert_eq!(changed.iter().filter(|c| **c).count(), 1, "exactly one entry must change");
+        // TIDs and addressing are untouched: the corruption is in the data,
+        // so the replica applies it silently.
+        for (a, b) in pristine.entries.iter().zip(&corrupted.entries) {
+            assert_eq!((a.table, a.partition, a.key, a.tid), (b.table, b.partition, b.key, b.tid));
+        }
+        // Determinism: the same salt flips the same bit.
+        let mut again = pristine.clone();
+        assert!(again.corrupt(0x0101));
+        assert_eq!(again.entries[0].payload, corrupted.entries[0].payload);
+        assert_eq!(again.entries[1].payload, corrupted.entries[1].payload);
+    }
+
+    #[test]
+    fn corrupt_mutates_operation_payloads_too() {
+        let op_entry = LogEntry {
+            table: 0,
+            partition: 0,
+            key: 1,
+            tid: Tid::new(1, 1),
+            payload: Payload::Operation(star_common::Operation::AddI64 { field: 0, delta: 1 }),
+        };
+        let mut batch = ReplicationBatch { from_node: 1, epoch: 2, entries: vec![op_entry] };
+        assert!(batch.corrupt(7));
+        let Payload::Operation(star_common::Operation::AddI64 { delta, .. }) =
+            batch.entries[0].payload
+        else {
+            panic!("payload kind must be preserved");
+        };
+        assert_ne!(delta, 1, "the operation's delta must be bit-flipped");
+    }
+
+    #[test]
+    fn empty_batches_cannot_be_corrupted() {
+        let mut batch = ReplicationBatch { from_node: 0, epoch: 1, entries: vec![] };
+        assert!(!batch.corrupt(99));
     }
 }

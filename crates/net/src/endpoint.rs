@@ -16,6 +16,17 @@ use std::time::{Duration, Instant};
 pub trait Message: Send + 'static {
     /// Serialized size of the message in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Corrupts the payload in place (a byzantine bit-flip), as decided by a
+    /// [`crate::FaultVerdict::Corrupt`] verdict. `salt` selects which bit to
+    /// flip so the mutation is deterministic per seed. Returns `true` if the
+    /// payload actually changed; the default implementation leaves the
+    /// message untouched and returns `false` (corruption then degrades to a
+    /// plain delivery), so only payload types that opt in can be corrupted.
+    fn corrupt(&mut self, salt: u64) -> bool {
+        let _ = salt;
+        false
+    }
 }
 
 /// Latency model of the simulated network.
@@ -340,6 +351,19 @@ impl<M: Message> Endpoint<M> {
                     Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
                 self.reorder_stash.lock().unwrap().entry(to).or_default().push(envelope);
                 Ok(())
+            }
+            FaultVerdict::Corrupt { salt, extra_delay } => {
+                let mut payload = payload;
+                if payload.corrupt(salt) {
+                    self.stats.record_corrupted();
+                }
+                let envelope = Envelope {
+                    from: self.node,
+                    payload,
+                    deliver_at: Instant::now() + latency + extra_delay,
+                };
+                self.enqueue(to, envelope)?;
+                self.release_stash_for(to)
             }
         }
     }

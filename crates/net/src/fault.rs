@@ -24,6 +24,13 @@
 //!   message on the same link, so one message overtakes another. Safe only
 //!   under value replication (Thomas write rule); operation replication
 //!   requires per-link FIFO and a reordered delta stream diverges.
+//! * **corrupt** — the message is delivered with its payload bit-flipped
+//!   (byzantine corruption; the concrete flip is the payload type's
+//!   [`crate::Message::corrupt`]). *Never* protocol-safe: no layer in this
+//!   repository checksums its payloads, so schedules enabling it are planted
+//!   bugs that the serializability checker, the replica comparison or disk
+//!   recovery must catch — a corruption surviving to a green verdict is a
+//!   harness bug.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,8 +39,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 /// Per-link fault probabilities. All probabilities are independent and
-/// evaluated in the order drop → duplicate → reorder; a delay roll is added
-/// on top of any delivered (or duplicated) message.
+/// evaluated in the order drop → duplicate → reorder → corrupt; a delay roll
+/// is added on top of any delivered (or duplicated) message.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LinkFaults {
     /// Probability that a message is silently lost.
@@ -43,6 +50,11 @@ pub struct LinkFaults {
     /// Probability that a message is stashed until a later message on the
     /// same link overtakes it.
     pub reorder_probability: f64,
+    /// Probability that the payload is delivered *corrupted* (a byzantine
+    /// bit-flip; see [`crate::Message::corrupt`]). No protocol layer in this
+    /// repository claims to survive corruption — schedules that enable it
+    /// are planted bugs the downstream checkers must catch.
+    pub corrupt_probability: f64,
     /// Probability that `extra_delay` is added to the delivery deadline.
     pub delay_probability: f64,
     /// The additional latency applied when the delay roll hits.
@@ -62,6 +74,7 @@ impl LinkFaults {
         self.drop_probability <= 0.0
             && self.duplicate_probability <= 0.0
             && self.reorder_probability <= 0.0
+            && self.corrupt_probability <= 0.0
             && self.delay_probability <= 0.0
     }
 
@@ -78,6 +91,11 @@ impl LinkFaults {
     /// Convenience constructor: reorder messages with probability `p`.
     pub fn reordering(p: f64) -> Self {
         LinkFaults { reorder_probability: p, ..Self::default() }
+    }
+
+    /// Convenience constructor: corrupt messages with probability `p`.
+    pub fn corrupting(p: f64) -> Self {
+        LinkFaults { corrupt_probability: p, ..Self::default() }
     }
 
     /// Convenience constructor: delay messages with probability `p` by
@@ -104,6 +122,15 @@ pub enum FaultVerdict {
     },
     /// Stash the message until a later message on the link releases it.
     Reorder,
+    /// Deliver the message with its payload bit-flipped (byzantine
+    /// corruption). `salt` seeds the deterministic choice of which bit the
+    /// payload's [`crate::Message::corrupt`] implementation flips.
+    Corrupt {
+        /// Seed for the payload's corruption (drawn from the link RNG).
+        salt: u64,
+        /// Additional latency on top of the configured link latency.
+        extra_delay: Duration,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -220,6 +247,13 @@ impl FaultPlane {
             < faults.drop_probability + faults.duplicate_probability + faults.reorder_probability
         {
             FaultVerdict::Reorder
+        } else if fate
+            < faults.drop_probability
+                + faults.duplicate_probability
+                + faults.reorder_probability
+                + faults.corrupt_probability
+        {
+            FaultVerdict::Corrupt { salt: rng.gen(), extra_delay }
         } else {
             FaultVerdict::Deliver { extra_delay }
         }
@@ -249,6 +283,7 @@ mod tests {
                 reorder_probability: 0.25,
                 delay_probability: 0.5,
                 extra_delay: Duration::from_micros(5),
+                ..LinkFaults::none()
             });
             (0..200).map(|i| plane.roll(i % 3, 3)).collect()
         };
@@ -291,5 +326,26 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(plane.roll(0, 1), FaultVerdict::Reorder);
         }
+        plane.set_default_faults(LinkFaults::corrupting(1.0));
+        for _ in 0..20 {
+            assert!(matches!(plane.roll(0, 1), FaultVerdict::Corrupt { .. }));
+        }
+    }
+
+    #[test]
+    fn corrupt_salts_are_deterministic_per_seed() {
+        let collect = |seed: u64| -> Vec<u64> {
+            let plane = FaultPlane::default();
+            plane.seed(seed);
+            plane.set_default_faults(LinkFaults::corrupting(1.0));
+            (0..32)
+                .map(|_| match plane.roll(0, 1) {
+                    FaultVerdict::Corrupt { salt, .. } => salt,
+                    other => panic!("expected Corrupt, got {other:?}"),
+                })
+                .collect()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
     }
 }

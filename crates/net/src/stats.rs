@@ -23,6 +23,8 @@ pub struct NetStats {
     reordered: AtomicU64,
     /// Messages that received an extra fault-plane delay.
     delayed: AtomicU64,
+    /// Messages delivered with a corrupted payload (byzantine bit-flips).
+    corrupted: AtomicU64,
 }
 
 impl NetStats {
@@ -36,6 +38,7 @@ impl NetStats {
             duplicated: AtomicU64::new(0),
             reordered: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
         }
     }
 
@@ -101,6 +104,16 @@ impl NetStats {
     /// Messages that received an extra fault-plane delay.
     pub fn delayed_messages(&self) -> u64 {
         self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Records a message delivered with a corrupted payload.
+    pub fn record_corrupted(&self) {
+        self.corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages delivered with a corrupted payload.
+    pub fn corrupted_messages(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
     }
 }
 

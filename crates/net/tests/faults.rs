@@ -14,6 +14,22 @@ impl Message for Msg {
     }
 }
 
+/// A payload that opts into byzantine corruption: the fault plane's salt
+/// flips one bit of the value, like `ReplicationBatch` does for row data.
+#[derive(Debug, Clone, PartialEq)]
+struct CorruptibleMsg(u64);
+
+impl Message for CorruptibleMsg {
+    fn wire_size(&self) -> usize {
+        8
+    }
+
+    fn corrupt(&mut self, salt: u64) -> bool {
+        self.0 ^= 1 << (salt % 64);
+        true
+    }
+}
+
 #[test]
 fn delivery_is_fifo_per_link_under_nonzero_latency() {
     // Operation replication requires per-link FIFO; latency must delay
@@ -104,6 +120,33 @@ fn flush_stash_releases_reordered_messages_without_new_traffic() {
 }
 
 #[test]
+fn corrupted_messages_are_delivered_mutated_and_accounted() {
+    let (net, eps) = SimNetwork::new::<CorruptibleMsg>(2, NetworkConfig::instantaneous());
+    net.seed_faults(5);
+    net.set_link_faults(0, 1, LinkFaults::corrupting(1.0));
+    eps[0].send(1, CorruptibleMsg(0)).unwrap();
+    let env = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_ne!(env.payload, CorruptibleMsg(0), "the payload must arrive bit-flipped");
+    assert_eq!(env.payload.0.count_ones(), 1, "exactly one bit must have flipped");
+    assert_eq!(net.stats().corrupted_messages(), 1);
+    // Bytes are accounted once: the message was transmitted normally, the
+    // corruption happened in flight.
+    assert_eq!(net.stats().bytes(), 8);
+}
+
+#[test]
+fn corruption_is_a_noop_for_payloads_that_do_not_opt_in() {
+    // `Msg` keeps the default `corrupt` (returns false): a Corrupt verdict
+    // degrades to a plain delivery and the counter stays at zero.
+    let (net, eps) = SimNetwork::new::<Msg>(2, NetworkConfig::instantaneous());
+    net.seed_faults(6);
+    net.set_link_faults(0, 1, LinkFaults::corrupting(1.0));
+    eps[0].send(1, Msg(11, 4)).unwrap();
+    assert_eq!(eps[1].recv_timeout(Duration::from_secs(1)).unwrap().payload, Msg(11, 4));
+    assert_eq!(net.stats().corrupted_messages(), 0);
+}
+
+#[test]
 fn cut_links_drop_silently_and_heal() {
     let (net, eps) = SimNetwork::new::<Msg>(3, NetworkConfig::instantaneous());
     net.cut_link(0, 1);
@@ -154,8 +197,7 @@ fn fault_decisions_reproduce_from_the_seed() {
                 drop_probability: 0.2,
                 duplicate_probability: 0.2,
                 reorder_probability: 0.2,
-                delay_probability: 0.0,
-                extra_delay: Duration::ZERO,
+                ..LinkFaults::none()
             },
         );
         for i in 0..64u64 {

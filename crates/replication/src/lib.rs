@@ -31,4 +31,4 @@ pub mod wal;
 
 pub use entry::{LogEntry, Payload};
 pub use strategy::{build_log_entries, ExecutionPhase};
-pub use wal::{WalReader, WalWriter};
+pub use wal::{truncate_wal_tail, WalReader, WalWriter};

@@ -168,6 +168,29 @@ impl WalWriter {
     }
 }
 
+/// Byzantine fault injection: truncates the tail of an on-disk WAL by
+/// `bytes`, tearing the final record. This models a disk that lied about a
+/// flush (or a torn sector write) — the kind of silent corruption the
+/// recovery path **must** detect rather than replay garbage. Returns the
+/// number of bytes actually removed (the whole file, if shorter).
+///
+/// A WAL entry is at least 25 bytes of header, so any cut of `1..25` bytes
+/// is guaranteed to land mid-record and make [`WalReader::entries`] fail
+/// with a truncation error — which is exactly the detection the chaos
+/// harness asserts on.
+pub fn truncate_wal_tail(path: impl AsRef<Path>, bytes: u64) -> Result<u64> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| Error::Durability(format!("cannot open WAL for truncation: {e}")))?;
+    let len =
+        file.metadata().map_err(|e| Error::Durability(format!("cannot stat WAL: {e}")))?.len();
+    let removed = bytes.min(len);
+    file.set_len(len - removed)
+        .map_err(|e| Error::Durability(format!("cannot truncate WAL: {e}")))?;
+    Ok(removed)
+}
+
 /// Reads back a write-ahead log produced by [`WalWriter`].
 #[derive(Debug)]
 pub struct WalReader {
@@ -284,6 +307,32 @@ mod tests {
         // per-pid directory behind leaks one temp dir per test run.
         std::fs::remove_dir_all(&dir).ok();
         assert!(!dir.exists());
+    }
+
+    #[test]
+    fn torn_final_record_is_detected_on_read_back() {
+        // The byzantine WAL fault: a torn final record must make the read
+        // fail loudly, never silently replay a prefix of committed data.
+        let dir = std::env::temp_dir().join(format!("star-wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            for i in 0..4u64 {
+                wal.append_value(&value_entry(i, i + 1, i)).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        assert_eq!(WalReader::open(&path).unwrap().entries().unwrap().len(), 4);
+        let removed = truncate_wal_tail(&path, 3).unwrap();
+        assert_eq!(removed, 3);
+        let result = WalReader::open(&path).unwrap().entries();
+        assert!(result.is_err(), "a torn record must fail decoding, got {result:?}");
+        // Cutting more than the file holds empties it (clean, zero entries).
+        truncate_wal_tail(&path, u64::MAX).unwrap();
+        assert!(WalReader::open(&path).unwrap().entries().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

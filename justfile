@@ -58,18 +58,34 @@ chaos-synth seeds="1000":
 chaos-synth-seed seed:
     cargo run --release -p star-chaos --bin star-chaos -- --synth --seed {{seed}} --verbose
 
-# The nightly CI deep sweep, locally: 5000 synthesized seeds, no fail-fast.
+# Coverage-guided chaos: each walk seed is chosen among candidate variants
+# to maximize new op-bigram / injection-point coverage.
+chaos-guided seeds="1000":
+    cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds {{seeds}}
+
+# Reproduce one coverage-guided seed (replays the selection, no re-sweep).
+chaos-guided-seed seed:
+    cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seed {{seed}} --verbose
+
+# Replay the committed regression corpus (tests/chaos_corpus): every entry
+# once exposed a real bug and must stay green.
+chaos-corpus:
+    cargo run --release -p star-chaos --bin star-chaos -- --replay-corpus
+
+# The nightly CI deep sweep, locally: 5000 coverage-guided seeds, no
+# fail-fast; shrunk counterexamples land in chaos_corpus_candidates/.
 chaos-nightly:
-    cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 5000 --json CHAOS_nightly.json
+    cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds 5000 --json CHAOS_nightly.json --corpus-out chaos_corpus_candidates
 
 # The CI chaos job, locally: fail fast and write the machine-readable report.
 chaos-smoke:
     cargo run --release -p star-chaos --bin star-chaos -- --seeds 100 --fail-fast --json CHAOS_report.json
     cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 120 --skip-engines --fail-fast --json CHAOS_synth_smoke.json
+    cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds 120 --skip-engines --fail-fast --json CHAOS_guided_smoke.json
 
 # Regenerate the paper's figures (quick scale).
 figures:
     cargo run --release -p star-bench --bin figures -- --quick all
 
 # Everything CI checks, locally.
-ci: lint build test bench-smoke chaos-smoke
+ci: lint build test bench-smoke chaos-smoke chaos-corpus
