@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint bench bench-baseline bench-smoke bench-contention chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke figures ci
+.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke figures ci
 
 build:
 	cargo build --release
@@ -58,7 +58,20 @@ chaos-smoke:
 	cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 120 --skip-engines --fail-fast --json CHAOS_synth_smoke.json
 	cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds 120 --skip-engines --fail-fast --json CHAOS_guided_smoke.json
 
+# Static analysis gated by the committed ratchet baseline; exit 1 means new
+# findings or a stale baseline (refresh with `make star-lint-baseline`).
+star-lint:
+	cargo run --release -p star-analysis --bin star-lint -- --root . --json STAR_LINT_report.json
+
+star-lint-baseline:
+	cargo run --release -p star-analysis --bin star-lint -- --root . --write-baseline
+
+# Dynamic lock-order witness fixtures with the instrumented parking_lot stub.
+lock-witness:
+	cargo test -q -p star-chaos --features lock-witness --test lock_witness
+	cargo test -q -p parking_lot --features lock-witness
+
 figures:
 	cargo run --release -p star-bench --bin figures -- --quick all
 
-ci: lint build test bench-smoke chaos-smoke chaos-corpus
+ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus

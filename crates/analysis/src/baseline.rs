@@ -1,0 +1,417 @@
+//! The ratchet baseline: a checked-in snapshot of known lint debt, keyed by
+//! `(rule, path)` with a finding count.
+//!
+//! Counting per file (rather than per line) makes the baseline robust to
+//! unrelated line churn: moving code around does not invalidate it, but any
+//! *new* finding in a file pushes its count above the baseline and fails the
+//! gate. Counts can only shrink — when debt is paid down, the baseline must
+//! be regenerated (`--write-baseline`) so it cannot silently grow back.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Format version stamped into the baseline and report JSON.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Finding counts keyed by `(rule, path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<(String, String), u64>,
+}
+
+/// One side of a ratchet comparison: a `(rule, path)` bucket whose count
+/// moved, with the baseline and current counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    pub rule: String,
+    pub path: String,
+    pub baseline: u64,
+    pub current: u64,
+}
+
+/// Result of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetDiff {
+    /// Buckets whose count grew (or appeared): these fail the gate.
+    pub regressions: Vec<Delta>,
+    /// Buckets whose count shrank (or vanished): the baseline is stale and
+    /// should be rewritten to lock in the improvement.
+    pub improvements: Vec<Delta>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a set of findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.clone(), f.path.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Compares `findings` against this baseline.
+    pub fn diff(&self, findings: &[Finding]) -> RatchetDiff {
+        let current = Baseline::from_findings(findings);
+        let mut diff = RatchetDiff::default();
+        let keys: BTreeMap<&(String, String), ()> =
+            self.counts.keys().chain(current.counts.keys()).map(|k| (k, ())).collect();
+        for (key, ()) in keys {
+            let base = self.counts.get(key).copied().unwrap_or(0);
+            let cur = current.counts.get(key).copied().unwrap_or(0);
+            let delta =
+                Delta { rule: key.0.clone(), path: key.1.clone(), baseline: base, current: cur };
+            if cur > base {
+                diff.regressions.push(delta);
+            } else if cur < base {
+                diff.improvements.push(delta);
+            }
+        }
+        diff
+    }
+
+    /// Serializes the baseline as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"format_version\": {FORMAT_VERSION},");
+        let _ = writeln!(s, "  \"counts\": [");
+        let total = self.counts.len();
+        for (i, ((rule, path), count)) in self.counts.iter().enumerate() {
+            let comma = if i + 1 < total { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{ \"rule\": {}, \"path\": {}, \"count\": {count} }}{comma}",
+                json_string(rule),
+                json_string(path)
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Parses a baseline previously written by [`Baseline::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(text)?;
+        let obj = value.as_object().ok_or("baseline: expected a JSON object")?;
+        let version = obj
+            .get("format_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("baseline: missing format_version")?;
+        if version != u64::from(FORMAT_VERSION) {
+            return Err(format!("baseline: unsupported format_version {version}"));
+        }
+        let entries = obj
+            .get("counts")
+            .and_then(JsonValue::as_array)
+            .ok_or("baseline: missing counts array")?;
+        let mut counts = BTreeMap::new();
+        for e in entries {
+            let o = e.as_object().ok_or("baseline: counts entry is not an object")?;
+            let rule =
+                o.get("rule").and_then(JsonValue::as_str).ok_or("baseline: entry missing rule")?;
+            let path =
+                o.get("path").and_then(JsonValue::as_str).ok_or("baseline: entry missing path")?;
+            let count = o
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or("baseline: entry missing count")?;
+            counts.insert((rule.to_owned(), path.to_owned()), count);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value — just enough to read back our own baseline files.
+/// The workspace is offline-vendored and the serde_json stub predates this
+/// crate, so the analyzer carries its own (strict, ~100-line) reader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0;
+        let v = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("json: trailing characters at offset {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while c.get(*pos).is_some_and(|ch| ch.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(c: &[char], pos: &mut usize, ch: char) -> Result<(), String> {
+    skip_ws(c, pos);
+    if c.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("json: expected {ch:?} at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = parse_string(c, pos)?;
+                expect(c, pos, ':')?;
+                let value = parse_value(c, pos)?;
+                map.insert(key, value);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(map));
+                    }
+                    _ => return Err(format!("json: expected ',' or '}}' at offset {}", *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(arr));
+            }
+            loop {
+                arr.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(arr));
+                    }
+                    _ => return Err(format!("json: expected ',' or ']' at offset {}", *pos)),
+                }
+            }
+        }
+        Some('"') => Ok(JsonValue::String(parse_string(c, pos)?)),
+        Some('t') if matches_word(c, *pos, "true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some('f') if matches_word(c, *pos, "false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some('n') if matches_word(c, *pos, "null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(ch) if *ch == '-' || ch.is_ascii_digit() => {
+            let start = *pos;
+            if c.get(*pos) == Some(&'-') {
+                *pos += 1;
+            }
+            while c
+                .get(*pos)
+                .is_some_and(|ch| ch.is_ascii_digit() || matches!(ch, '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| format!("json: bad number {text:?}"))
+        }
+        _ => Err(format!("json: unexpected character at offset {}", *pos)),
+    }
+}
+
+fn matches_word(c: &[char], pos: usize, word: &str) -> bool {
+    word.chars().enumerate().all(|(i, w)| c.get(pos + i) == Some(&w))
+}
+
+fn parse_string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    if c.get(*pos) != Some(&'"') {
+        return Err(format!("json: expected string at offset {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match c.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match c.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = (1..=4).filter_map(|i| c.get(*pos + i)).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("json: bad \\u escape at offset {}", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("json: bad escape at offset {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(ch) => {
+                out.push(*ch);
+                *pos += 1;
+            }
+            None => return Err("json: unterminated string".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, path: &str, line: u32) -> Finding {
+        Finding {
+            path: path.to_owned(),
+            line,
+            column: 1,
+            rule: rule.to_owned(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let findings = vec![
+            f("determinism::instant-now", "crates/net/src/endpoint.rs", 10),
+            f("determinism::instant-now", "crates/net/src/endpoint.rs", 20),
+            f("panic::unwrap", "crates/core/src/engine.rs", 5),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&base.to_json()).unwrap();
+        assert_eq!(base, parsed);
+        assert_eq!(
+            parsed.counts
+                [&("determinism::instant-now".to_owned(), "crates/net/src/endpoint.rs".to_owned())],
+            2
+        );
+    }
+
+    #[test]
+    fn new_findings_are_regressions() {
+        let base = Baseline::from_findings(&[f("r", "a.rs", 1)]);
+        let diff = base.diff(&[f("r", "a.rs", 1), f("r", "a.rs", 2)]);
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!((diff.regressions[0].baseline, diff.regressions[0].current), (1, 2));
+        assert!(diff.improvements.is_empty());
+    }
+
+    #[test]
+    fn line_churn_is_not_a_regression() {
+        let base = Baseline::from_findings(&[f("r", "a.rs", 1), f("r", "a.rs", 2)]);
+        // Same file, same rule, different lines: the count is what matters.
+        let diff = base.diff(&[f("r", "a.rs", 100), f("r", "a.rs", 200)]);
+        assert!(diff.regressions.is_empty());
+        assert!(diff.improvements.is_empty());
+    }
+
+    #[test]
+    fn paid_down_debt_is_an_improvement() {
+        let base = Baseline::from_findings(&[f("r", "a.rs", 1), f("q", "b.rs", 1)]);
+        let diff = base.diff(&[f("r", "a.rs", 1)]);
+        assert_eq!(diff.improvements.len(), 1);
+        assert_eq!(diff.improvements[0].rule, "q");
+        assert_eq!((diff.improvements[0].baseline, diff.improvements[0].current), (1, 0));
+    }
+
+    #[test]
+    fn wrong_format_version_is_rejected() {
+        let err = Baseline::parse("{\"format_version\": 99, \"counts\": []}").unwrap_err();
+        assert!(err.contains("format_version"));
+    }
+
+    #[test]
+    fn json_strings_escape_cleanly() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        let v = JsonValue::parse("\"a\\\"b\\\\c\\n\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA"));
+    }
+}

@@ -1,0 +1,129 @@
+//! `star-lint` — run the workspace invariant lints with the ratchet gate.
+//!
+//! ```text
+//! star-lint [--root DIR] [--baseline FILE] [--manifest FILE]
+//!           [--json FILE] [--write-baseline]
+//! ```
+//!
+//! Exit codes: 0 = clean against the baseline, 1 = ratchet regression (new
+//! findings) or stale baseline, 2 = usage or I/O error.
+
+use star_analysis::baseline::Baseline;
+use star_analysis::report::{render_human, render_json};
+use star_analysis::rules::{parse_manifest, AnalysisConfig};
+use star_analysis::workspace::{analyze_files, collect_files};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: star-lint [--root DIR] [--baseline FILE] [--manifest FILE] \
+     [--json FILE] [--write-baseline]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        manifest: None,
+        json: None,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| {
+            args.next().map(PathBuf::from).ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = path_arg(&mut args)?,
+            "--baseline" => opts.baseline = Some(path_arg(&mut args)?),
+            "--manifest" => opts.manifest = Some(path_arg(&mut args)?),
+            "--json" => opts.json = Some(path_arg(&mut args)?),
+            "--write-baseline" => opts.write_baseline = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let baseline_path =
+        opts.baseline.clone().unwrap_or_else(|| opts.root.join("star-lint.baseline.json"));
+    let manifest_path =
+        opts.manifest.clone().unwrap_or_else(|| opts.root.join("lock-order.manifest"));
+
+    let lock_manifest = if manifest_path.is_file() {
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        parse_manifest(&text)?
+    } else if opts.manifest.is_some() {
+        return Err(format!("{}: manifest not found", manifest_path.display()));
+    } else {
+        eprintln!("star-lint: no {} found; lock-hierarchy checks skipped", manifest_path.display());
+        Vec::new()
+    };
+
+    let files = collect_files(&opts.root).map_err(|e| format!("scanning workspace: {e}"))?;
+    if files.is_empty() {
+        return Err(format!("no sources found under {}/crates", opts.root.display()));
+    }
+    let out = analyze_files(&files, &AnalysisConfig { lock_manifest });
+
+    if opts.write_baseline {
+        let base = Baseline::from_findings(&out.findings);
+        std::fs::write(&baseline_path, base.to_json())
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "star-lint: wrote baseline with {} finding(s) in {} bucket(s) to {}",
+            out.findings.len(),
+            base.counts.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        eprintln!(
+            "star-lint: no baseline at {}; treating all findings as new (run --write-baseline to create one)",
+            baseline_path.display()
+        );
+        Baseline::default()
+    };
+
+    let diff = baseline.diff(&out.findings);
+    print!("{}", render_human(&out, &diff));
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, render_json(&out, &diff))
+            .map_err(|e| format!("{}: {e}", json_path.display()))?;
+    }
+    // The gate: regressions always fail; improvements fail too, so the
+    // baseline can never drift above reality (the fix is one command).
+    Ok(diff.regressions.is_empty() && diff.improvements.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("star-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Assigns a context to every token: the innermost enclosing function and
+//! whether the token lives in test-only code.
+//!
+//! Test code is anything under a `#[test]` item or a `#[cfg(test)]` item
+//! (the conventional `mod tests`). `#[cfg(not(test))]` is not treated as
+//! test code. Tracking is brace-depth based: every `{` pushes a scope and
+//! every `}` pops one, with the scope kind decided by what preceded the
+//! brace (a pending `fn name` or a pending test attribute).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token context, referencing `FileContexts::fn_names` by index.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenCtx {
+    /// Index into `fn_names` of the innermost enclosing named function.
+    pub fn_idx: Option<u32>,
+    /// Whether the token is inside test-only code.
+    pub in_test: bool,
+}
+
+/// Contexts for one file's token stream (parallel to the token vector).
+#[derive(Debug, Default)]
+pub struct FileContexts {
+    pub fn_names: Vec<String>,
+    pub ctx: Vec<TokenCtx>,
+}
+
+impl FileContexts {
+    /// The enclosing function name for token `i`, if any.
+    pub fn fn_name(&self, i: usize) -> Option<&str> {
+        self.ctx[i].fn_idx.map(|idx| self.fn_names[idx as usize].as_str())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    fn_idx: Option<u32>,
+    test: bool,
+}
+
+/// Computes the context of every token in `tokens`.
+pub fn token_contexts(tokens: &[Token]) -> FileContexts {
+    let mut out = FileContexts::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Set between `fn name` and the body `{` (cleared by `;` for bodyless
+    // trait-method declarations).
+    let mut pending_fn: Option<u32> = None;
+    let mut awaiting_fn_name = false;
+    // Set by `#[test]` / `#[cfg(test)]`, consumed by the next item's `{`.
+    let mut pending_test = false;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+
+        // Attributes: `#[...]` — scan the balanced bracket group and decide
+        // whether it marks the following item as test-only.
+        if t.is_punct('#') && tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut depth = 0usize;
+            let mut has_test = false;
+            let mut has_not = false;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let a = &tokens[j];
+                if a.is_punct('[') {
+                    depth += 1;
+                } else if a.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.is_ident("test") {
+                    has_test = true;
+                } else if a.is_ident("not") {
+                    has_not = true;
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                pending_test = true;
+            }
+            // Attribute tokens themselves take the current context.
+            let ctx = current_ctx(&scopes);
+            for _ in i..=j.min(tokens.len() - 1) {
+                out.ctx.push(ctx);
+            }
+            i = j + 1;
+            continue;
+        }
+
+        // Record the context of this token before any scope change it causes.
+        out.ctx.push(current_ctx(&scopes));
+
+        match t.kind {
+            TokenKind::Ident if t.text == "fn" => {
+                awaiting_fn_name = true;
+            }
+            TokenKind::Ident if awaiting_fn_name => {
+                awaiting_fn_name = false;
+                let idx = out.fn_names.len() as u32;
+                out.fn_names.push(t.text.clone());
+                pending_fn = Some(idx);
+            }
+            TokenKind::Punct('{') => {
+                awaiting_fn_name = false;
+                scopes.push(Scope { fn_idx: pending_fn.take(), test: pending_test });
+                pending_test = false;
+            }
+            TokenKind::Punct('}') => {
+                scopes.pop();
+            }
+            TokenKind::Punct(';') => {
+                // `use x;`, `#[cfg(test)] use x;`, trait method declarations.
+                pending_fn = None;
+                pending_test = false;
+                awaiting_fn_name = false;
+            }
+            _ => {
+                // `fn` not followed by a name is a fn-pointer type
+                // (`fn(u32) -> u32`), not an item.
+                awaiting_fn_name = false;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn current_ctx(scopes: &[Scope]) -> TokenCtx {
+    let fn_idx = scopes.iter().rev().find_map(|s| s.fn_idx);
+    let in_test = scopes.iter().any(|s| s.test);
+    TokenCtx { fn_idx, in_test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of(src: &str, ident: &str) -> (Option<String>, bool) {
+        let lexed = lex(src);
+        let ctxs = token_contexts(&lexed.tokens);
+        let i = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("ident {ident} not found"));
+        (ctxs.fn_name(i).map(str::to_owned), ctxs.ctx[i].in_test)
+    }
+
+    #[test]
+    fn top_level_has_no_fn() {
+        assert_eq!(ctx_of("use std::x; const A: u32 = marker;", "marker"), (None, false));
+    }
+
+    #[test]
+    fn fn_bodies_are_attributed() {
+        let src = "fn outer() { marker; } fn other() {}";
+        assert_eq!(ctx_of(src, "marker"), (Some("outer".into()), false));
+    }
+
+    #[test]
+    fn nested_fns_use_innermost() {
+        let src = "fn outer() { fn inner() { marker; } }";
+        assert_eq!(ctx_of(src, "marker"), (Some("inner".into()), false));
+    }
+
+    #[test]
+    fn closures_inherit_the_fn() {
+        let src = "fn outer() { let f = |x: u32| { marker }; }";
+        assert_eq!(ctx_of(src, "marker"), (Some("outer".into()), false));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test() {
+        let src = "#[cfg(test)] mod tests { fn helper() { marker; } }";
+        assert_eq!(ctx_of(src, "marker"), (Some("helper".into()), true));
+    }
+
+    #[test]
+    fn test_attr_fn_is_test() {
+        let src = "#[test] fn checks() { marker; }";
+        assert_eq!(ctx_of(src, "marker"), (Some("checks".into()), true));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let src = "#[cfg(not(test))] mod real { fn go() { marker; } }";
+        assert_eq!(ctx_of(src, "marker"), (Some("go".into()), false));
+    }
+
+    #[test]
+    fn trait_method_decl_does_not_leak() {
+        let src = "trait T { fn decl(&self); } struct S; impl S { fn body(&self) { marker; } }";
+        assert_eq!(ctx_of(src, "marker"), (Some("body".into()), false));
+    }
+
+    #[test]
+    fn attr_then_use_does_not_leak_test() {
+        let src = "#[cfg(test)] use std::x; fn real() { marker; }";
+        assert_eq!(ctx_of(src, "marker"), (Some("real".into()), false));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u32) -> u32) { marker; }";
+        assert_eq!(ctx_of(src, "marker"), (Some("real".into()), false));
+    }
+
+    #[test]
+    fn struct_braces_do_not_shadow_fn() {
+        let src = "fn build() { let s = Point { x: 1, y: marker }; }";
+        assert_eq!(ctx_of(src, "marker"), (Some("build".into()), false));
+    }
+}

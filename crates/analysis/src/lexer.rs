@@ -1,0 +1,398 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The workspace is offline-vendored, so a real parser (`syn`) is not an
+//! option; the lints in this crate only need a faithful token stream with
+//! source positions, plus the comments (for suppression annotations). The
+//! lexer therefore handles exactly the places where naive text matching goes
+//! wrong — string/char/byte literals, raw strings, lifetimes vs char
+//! literals, nested block comments — and leaves everything else as single
+//! punctuation tokens.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `Instant`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any literal: number, string, raw string, byte string, or char.
+    Literal,
+    /// A single punctuation character. Multi-character operators appear as
+    /// consecutive punct tokens (`::` is `:` then `:`), which is all the
+    /// pattern matching in the lints needs.
+    Punct(char),
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Identifier text; empty for literals and puncts.
+    pub text: String,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment (line or block) with the line it starts on. The text includes
+/// the comment delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// literals simply consume to end of input, which is fine for a linter that
+/// only runs on code the compiler already accepted.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor { chars: source.chars().collect(), pos: 0, line: 1, column: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, column) = (cur.line, cur.column);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            out.comments.push(Comment { line, text });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(n), _) => {
+                        text.push(n);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment { line, text });
+            continue;
+        }
+        // Raw strings and byte strings: r"..", r#".."#, b"..", br"..", b'..'.
+        if c == 'r' || c == 'b' {
+            let (skip, raw, quote) = match (c, cur.peek(1), cur.peek(2)) {
+                ('r', Some('"'), _) => (1, true, '"'),
+                ('r', Some('#'), _) if raw_string_follows(&cur, 1) => (1, true, '"'),
+                ('b', Some('"'), _) => (1, false, '"'),
+                ('b', Some('\''), _) => (1, false, '\''),
+                ('b', Some('r'), Some('"')) => (2, true, '"'),
+                ('b', Some('r'), Some('#')) if raw_string_follows(&cur, 2) => (2, true, '"'),
+                _ => (0, false, '"'),
+            };
+            if skip > 0 {
+                for _ in 0..skip {
+                    cur.bump();
+                }
+                if raw {
+                    lex_raw_string(&mut cur);
+                } else {
+                    lex_quoted(&mut cur, quote);
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                    column,
+                });
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            out.tokens.push(Token { kind: TokenKind::Ident, text, line, column });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line, column });
+            continue;
+        }
+        if c == '"' {
+            lex_quoted(&mut cur, '"');
+            out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line, column });
+            continue;
+        }
+        if c == '\'' {
+            let kind = lex_tick(&mut cur);
+            out.tokens.push(Token { kind, text: String::new(), line, column });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token { kind: TokenKind::Punct(c), text: String::new(), line, column });
+    }
+    out
+}
+
+/// After an `r` at offset `from - 1`, checks whether `#...#"` follows (a raw
+/// string with at least one hash), as opposed to a raw identifier `r#ident`.
+fn raw_string_follows(cur: &Cursor, from: usize) -> bool {
+    let mut i = from;
+    while cur.peek(i) == Some('#') {
+        i += 1;
+    }
+    i > from && cur.peek(i) == Some('"')
+}
+
+/// Consumes a raw string starting at `#`* `"` up to the matching `"` `#`*.
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Consumes a quoted literal (string or byte-char) including escapes; the
+/// cursor is positioned at the opening quote.
+fn lex_quoted(cur: &mut Cursor, quote: char) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == quote {
+            break;
+        }
+    }
+}
+
+/// Consumes a number literal: digits, underscores, type suffixes, and a
+/// fractional part when followed by a digit (so `0..n` stays two tokens).
+fn lex_number(cur: &mut Cursor) {
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) || (c == '.' && cur.peek(1).is_some_and(|n| n.is_ascii_digit())) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'` between a lifetime (`'a`) and a char literal (`'a'`,
+/// `'\n'`, `'🦀'`). The cursor is positioned at the tick.
+fn lex_tick(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the tick
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume the backslash and the escaped
+            // character unconditionally (so `'\''` and `'\\'` close
+            // correctly), then everything up to the closing tick (covers
+            // `'\u{7f}'`).
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::Literal
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be a lifetime (`'a`) or a char (`'a'`). Scan the ident
+            // run; a closing tick right after makes it a char literal.
+            let mut i = 1;
+            while cur.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if cur.peek(i) == Some('\'') {
+                for _ in 0..=i {
+                    cur.bump();
+                }
+                TokenKind::Literal
+            } else {
+                for _ in 0..i {
+                    cur.bump();
+                }
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // `'('`-style char literal of a single non-ident char.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Literal
+        }
+        None => TokenKind::Literal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("let x = Instant::now();");
+        let texts: Vec<_> = l.tokens.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        assert_eq!(
+            texts,
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct('='), ""),
+                (TokenKind::Ident, "Instant"),
+                (TokenKind::Punct(':'), ""),
+                (TokenKind::Punct(':'), ""),
+                (TokenKind::Ident, "now"),
+                (TokenKind::Punct('('), ""),
+                (TokenKind::Punct(')'), ""),
+                (TokenKind::Punct(';'), ""),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "Instant::now() unwrap";"#), vec!["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"HashMap "quoted""#;"##), vec!["let", "s"]);
+        assert_eq!(idents(r#"let b = b"panic!";"#), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars = l.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("let a = 1;\n// star-lint: allow(x) -- reason\nlet b = 2; // tail\n");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("star-lint"));
+        assert_eq!(l.comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* /* */ unwrap */ ident"), vec!["ident"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  b");
+        assert_eq!((l.tokens[0].line, l.tokens[0].column), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].column), (2, 3));
+    }
+
+    #[test]
+    fn number_ranges_stay_split() {
+        let l = lex("0..n");
+        let puncts = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(puncts, 2);
+    }
+}

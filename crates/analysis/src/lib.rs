@@ -1,0 +1,35 @@
+//! `star-analysis`: the workspace invariant analyzer behind the `star-lint`
+//! binary.
+//!
+//! The repo's two hardest-won properties — bit-for-bit deterministic
+//! simulation and panic-free recovery — are invariants the compiler cannot
+//! check. This crate enforces them statically with a dependency-free,
+//! token-level scanner (the workspace is offline-vendored, so no `syn`):
+//!
+//! * **determinism** — no `Instant::now` / `SystemTime::now` / `HashMap` /
+//!   `HashSet` in simulation-facing code (`crates/net`, `crates/chaos`, and
+//!   the stepped-phase/checker paths of `crates/core`);
+//! * **panic-freedom** — no `unwrap` / `expect` / `panic!` / slice-indexing
+//!   inside recovery, election, and WAL-replay functions;
+//! * **lock hierarchy** — manifest-declared locks must be acquired in
+//!   ascending level order within a function.
+//!
+//! Findings are gated by a checked-in ratchet baseline (existing debt is
+//! tracked per `(rule, path)` and can only shrink) and can be silenced line
+//! by line with `// star-lint: allow(<rule>) -- <reason>`.
+//!
+//! The static pass is paired with a dynamic lock-order witness in the
+//! vendored `parking_lot` stub (feature `lock-witness`), which records the
+//! per-thread lock acquisition graph at runtime and reports potential
+//! deadlock cycles even on runs that never hung.
+
+pub mod baseline;
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, RatchetDiff};
+pub use rules::{parse_manifest, AnalysisConfig, AnalysisOutput, Finding};
+pub use workspace::{analyze_files, collect_files, SourceFile};

@@ -1,0 +1,85 @@
+//! Integration tests: star-lint against the real repository.
+//!
+//! These run the full analysis over the actual workspace sources, so they
+//! double as the self-test that the committed baseline is in sync — exactly
+//! what the CI static-analysis job enforces — and that the ratchet actually
+//! rejects freshly introduced nondeterminism.
+
+use star_analysis::{
+    analyze_files, collect_files, parse_manifest, AnalysisConfig, Baseline, SourceFile,
+};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn load_config(root: &Path) -> AnalysisConfig {
+    let manifest = std::fs::read_to_string(root.join("lock-order.manifest"))
+        .expect("lock-order.manifest must exist at the workspace root");
+    AnalysisConfig {
+        lock_manifest: parse_manifest(&manifest).expect("lock-order.manifest must parse"),
+    }
+}
+
+fn load_baseline(root: &Path) -> Baseline {
+    let text = std::fs::read_to_string(root.join("star-lint.baseline.json"))
+        .expect("star-lint.baseline.json must exist at the workspace root");
+    Baseline::parse(&text).expect("committed baseline must parse")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let files = collect_files(root).expect("workspace sources must be readable");
+    assert!(files.len() > 50, "suspiciously few files scanned: {}", files.len());
+    let out = analyze_files(&files, &load_config(root));
+    let diff = load_baseline(root).diff(&out.findings);
+    assert!(
+        diff.regressions.is_empty(),
+        "new findings not in the committed baseline — fix them or (for accepted debt) rewrite \
+         the baseline with `star-lint --write-baseline`: {:?}",
+        diff.regressions
+    );
+    assert!(
+        diff.improvements.is_empty(),
+        "debt shrank below the committed baseline — lock it in with \
+         `star-lint --write-baseline`: {:?}",
+        diff.improvements
+    );
+}
+
+#[test]
+fn ratchet_rejects_new_nondeterminism_in_chaos() {
+    let root = workspace_root();
+    let mut files = collect_files(root).expect("workspace sources must be readable");
+    // A virtual file standing in for a careless future edit: wall-clock time
+    // in the deterministic chaos harness.
+    files.push(SourceFile {
+        path: "crates/chaos/src/injected_for_ratchet_test.rs".to_string(),
+        content: "pub fn sample() -> std::time::Instant {\n    std::time::Instant::now()\n}\n"
+            .to_string(),
+    });
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let out = analyze_files(&files, &load_config(root));
+    let diff = load_baseline(root).diff(&out.findings);
+    let flagged = diff.regressions.iter().any(|d| {
+        d.rule == "determinism::instant-now"
+            && d.path == "crates/chaos/src/injected_for_ratchet_test.rs"
+            && d.current > d.baseline
+    });
+    assert!(flagged, "injected Instant::now was not flagged as a regression: {diff:?}");
+}
+
+#[test]
+fn suppressions_in_live_sources_are_all_well_formed() {
+    // `suppression::malformed` findings would show up in the ratchet too,
+    // but this spells the invariant out: every allow-comment in the tree
+    // names a rule and carries a reason.
+    let root = workspace_root();
+    let files = collect_files(root).expect("workspace sources must be readable");
+    let out = analyze_files(&files, &load_config(root));
+    let malformed: Vec<_> =
+        out.findings.iter().filter(|f| f.rule == "suppression::malformed").collect();
+    assert!(malformed.is_empty(), "malformed star-lint suppressions: {malformed:?}");
+}

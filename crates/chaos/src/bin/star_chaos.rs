@@ -301,6 +301,7 @@ fn shrink_failure(
 /// that has since been fixed, so a red replay is a regression of that exact
 /// fix. Exits the process.
 fn replay_corpus(dir: &Path, options: &Options) -> ! {
+    // star-lint: allow(determinism::instant-now) -- wall-clock for the CLI summary line; simulation time is stepped
     let start = Instant::now();
     let entries = match load_corpus(dir) {
         Ok(entries) => entries,
@@ -316,8 +317,14 @@ fn replay_corpus(dir: &Path, options: &Options) -> ! {
     let mut failed = false;
     let mut outcomes: Vec<(ChaosOutcome, Option<ShrunkReport>)> = Vec::new();
     for (path, entry) in &entries {
-        let outcome = run_plan(&entry.plan).expect("corpus replay failed to start");
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("<entry>");
+        let outcome = match run_plan(&entry.plan) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("corpus entry {name} failed to start: {e}");
+                std::process::exit(2);
+            }
+        };
         if outcome.passed() {
             println!(
                 "corpus {:<44} committed {:>5}  ok   ({})",
@@ -365,6 +372,7 @@ fn main() {
     if let Some(dir) = &options.replay_corpus {
         replay_corpus(dir, &options);
     }
+    // star-lint: allow(determinism::instant-now) -- wall-clock for the sweep summary line; simulation time is stepped
     let start = Instant::now();
     let synth_options = SynthOptions { planted: options.inject_bug };
     let make_plan = |seed: u64| -> ChaosPlan {

@@ -26,7 +26,7 @@
 
 use star_common::{Key, PartitionId, Row, TableId, Tid};
 use star_core::history::CommittedTxn;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies one record across the whole database.
@@ -118,7 +118,7 @@ pub struct CheckReport {
     /// The oracle's final database state — the last installed version of
     /// every record any committed transaction wrote. Valid when there is no
     /// violation.
-    pub final_state: HashMap<RecordId, (Tid, Row)>,
+    pub final_state: BTreeMap<RecordId, (Tid, Row)>,
 }
 
 impl CheckReport {
@@ -133,7 +133,7 @@ fn failed(txns: usize, violation: Violation) -> CheckReport {
         txns,
         violation: Some(violation),
         serial_order: Vec::new(),
-        final_state: HashMap::new(),
+        final_state: BTreeMap::new(),
     }
 }
 
@@ -145,11 +145,11 @@ pub fn check_history(history: &[CommittedTxn]) -> CheckReport {
     // Final write of each transaction per record (last write wins, matching
     // the engines' install semantics), plus the global writer index and the
     // per-record version lists.
-    let mut txn_writes: Vec<HashMap<RecordId, &Row>> = Vec::with_capacity(n);
-    let mut writer_of: HashMap<(RecordId, Tid), usize> = HashMap::new();
-    let mut versions: HashMap<RecordId, Vec<Tid>> = HashMap::new();
+    let mut txn_writes: Vec<BTreeMap<RecordId, &Row>> = Vec::with_capacity(n);
+    let mut writer_of: BTreeMap<(RecordId, Tid), usize> = BTreeMap::new();
+    let mut versions: BTreeMap<RecordId, Vec<Tid>> = BTreeMap::new();
     for (i, txn) in history.iter().enumerate() {
-        let mut writes: HashMap<RecordId, &Row> = HashMap::new();
+        let mut writes: BTreeMap<RecordId, &Row> = BTreeMap::new();
         for w in &txn.writes {
             writes.insert((w.table, w.partition, w.key), &w.row);
         }
@@ -237,7 +237,7 @@ pub fn check_history(history: &[CommittedTxn]) -> CheckReport {
     }
 
     // Sequential-oracle replay of the witness order.
-    let mut model: HashMap<RecordId, (Tid, Row)> = HashMap::new();
+    let mut model: BTreeMap<RecordId, (Tid, Row)> = BTreeMap::new();
     for &i in &serial_order {
         let txn = &history[i];
         for r in &txn.reads {
@@ -263,7 +263,7 @@ pub fn check_history(history: &[CommittedTxn]) -> CheckReport {
 /// a TID/row mismatch is a divergence.
 pub fn compare_with_database(
     db: &star_storage::Database,
-    final_state: &HashMap<RecordId, (Tid, Row)>,
+    final_state: &BTreeMap<RecordId, (Tid, Row)>,
 ) -> Result<usize, String> {
     let mut compared = 0;
     for ((table, partition, key), (tid, row)) in final_state {

@@ -32,7 +32,7 @@ use star_replication::recovery::recover_from_checkpoint_and_logs;
 use star_replication::{LogEntry, WalReader};
 use star_storage::DatabaseBuilder;
 use star_workloads::{YcsbConfig, YcsbWorkload};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Which workload a plan drives.
@@ -330,7 +330,7 @@ fn run_disk_recovery(
     // Read every node's WAL back from disk and keep only entries of epochs
     // that group-committed: reverted epochs were never released to clients
     // and must not be resurrected.
-    let reverted: HashSet<Epoch> = engine.reverted_epochs().iter().copied().collect();
+    let reverted: BTreeSet<Epoch> = engine.reverted_epochs().iter().copied().collect();
     let last_committed = engine.last_committed_epoch();
     let mut skipped = 0usize;
     let mut logs: Vec<Vec<LogEntry>> = Vec::new();

@@ -184,8 +184,8 @@ impl WalkState {
     fn recovery_feasible(&self, node: NodeId) -> bool {
         (0..self.config.partitions).filter(|&p| self.config.node_stores_partition(node, p)).all(
             |p| {
-                (0..self.config.num_nodes).any(|n| {
-                    n != node && !self.crashed[n] && self.config.node_stores_partition(n, p)
+                self.crashed.iter().enumerate().any(|(n, crashed)| {
+                    n != node && !crashed && self.config.node_stores_partition(n, p)
                 })
             },
         )
@@ -288,8 +288,13 @@ pub fn predicted_recovery_source(
 ) -> Option<NodeId> {
     let first_partition =
         (0..config.partitions).find(|&p| config.node_stores_partition(node, p))?;
-    (0..config.num_nodes)
-        .find(|&n| n != node && !crashed[n] && config.node_stores_partition(n, first_partition))
+    crashed
+        .iter()
+        .enumerate()
+        .find(|&(n, crashed)| {
+            n != node && !crashed && config.node_stores_partition(n, first_partition)
+        })
+        .map(|(n, _)| n)
 }
 
 /// One biased-random-walk schedule. `variant` perturbs only the walk's RNG

@@ -1,0 +1,61 @@
+//! Fixtures for the dynamic lock-order witness (`--features lock-witness`).
+//!
+//! The witness records per-thread acquisition chains into a process-global
+//! lock graph; a cycle in that graph is a potential deadlock even when the
+//! actual run never hung. Both fixtures below serialize their threads with
+//! joins, so the inversion fixture can never deadlock for real — the point
+//! is that the witness must flag it anyway.
+//!
+//! The witness state is process-global, so both fixtures live in one test
+//! function: `cargo test` runs `#[test]`s of one binary concurrently, and a
+//! second test's acquisitions would race with `witness::reset()`.
+#![cfg(feature = "lock-witness")]
+
+use parking_lot::{witness, Mutex};
+use std::sync::Arc;
+use std::thread;
+
+fn spawn_ordered(first: &Arc<Mutex<u32>>, second: &Arc<Mutex<u32>>) {
+    let (first, second) = (Arc::clone(first), Arc::clone(second));
+    thread::spawn(move || {
+        let mut a = first.lock();
+        let mut b = second.lock();
+        *a += 1;
+        *b += 1;
+    })
+    .join()
+    .expect("fixture thread panicked");
+}
+
+#[test]
+fn witness_passes_clean_ordering_and_reports_inversion() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    // Clean fixture: every thread acquires a before b. The graph has a
+    // single a -> b edge and no cycle.
+    witness::reset();
+    witness::set_name(&*a, "fixture.a");
+    witness::set_name(&*b, "fixture.b");
+    spawn_ordered(&a, &b);
+    spawn_ordered(&a, &b);
+    assert!(witness::edge_count() > 0, "clean fixture recorded no acquisitions");
+    let clean = witness::potential_deadlocks();
+    assert!(clean.is_empty(), "clean ordering misreported as a deadlock: {clean:?}");
+    assert!(witness::format_report().contains("no lock-order cycles"));
+
+    // Inversion fixture: one thread acquires a -> b, the next b -> a. The
+    // joins serialize them, so the run cannot hang — but the two orderings
+    // form a cycle in the lock graph and the witness must report it.
+    witness::reset();
+    witness::set_name(&*a, "fixture.a");
+    witness::set_name(&*b, "fixture.b");
+    spawn_ordered(&a, &b);
+    spawn_ordered(&b, &a);
+    let cycles = witness::potential_deadlocks();
+    assert_eq!(cycles.len(), 1, "expected exactly one cycle, got {cycles:?}");
+    assert_eq!(cycles[0], vec!["fixture.a".to_string(), "fixture.b".to_string()]);
+    let report = witness::format_report();
+    assert!(report.contains("potential deadlock"), "report missing cycle: {report}");
+    assert!(report.contains("fixture.a") && report.contains("fixture.b"), "{report}");
+}

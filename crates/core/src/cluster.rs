@@ -100,9 +100,10 @@ impl StarCluster {
         self.nodes.get(id)
     }
 
-    /// The designated master node (first full replica).
-    pub fn master(&self) -> &ClusterNode {
-        &self.nodes[self.config.master_node()]
+    /// The designated master node (first full replica), when the configured
+    /// master id names an existing node.
+    pub fn master(&self) -> Option<&ClusterNode> {
+        self.nodes.get(self.config.master_node())
     }
 
     /// The simulated network (failure injection, traffic statistics).
@@ -142,7 +143,7 @@ mod tests {
                 assert!(node.db.get(0, p, kv_key(p, 0)).is_ok());
             }
         }
-        assert_eq!(cluster.master().id, 0);
+        assert_eq!(cluster.master().unwrap().id, 0);
     }
 
     #[test]

@@ -512,11 +512,17 @@ impl StarEngine {
         self.failed.iter().enumerate().filter(|(_, f)| **f).map(|(n, _)| n).collect()
     }
 
+    /// Whether `node` is marked failed. Out-of-range ids count as failed:
+    /// they can never serve a phase, win an election, or source a recovery.
+    fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.get(node).copied().unwrap_or(true)
+    }
+
     /// The node currently acting as the designated master: the winner of the
     /// most recent election (held at every replication fence, after failure
     /// detection). `None` while no healthy full replica exists.
     pub fn current_master(&self) -> Option<NodeId> {
-        self.elected_master.filter(|&m| !self.failed[m])
+        self.elected_master.filter(|&m| !self.is_failed(m))
     }
 
     /// Generation of the current master election. Bumps exactly when the
@@ -538,7 +544,7 @@ impl StarEngine {
     /// every fence after failure detection; records a new log entry only
     /// when the winner changes.
     fn hold_election(&mut self) {
-        let winner = (0..self.cluster.config().full_replicas).find(|&n| !self.failed[n]);
+        let winner = (0..self.cluster.config().full_replicas).find(|&n| !self.is_failed(n));
         if winner != self.elected_master {
             self.master_generation += 1;
             self.elected_master = winner;
@@ -556,11 +562,11 @@ impl StarEngine {
     pub fn effective_primary(&self, partition: PartitionId) -> Option<NodeId> {
         let config = self.cluster.config();
         let primary = config.partition_primary(partition);
-        if !self.failed[primary] {
+        if !self.is_failed(primary) {
             return Some(primary);
         }
         (0..config.num_nodes)
-            .find(|&n| !self.failed[n] && config.node_stores_partition(n, partition))
+            .find(|&n| !self.is_failed(n) && config.node_stores_partition(n, partition))
     }
 
     /// Runs the engine for (at least) `duration`, returning a report with the
@@ -920,6 +926,7 @@ impl StarEngine {
     /// Returns the instant the fence completed (the group-commit point of the
     /// epoch that just closed).
     fn replication_fence(&mut self) -> Instant {
+        // star-lint: allow(determinism::instant-now) -- fence-duration telemetry only; no control flow or recorded history depends on it
         let start = Instant::now();
         let config = self.cluster.config().clone();
 
@@ -1002,6 +1009,7 @@ impl StarEngine {
         }
         self.last_committed_epoch = self.epoch;
         self.epoch += 1;
+        // star-lint: allow(determinism::instant-now) -- group-commit timestamp feeds latency telemetry, not simulation state
         let end = Instant::now();
         self.counters.add_fence(end - start);
         end
@@ -1022,14 +1030,18 @@ impl StarEngine {
     /// schedule synthesizer and the chaos driver consult it before
     /// scheduling overlapping recoveries.
     pub fn can_recover(&self, node: NodeId) -> bool {
-        let Some(node_db) = self.cluster.nodes().get(node).map(|n| &n.db) else {
+        let Some(node_db) = self.cluster.node(node).map(|n| &n.db) else {
             return false;
         };
         node_db.held_partitions().into_iter().all(|partition| {
-            (0..self.cluster.config().num_nodes).any(|n| {
-                n != node && !self.failed[n] && self.cluster.nodes()[n].db.holds(partition)
-            })
+            (0..self.cluster.config().num_nodes)
+                .any(|n| n != node && !self.is_failed(n) && self.node_holds(n, partition))
         })
+    }
+
+    /// Whether `node` exists and its replica holds `partition`.
+    fn node_holds(&self, node: NodeId, partition: PartitionId) -> bool {
+        self.cluster.node(node).is_some_and(|n| n.db.holds(partition))
     }
 
     /// Recovers a previously failed node: the node copies the partitions it
@@ -1044,10 +1056,10 @@ impl StarEngine {
     /// untouched, and a later recovery attempt — e.g. after another replica
     /// rejoined — can still succeed.
     pub fn recover_node(&mut self, node: NodeId) -> Result<usize> {
-        if node >= self.failed.len() {
+        let Some(target) = self.cluster.node(node) else {
             return Err(Error::Config(format!("no such node {node}")));
-        }
-        if !self.failed[node] {
+        };
+        if !self.is_failed(node) {
             return Ok(0);
         }
         if !self.can_recover(node) {
@@ -1060,28 +1072,27 @@ impl StarEngine {
         // that was in flight when it crashed; that epoch was discarded by the
         // rest of the cluster (Figure 6), so discard it here too before
         // catching up.
-        let target_db = Arc::clone(&self.cluster.nodes()[node].db);
-        if let Some(committed) = self.failed_at_committed_epoch[node].take() {
-            target_db.revert_to_epoch(committed);
-        }
+        let target_db = Arc::clone(&target.db);
         // Everything still queued at this node's endpoint was addressed to
         // the crashed process and died with it — in particular replication
         // batches of epochs the cluster reverted after the crash (fences skip
         // failed nodes, so their queues are never drained while down).
         // Applying them after rejoining would resurrect discarded writes;
         // the copy from healthy replicas below supplies the current state.
-        drop(self.cluster.nodes()[node].endpoint.drain());
+        drop(target.endpoint.drain());
+        if let Some(committed) = self.failed_at_committed_epoch.get_mut(node).and_then(Option::take)
+        {
+            target_db.revert_to_epoch(committed);
+        }
         let mut copied = 0usize;
         for partition in target_db.held_partitions() {
-            let source = (0..self.cluster.config().num_nodes).find(|&n| {
-                n != node && !self.failed[n] && self.cluster.nodes()[n].db.holds(partition)
-            });
-            let Some(source) = source else {
+            let source = (0..self.cluster.config().num_nodes)
+                .find(|&n| n != node && !self.is_failed(n) && self.node_holds(n, partition));
+            let Some(source_db) = source.and_then(|n| self.cluster.node(n)).map(|n| &n.db) else {
                 return Err(Error::Config(format!(
                     "no healthy replica holds partition {partition}; recover from disk instead"
                 )));
             };
-            let source_db = &self.cluster.nodes()[source].db;
             source_db.for_each_record(|table, p, key, rec| {
                 if p != partition {
                     return;
@@ -1093,7 +1104,9 @@ impl StarEngine {
             });
         }
         self.cluster.network().heal_node(node);
-        self.failed[node] = false;
+        if let Some(failed) = self.failed.get_mut(node) {
+            *failed = false;
+        }
         Ok(copied)
     }
 
@@ -1127,10 +1140,10 @@ impl StarEngine {
         node: NodeId,
         fault: RecoveryFault,
     ) -> Result<InterruptedRecovery> {
-        if node >= self.failed.len() {
+        let Some(target) = self.cluster.node(node) else {
             return Err(Error::Config(format!("no such node {node}")));
-        }
-        if !self.failed[node] {
+        };
+        if !self.is_failed(node) {
             return Ok(InterruptedRecovery { source: node, records_copied: 0 });
         }
         if !self.can_recover(node) {
@@ -1139,7 +1152,7 @@ impl StarEngine {
                  another replica first or recover from disk"
             )));
         }
-        let target_db = Arc::clone(&self.cluster.nodes()[node].db);
+        let target_db = Arc::clone(&target.db);
         // Peek — do NOT consume — the revert marker: an interruption can
         // land mid-epoch, in which case the partial copy below includes the
         // source's *in-flight* versions. If that epoch later reverts, the
@@ -1148,20 +1161,28 @@ impl StarEngine {
         // overwriting them on retry. Keeping the marker makes the retried
         // `recover_node` revert the target again, discarding anything this
         // aborted copy resurrected before re-copying.
-        if let Some(committed) = self.failed_at_committed_epoch[node] {
+        if let Some(committed) = self.failed_at_committed_epoch.get(node).copied().flatten() {
             target_db.revert_to_epoch(committed);
         }
-        drop(self.cluster.nodes()[node].endpoint.drain());
+        drop(target.endpoint.drain());
         let partition = target_db
             .held_partitions()
             .into_iter()
             .next()
             .ok_or_else(|| Error::Config(format!("node {node} holds no partitions")))?;
+        // `can_recover` held a moment ago, but recovery must never be a
+        // crash site: a vanished source is a typed error, not a panic.
         let source = (0..self.cluster.config().num_nodes)
-            .find(|&n| n != node && !self.failed[n] && self.cluster.nodes()[n].db.holds(partition))
-            .expect("can_recover guaranteed a healthy source");
+            .find(|&n| n != node && !self.is_failed(n) && self.node_holds(n, partition))
+            .ok_or_else(|| {
+                Error::Config(format!(
+                    "node {node}: healthy source for partition {partition} vanished mid-recovery"
+                ))
+            })?;
         let mut copied = 0usize;
-        let source_db = &self.cluster.nodes()[source].db;
+        let Some(source_db) = self.cluster.node(source).map(|n| &n.db) else {
+            return Err(Error::Config(format!("no such node {source}")));
+        };
         source_db.for_each_record(|table, p, key, rec| {
             if p != partition {
                 return;
@@ -1183,9 +1204,9 @@ impl StarEngine {
     /// the partitions they both hold. Intended for tests: run some load, then
     /// assert consistency after a fence.
     pub fn verify_replica_consistency(&self) -> Result<()> {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let config = self.cluster.config();
-        type Snapshot = HashMap<(u32, usize, u64), (star_common::Tid, star_common::Row)>;
+        type Snapshot = BTreeMap<(u32, usize, u64), (star_common::Tid, star_common::Row)>;
         let snapshots: Vec<Option<Snapshot>> = self
             .cluster
             .nodes()
@@ -1195,7 +1216,7 @@ impl StarEngine {
                 if self.failed[n] {
                     return None;
                 }
-                let mut map = HashMap::new();
+                let mut map = BTreeMap::new();
                 node.db.for_each_record(|table, partition, key, rec| {
                     let read = rec.read();
                     map.insert((table, partition, key), (read.tid, read.row));
@@ -1660,7 +1681,7 @@ mod tests {
         });
         let mut engine = StarEngine::new(config, wl.clone()).unwrap();
         let report = engine.run_for(Duration::from_millis(40));
-        let master_db = &engine.cluster().master().db;
+        let master_db = &engine.cluster().master().unwrap().db;
         let mut total = 0u64;
         for p in 0..2usize {
             for offset in 0..wl.rows_per_partition {

@@ -75,10 +75,15 @@ impl FailureCase {
         if failed.iter().all(|f| !f) {
             return Ok(FailureCase::NoFailure);
         }
-        let full_remains = (0..config.full_replicas).any(|n| !failed[n]);
+        // The length was validated above; iterator-based access keeps this
+        // classification — consulted on every fence — structurally panic-free.
+        let full_remains = failed.iter().take(config.full_replicas).any(|f| !f);
         let partial_covers = (0..config.partitions).all(|p| {
-            (config.full_replicas..config.num_nodes)
-                .any(|n| !failed[n] && config.node_stores_partition(n, p))
+            failed
+                .iter()
+                .enumerate()
+                .skip(config.full_replicas)
+                .any(|(n, f)| !f && config.node_stores_partition(n, p))
         });
         Ok(match (full_remains, partial_covers) {
             (true, true) => FailureCase::FullAndPartialRemain,

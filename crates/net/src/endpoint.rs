@@ -3,7 +3,7 @@
 use crate::fault::{FaultPlane, FaultVerdict, LinkFaults};
 use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -138,7 +138,7 @@ impl SimNetwork {
                 stats: Arc::clone(&stats),
                 failed: Arc::clone(&failed),
                 faults: Arc::clone(&faults),
-                reorder_stash: Mutex::new(HashMap::new()),
+                reorder_stash: Mutex::new(BTreeMap::new()),
             })
             .collect();
         (SimNetwork { config, stats, failed, faults, num_nodes }, endpoints)
@@ -252,7 +252,7 @@ pub struct Endpoint<M> {
     /// Messages held back by reorder faults, keyed by destination. A stashed
     /// message is released after the next message on the same link (so it is
     /// overtaken), or by [`Endpoint::flush_stash`].
-    reorder_stash: Mutex<HashMap<usize, Vec<Envelope<M>>>>,
+    reorder_stash: Mutex<BTreeMap<usize, Vec<Envelope<M>>>>,
 }
 
 impl<M: Message> Endpoint<M> {
@@ -373,12 +373,9 @@ impl<M: Message> Endpoint<M> {
     /// fence's "apply all outstanding writes" guarantee holds even under
     /// reorder faults.
     pub fn flush_stash(&self) {
-        let stashed: Vec<(usize, Vec<Envelope<M>>)> = {
-            let mut stash = self.reorder_stash.lock().unwrap();
-            let mut entries: Vec<_> = stash.drain().collect();
-            entries.sort_by_key(|(to, _)| *to);
-            entries
-        };
+        // BTreeMap iteration is already in destination order, which keeps
+        // the flush deterministic.
+        let stashed = std::mem::take(&mut *self.reorder_stash.lock().unwrap());
         for (to, envelopes) in stashed {
             for envelope in envelopes {
                 let _ = self.enqueue(to, envelope);

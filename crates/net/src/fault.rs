@@ -34,7 +34,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -138,12 +138,12 @@ struct FaultState {
     seed: u64,
     default_faults: LinkFaults,
     /// Per-link overrides, keyed by `(from, to)`.
-    links: HashMap<(usize, usize), LinkFaults>,
+    links: BTreeMap<(usize, usize), LinkFaults>,
     /// Directed links that are cut (partitioned): every message is dropped.
-    cut: HashSet<(usize, usize)>,
+    cut: BTreeSet<(usize, usize)>,
     /// Lazily created per-link RNGs, seeded from `seed` and the link id so
     /// fault decisions on one link are independent of traffic on another.
-    rngs: HashMap<(usize, usize), StdRng>,
+    rngs: BTreeMap<(usize, usize), StdRng>,
 }
 
 /// Shared fault-injection state of one [`crate::SimNetwork`].

@@ -213,10 +213,15 @@ impl Record {
         if cur_tid.epoch() <= committed_epoch {
             return false;
         }
+        // Acquire `data` before `stable`, matching the write paths
+        // (`write_and_unlock`, `write_unsynchronized`) and the workspace
+        // lock-order manifest: taking them in the opposite order here is a
+        // potential deadlock against a concurrent writer.
+        let mut data = self.data.write();
         let mut stable = self.stable.lock();
         if let Some((old_tid, old_row)) = stable.take() {
             debug_assert!(old_tid.epoch() <= committed_epoch);
-            *self.data.write() = old_row;
+            *data = old_row;
             self.meta.store(old_tid.raw(), Ordering::Release);
             true
         } else {

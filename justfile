@@ -83,9 +83,27 @@ chaos-smoke:
     cargo run --release -p star-chaos --bin star-chaos -- --synth --seeds 120 --skip-engines --fail-fast --json CHAOS_synth_smoke.json
     cargo run --release -p star-chaos --bin star-chaos -- --synth-guided --seeds 120 --skip-engines --fail-fast --json CHAOS_guided_smoke.json
 
+# Static analysis: determinism / panic-freedom / lock-order lints, gated by
+# the committed ratchet baseline (star-lint.baseline.json). Exit 1 means new
+# findings (fix them) or a stale baseline (run `just star-lint-baseline`).
+star-lint:
+    cargo run --release -p star-analysis --bin star-lint -- --root . --json STAR_LINT_report.json
+
+# Rewrite the ratchet baseline after paying down (or consciously accepting)
+# lint debt. The ratchet only ever moves down: review the diff before committing.
+star-lint-baseline:
+    cargo run --release -p star-analysis --bin star-lint -- --root . --write-baseline
+
+# Dynamic lock-order witness: run the inversion/clean fixtures with the
+# instrumented parking_lot stub (records per-thread acquisition chains and
+# reports potential-deadlock cycles even on runs that never hung).
+lock-witness:
+    cargo test -q -p star-chaos --features lock-witness --test lock_witness
+    cargo test -q -p parking_lot --features lock-witness
+
 # Regenerate the paper's figures (quick scale).
 figures:
     cargo run --release -p star-bench --bin figures -- --quick all
 
 # Everything CI checks, locally.
-ci: lint build test bench-smoke chaos-smoke chaos-corpus
+ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus

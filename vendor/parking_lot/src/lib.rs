@@ -2,16 +2,108 @@
 //! the guard-returning (non-poisoning) lock API, implemented over the
 //! `std::sync` primitives. Poison is swallowed by taking the inner value,
 //! matching `parking_lot`'s behaviour of not propagating panics.
+//!
+//! With the `lock-witness` feature enabled, every acquisition additionally
+//! feeds a Goodlock-style lock-order [`witness`]: guards carry a token that
+//! tracks the per-thread acquisition chain, and a global lock graph collects
+//! `held -> acquiring` edges so tests can detect *potential* deadlocks
+//! (inverted acquisition orders) even on runs that never actually hung.
+//! The feature is off by default and adds zero overhead when disabled.
 
 use std::fmt;
 use std::sync::{self, PoisonError};
 
+#[cfg(feature = "lock-witness")]
+pub mod witness;
+
 /// Guard returned by [`Mutex::lock`].
+#[cfg(not(feature = "lock-witness"))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 /// Guard returned by [`RwLock::read`].
+#[cfg(not(feature = "lock-witness"))]
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 /// Guard returned by [`RwLock::write`].
+#[cfg(not(feature = "lock-witness"))]
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// Guard returned by [`Mutex::lock`], carrying a witness token that marks
+/// the lock released (for acquisition-chain tracking) when dropped.
+#[cfg(feature = "lock-witness")]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    _held: witness::Held,
+}
+
+/// Guard returned by [`RwLock::read`] under the `lock-witness` feature.
+#[cfg(feature = "lock-witness")]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _held: witness::Held,
+}
+
+/// Guard returned by [`RwLock::write`] under the `lock-witness` feature.
+#[cfg(feature = "lock-witness")]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _held: witness::Held,
+}
+
+#[cfg(feature = "lock-witness")]
+mod witness_guards {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&**self, f)
+        }
+    }
+}
 
 /// A mutex whose `lock` returns the guard directly (no poisoning).
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
@@ -30,13 +122,34 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
+    #[cfg(not(feature = "lock-witness"))]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquires the mutex, blocking until it is available. Records the
+    /// acquisition edge *before* blocking so deadlocked runs still witness
+    /// the inverted ordering.
+    #[cfg(feature = "lock-witness")]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let addr = witness::addr_of(self);
+        witness::before_block(addr);
+        let inner = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { inner, _held: witness::acquired(addr) }
+    }
+
     /// Attempts to acquire the mutex without blocking.
+    #[cfg(not(feature = "lock-witness"))]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         self.0.try_lock().ok()
+    }
+
+    /// Attempts to acquire the mutex without blocking. Cannot deadlock, so
+    /// the acquisition edge is recorded only on success.
+    #[cfg(feature = "lock-witness")]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = self.0.try_lock().ok()?;
+        Some(MutexGuard { inner, _held: witness::try_acquired(witness::addr_of(self)) })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -83,23 +196,63 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
+    #[cfg(not(feature = "lock-witness"))]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquires a shared read guard, recording the acquisition edge before
+    /// blocking. The witness tracks lock identity, not read/write mode.
+    #[cfg(feature = "lock-witness")]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let addr = witness::addr_of(self);
+        witness::before_block(addr);
+        let inner = self.0.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard { inner, _held: witness::acquired(addr) }
+    }
+
     /// Acquires an exclusive write guard.
+    #[cfg(not(feature = "lock-witness"))]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquires an exclusive write guard, recording the acquisition edge
+    /// before blocking.
+    #[cfg(feature = "lock-witness")]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let addr = witness::addr_of(self);
+        witness::before_block(addr);
+        let inner = self.0.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard { inner, _held: witness::acquired(addr) }
+    }
+
     /// Attempts to acquire a read guard without blocking.
+    #[cfg(not(feature = "lock-witness"))]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         self.0.try_read().ok()
     }
 
+    /// Attempts to acquire a read guard without blocking; the acquisition
+    /// edge is recorded only on success.
+    #[cfg(feature = "lock-witness")]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = self.0.try_read().ok()?;
+        Some(RwLockReadGuard { inner, _held: witness::try_acquired(witness::addr_of(self)) })
+    }
+
     /// Attempts to acquire a write guard without blocking.
+    #[cfg(not(feature = "lock-witness"))]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         self.0.try_write().ok()
+    }
+
+    /// Attempts to acquire a write guard without blocking; the acquisition
+    /// edge is recorded only on success.
+    #[cfg(feature = "lock-witness")]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let inner = self.0.try_write().ok()?;
+        Some(RwLockWriteGuard { inner, _held: witness::try_acquired(witness::addr_of(self)) })
     }
 
     /// Mutable access without locking (requires exclusive borrow).

@@ -1,0 +1,285 @@
+//! Goodlock-style lock-order witness, enabled by the `lock-witness` feature.
+//!
+//! Every acquisition records, for each lock the acquiring thread already
+//! holds, a directed edge `held -> acquiring` in a process-global lock
+//! graph. A cycle in that graph is a *potential* deadlock: two threads that
+//! each observed one half of the inverted ordering could block each other
+//! on an unlucky interleaving, even if no run ever actually hung. Tests
+//! call [`potential_deadlocks`] (or [`format_report`]) at shutdown to turn
+//! lucky-scheduling passes into deterministic failures.
+//!
+//! Blocking acquisitions record their edges *before* blocking, so a run
+//! that does deadlock still leaves the inversion in the graph of whichever
+//! threads got that far. `try_*` acquisitions cannot block and record their
+//! edges only on success.
+//!
+//! Locks are identified by the address of the `Mutex`/`RwLock` wrapper.
+//! [`set_name`] attaches a human-readable name for reports; unnamed locks
+//! render as `lock@0x...`.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-global acquisition-order graph.
+struct Graph {
+    /// `edges[a]` holds every lock acquired while `a` was held.
+    edges: BTreeMap<usize, BTreeSet<usize>>,
+    names: BTreeMap<usize, String>,
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(Graph { edges: BTreeMap::new(), names: BTreeMap::new() }))
+}
+
+thread_local! {
+    /// Stack of lock addresses this thread currently holds, in acquisition
+    /// order. Guards can drop out of order, so release removes the *last*
+    /// occurrence rather than popping blindly.
+    static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Stable identity of a lock: the address of its wrapper struct.
+pub(crate) fn addr_of<T: ?Sized>(lock: &T) -> usize {
+    lock as *const T as *const () as usize
+}
+
+/// Witness token carried by every guard; dropping it marks the release.
+pub struct Held {
+    addr: usize,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&a| a == self.addr) {
+                h.remove(pos);
+            }
+        });
+    }
+}
+
+/// Records `held -> addr` edges for everything this thread currently holds.
+/// A self-edge (re-acquiring a lock already held) is recorded too: with the
+/// underlying `std::sync` primitives that is an immediate deadlock hazard.
+fn record_edges(addr: usize) {
+    let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    for h in held {
+        g.edges.entry(h).or_default().insert(addr);
+    }
+}
+
+/// Called by blocking acquisitions *before* the potentially-blocking call,
+/// so a run that deadlocks still records the ordering that caused it.
+pub(crate) fn before_block(addr: usize) {
+    record_edges(addr);
+}
+
+/// Called once a blocking acquisition succeeds (edges already recorded).
+pub(crate) fn acquired(addr: usize) -> Held {
+    HELD.with(|h| h.borrow_mut().push(addr));
+    Held { addr }
+}
+
+/// Called when a `try_*` acquisition succeeds: records edges and holds.
+pub(crate) fn try_acquired(addr: usize) -> Held {
+    record_edges(addr);
+    acquired(addr)
+}
+
+/// Attaches a human-readable name to a lock for reports. Pass the
+/// `Mutex`/`RwLock` itself (not a guard).
+pub fn set_name<T: ?Sized>(lock: &T, name: &str) {
+    let addr = addr_of(lock);
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    g.names.insert(addr, name.to_string());
+}
+
+/// Clears the global graph and name registry. Call between independent
+/// fixtures; held-stacks of live threads are untouched, so only call this
+/// while no instrumented lock is held.
+pub fn reset() {
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    g.edges.clear();
+    g.names.clear();
+}
+
+/// Number of distinct ordered pairs observed so far (diagnostic).
+pub fn edge_count() -> usize {
+    let g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    g.edges.values().map(BTreeSet::len).sum()
+}
+
+fn name_of(g: &Graph, addr: usize) -> String {
+    g.names.get(&addr).cloned().unwrap_or_else(|| format!("lock@{addr:#x}"))
+}
+
+/// Returns every lock-order cycle observed, one sorted name list per
+/// strongly connected component of the graph that contains a cycle (two or
+/// more mutually reachable locks, or a lock re-acquired while held).
+pub fn potential_deadlocks() -> Vec<Vec<String>> {
+    let g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    let mut nodes: BTreeSet<usize> = g.edges.keys().copied().collect();
+    for targets in g.edges.values() {
+        nodes.extend(targets.iter().copied());
+    }
+    let sccs = tarjan(&nodes, &g.edges);
+    let mut cycles = Vec::new();
+    for scc in sccs {
+        let cyclic = scc.len() > 1 || g.edges.get(&scc[0]).is_some_and(|t| t.contains(&scc[0]));
+        if cyclic {
+            let mut names: Vec<String> = scc.iter().map(|&a| name_of(&g, a)).collect();
+            names.sort();
+            cycles.push(names);
+        }
+    }
+    cycles.sort();
+    cycles
+}
+
+/// Human-readable summary of [`potential_deadlocks`] for test shutdown.
+pub fn format_report() -> String {
+    let cycles = potential_deadlocks();
+    if cycles.is_empty() {
+        return "lock-witness: no lock-order cycles detected\n".to_string();
+    }
+    let mut out = format!("lock-witness: {} potential deadlock cycle(s)\n", cycles.len());
+    for cycle in cycles {
+        out.push_str("  potential deadlock: ");
+        out.push_str(&cycle.join(" <-> "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Iterative Tarjan SCC over the observed graph. Returns each component as
+/// a sorted address list.
+fn tarjan(nodes: &BTreeSet<usize>, edges: &BTreeMap<usize, BTreeSet<usize>>) -> Vec<Vec<usize>> {
+    struct State {
+        index: BTreeMap<usize, usize>,
+        lowlink: BTreeMap<usize, usize>,
+        on_stack: BTreeSet<usize>,
+        stack: Vec<usize>,
+        next_index: usize,
+        sccs: Vec<Vec<usize>>,
+    }
+
+    let empty = BTreeSet::new();
+    let mut st = State {
+        index: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next_index: 0,
+        sccs: Vec::new(),
+    };
+
+    // Explicit DFS stack of (node, neighbour iterator position) to avoid
+    // recursion depth limits on long chains.
+    for &root in nodes {
+        if st.index.contains_key(&root) {
+            continue;
+        }
+        let mut dfs: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let neigh =
+            |n: usize| -> Vec<usize> { edges.get(&n).unwrap_or(&empty).iter().copied().collect() };
+        st.index.insert(root, st.next_index);
+        st.lowlink.insert(root, st.next_index);
+        st.next_index += 1;
+        st.stack.push(root);
+        st.on_stack.insert(root);
+        dfs.push((root, neigh(root), 0));
+        while let Some((v, ns, mut i)) = dfs.pop() {
+            let mut descended = false;
+            while i < ns.len() {
+                let w = ns[i];
+                i += 1;
+                if !st.index.contains_key(&w) {
+                    st.index.insert(w, st.next_index);
+                    st.lowlink.insert(w, st.next_index);
+                    st.next_index += 1;
+                    st.stack.push(w);
+                    st.on_stack.insert(w);
+                    dfs.push((v, ns, i));
+                    dfs.push((w, neigh(w), 0));
+                    descended = true;
+                    break;
+                } else if st.on_stack.contains(&w) {
+                    let lw = st.index[&w].min(st.lowlink[&v]);
+                    st.lowlink.insert(v, lw);
+                }
+            }
+            if descended {
+                continue;
+            }
+            if st.lowlink[&v] == st.index[&v] {
+                let mut scc = Vec::new();
+                while let Some(w) = st.stack.pop() {
+                    st.on_stack.remove(&w);
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                scc.sort();
+                st.sccs.push(scc);
+            }
+            // Propagate this node's lowlink to its DFS parent.
+            if let Some((p, _, _)) = dfs.last() {
+                let lp = st.lowlink[p].min(st.lowlink[&v]);
+                st.lowlink.insert(*p, lp);
+            }
+        }
+    }
+    st.sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scc_of(edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut map: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let mut nodes = BTreeSet::new();
+        for &(a, b) in edges {
+            map.entry(a).or_default().insert(b);
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        tarjan(&nodes, &map)
+    }
+
+    #[test]
+    fn tarjan_finds_two_cycle() {
+        let sccs = scc_of(&[(1, 2), (2, 1), (2, 3)]);
+        assert!(sccs.contains(&vec![1, 2]));
+        assert!(sccs.contains(&vec![3]));
+    }
+
+    #[test]
+    fn tarjan_acyclic_chain_is_all_singletons() {
+        let sccs = scc_of(&[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn tarjan_three_cycle_through_shared_node() {
+        let sccs = scc_of(&[(1, 2), (2, 3), (3, 1), (3, 4), (4, 4)]);
+        assert!(sccs.contains(&vec![1, 2, 3]));
+        assert!(sccs.contains(&vec![4]));
+    }
+
+    #[test]
+    fn tarjan_long_chain_does_not_overflow() {
+        let edges: Vec<(usize, usize)> = (0..10_000).map(|i| (i, i + 1)).collect();
+        let sccs = scc_of(&edges);
+        assert_eq!(sccs.len(), 10_001);
+    }
+}
