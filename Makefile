@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke figures ci
+.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention profile chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke figures ci
 
 build:
 	cargo build --release
@@ -22,13 +22,17 @@ bench:
 
 # Refresh the committed BENCH_*.json baselines with CI's exact configuration.
 bench-baseline:
-	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED)
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --threads-sweep
 
 bench-smoke:
-	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --check
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --check --threads-sweep
 
 bench-contention:
 	cargo run --release -p star-bench --bin star-bench -- --contention-only
+
+# Per-engine latency-source profile (five-slice table, µs per committed txn).
+profile:
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --profile
 
 # Deterministic chaos sweep: 100 seeded fault-injection scenarios, each
 # checked for serializability against a sequential oracle. Reproduce a red

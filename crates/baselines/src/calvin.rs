@@ -73,6 +73,7 @@ pub struct Calvin {
     epoch: Epoch,
     sequence: u64,
     history: Option<Arc<HistoryRecorder>>,
+    last_report: Option<RunReport>,
 }
 
 impl Calvin {
@@ -95,6 +96,7 @@ impl Calvin {
             epoch: 1,
             sequence: 0,
             history: None,
+            last_report: None,
         })
     }
 
@@ -150,8 +152,9 @@ impl Calvin {
     }
 
     /// Runs one sequenced batch; returns the number of committed
-    /// transactions.
-    fn run_batch(&mut self) -> u64 {
+    /// transactions. Each commit's latency — from its start until the
+    /// batch-release boundary — is sampled into `latency`.
+    fn run_batch(&mut self, latency: &mut LatencyHistogram) -> u64 {
         let batch_size = self.calvin.batch_size;
         let epoch = self.epoch;
         let cluster = &self.config.cluster;
@@ -178,6 +181,9 @@ impl Calvin {
         let history = &self.history;
         let link = &self.link;
         let replicate = self.backup.is_some();
+        // Start instants of every committed transaction; their latency runs
+        // until the batch-release boundary below.
+        let commit_times: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
 
         std::thread::scope(|scope| {
             let chunks: Vec<&[Box<dyn Procedure>]> =
@@ -189,15 +195,19 @@ impl Calvin {
                 let queues = Arc::clone(&lock_manager_queues);
                 let history = history.clone();
                 let link = Arc::clone(link);
+                let commit_times = Arc::clone(&commit_times);
                 scope.spawn(move || {
                     let mut tid_gen = TidGenerator::new();
                     for proc in chunk {
+                        let txn_start = Instant::now();
                         // The lock manager for this transaction's home
                         // partition grants its locks; with fewer lock-manager
                         // threads more transactions serialise on one queue.
                         let queue = &queues[proc.home_partition() % queues.len()];
                         let locked: Vec<Arc<Record>> = {
+                            let grant_start = Instant::now();
                             let _grant = queue.lock();
+                            counters.add_lock_or_validate(grant_start.elapsed());
                             // Deterministic ordering means lock acquisition
                             // never deadlocks; model it by locking the home
                             // record set eagerly (records become known during
@@ -212,7 +222,10 @@ impl Calvin {
                             std::thread::sleep(round_trip);
                         }
                         let mut ctx = TxnCtx::new(store.as_ref());
-                        match proc.execute(&mut ctx) {
+                        let exec_start = Instant::now();
+                        let result = proc.execute(&mut ctx);
+                        counters.add_execution(exec_start.elapsed());
+                        match result {
                             Ok(()) => {}
                             Err(Error::Abort(star_common::AbortReason::User)) => {
                                 counters.add_user_abort();
@@ -225,7 +238,11 @@ impl Calvin {
                         }
                         let (rs, ws) = ctx.into_sets();
                         let recorded_reads = history.as_ref().map(|_| rs.clone());
-                        match star_occ::commit_single_master(&store, rs, ws, epoch, &mut tid_gen) {
+                        let validate_start = Instant::now();
+                        let outcome =
+                            star_occ::commit_single_master(&store, rs, ws, epoch, &mut tid_gen);
+                        counters.add_lock_or_validate(validate_start.elapsed());
+                        match outcome {
                             Ok(output) => {
                                 if let Some(history) = &history {
                                     history.record_final(CommittedTxn::from_sets(
@@ -247,6 +264,7 @@ impl Calvin {
                                 }
                                 counters.add_commit();
                                 committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                commit_times.lock().push(txn_start);
                             }
                             Err(_) => counters.add_abort(),
                         }
@@ -258,9 +276,18 @@ impl Calvin {
         // The batch's results are released together; the replica group
         // applies the batch's writes at the same boundary.
         if let Some(backup) = &self.backup {
+            let flush_start = Instant::now();
             self.link.group_commit(backup);
+            self.counters.add_replication_flush(flush_start.elapsed());
+            self.counters.add_fence(flush_start.elapsed());
         }
         self.epoch += 1;
+        // Every commit is released here: its latency is the real span from
+        // its start to this batch boundary (no per-batch averaging).
+        let release = Instant::now();
+        for txn_start in commit_times.lock().drain(..) {
+            latency.record(release.saturating_duration_since(txn_start));
+        }
         committed.load(std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -270,13 +297,7 @@ impl Calvin {
         let before = self.counters.snapshot();
         let mut latency = LatencyHistogram::new();
         while start.elapsed() < duration {
-            let batch_start = Instant::now();
-            let committed = self.run_batch();
-            // Results of a batch are released when the whole batch finishes.
-            let batch_elapsed = batch_start.elapsed();
-            for _ in 0..(committed / 8).max(1) {
-                latency.record(batch_elapsed / 2);
-            }
+            self.run_batch(&mut latency);
         }
         let elapsed = start.elapsed();
         let after = self.counters.snapshot();
@@ -285,14 +306,54 @@ impl Calvin {
         window.aborted -= before.aborted;
         window.user_aborted -= before.user_aborted;
         window.coordination_bytes -= before.coordination_bytes;
-        RunReport::new(
+        window.fences -= before.fences;
+        window.fence_time_us -= before.fence_time_us;
+        window.execution_us -= before.execution_us;
+        window.replication_flush_us -= before.replication_flush_us;
+        window.wal_fsync_us -= before.wal_fsync_us;
+        window.lock_or_validate_us -= before.lock_or_validate_us;
+        let report = RunReport::new(
             self.label(),
             self.workload.name(),
             self.workload.mix().percentage(),
             elapsed,
             window,
             latency,
-        )
+        );
+        self.last_report = Some(report.clone());
+        report
+    }
+}
+
+impl star_core::Engine for Calvin {
+    fn name(&self) -> String {
+        self.label()
+    }
+
+    fn run_for(&mut self, duration: Duration) -> RunReport {
+        Calvin::run_for(self, duration)
+    }
+
+    fn counters(&self) -> &RunCounters {
+        Calvin::counters(self)
+    }
+
+    fn report(&self) -> RunReport {
+        match &self.last_report {
+            Some(report) => report.clone(),
+            None => RunReport::new(
+                self.label(),
+                self.workload.name(),
+                self.workload.mix().percentage(),
+                Duration::ZERO,
+                self.counters.snapshot(),
+                LatencyHistogram::new(),
+            ),
+        }
+    }
+
+    fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        Calvin::set_history_recorder(self, recorder)
     }
 }
 
@@ -303,10 +364,13 @@ mod tests {
     use star_core::testing::{kv_key, KvWorkload};
 
     fn config() -> BaselineConfig {
-        let mut cluster = ClusterConfig::with_nodes(4);
-        cluster.partitions = 4;
-        cluster.workers_per_node = 3;
-        cluster.network_latency = Duration::from_micros(20);
+        let cluster = ClusterConfig::builder()
+            .nodes(4)
+            .partitions(4)
+            .workers_per_node(3)
+            .network_latency(Duration::from_micros(20))
+            .build()
+            .unwrap();
         BaselineConfig::new(cluster)
     }
 

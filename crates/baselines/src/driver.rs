@@ -57,9 +57,12 @@ mod tests {
 
     #[test]
     fn baseline_config_derives_intervals_from_cluster() {
-        let mut cluster = ClusterConfig::with_nodes(4);
-        cluster.network_latency = Duration::from_micros(250);
-        cluster.iteration = Duration::from_millis(7);
+        let cluster = ClusterConfig::builder()
+            .nodes(4)
+            .network_latency(Duration::from_micros(250))
+            .iteration(Duration::from_millis(7))
+            .build()
+            .unwrap();
         let config = BaselineConfig::new(cluster);
         assert_eq!(config.round_trip(), Duration::from_micros(500));
         assert_eq!(config.epoch_interval(), Duration::from_millis(7));

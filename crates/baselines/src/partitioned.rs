@@ -116,6 +116,7 @@ pub struct PartitionedEngine {
     counters: Arc<RunCounters>,
     epoch: Epoch,
     history: Option<Arc<HistoryRecorder>>,
+    last_report: Option<RunReport>,
 }
 
 impl PartitionedEngine {
@@ -141,6 +142,7 @@ impl PartitionedEngine {
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
             history: None,
+            last_report: None,
         })
     }
 
@@ -189,6 +191,9 @@ impl PartitionedEngine {
     fn group_commit(&mut self) {
         let start = Instant::now();
         self.link.group_commit(&self.backup);
+        // The whole group commit is one synchronous stall (fence wait), and
+        // its body is the replication apply to the backup (flush slice).
+        self.counters.add_replication_flush(start.elapsed());
         self.epoch += 1;
         self.counters.add_fence(start.elapsed());
     }
@@ -258,7 +263,9 @@ impl PartitionedEngine {
                                 cc == DistCc::S2plNoWait,
                             );
                             let mut ctx = TxnCtx::new(&source);
-                            match proc.execute(&mut ctx) {
+                            let result = proc.execute(&mut ctx);
+                            counters.add_execution(txn_start.elapsed());
+                            match result {
                                 Ok(()) => {}
                                 Err(Error::Abort(AbortReason::User)) => {
                                     counters.add_user_abort();
@@ -289,6 +296,7 @@ impl PartitionedEngine {
                             };
                             let remote_participants =
                                 participants.iter().filter(|&&n| n != home_node).count();
+                            let commit_start = Instant::now();
                             let outcome = match cc {
                                 DistCc::Occ => {
                                     commit_single_master(&store, rs, ws, epoch, &mut tid_gen)
@@ -394,6 +402,7 @@ impl PartitionedEngine {
                                     }
                                 }
                             };
+                            counters.add_lock_or_validate(commit_start.elapsed());
                             let write_set = match outcome {
                                 Ok(ws) => ws,
                                 Err(Error::Abort(_)) => {
@@ -433,8 +442,10 @@ impl PartitionedEngine {
                                 let bytes: usize = entries.iter().map(LogEntry::wire_size).sum();
                                 counters.add_replication_bytes(bytes as u64);
                                 if sync {
+                                    let flush_start = Instant::now();
                                     link.deliver_now(&entries, &backup);
                                     std::thread::sleep(round_trip);
+                                    counters.add_replication_flush(flush_start.elapsed());
                                 } else {
                                     link.offer(entries);
                                 }
@@ -442,10 +453,14 @@ impl PartitionedEngine {
                             counters.add_commit();
                             if sync {
                                 local_latency.record(txn_start.elapsed());
+                            } else {
+                                // Async replication releases the result at
+                                // the epoch's group commit, which fires at
+                                // the epoch deadline: sample each commit's
+                                // real wait until that release point.
+                                local_latency
+                                    .record(epoch_deadline.saturating_duration_since(txn_start));
                             }
-                        }
-                        if !sync {
-                            local_latency.record(epoch_interval / 2);
                         }
                         latency.lock().merge(&local_latency);
                     });
@@ -463,14 +478,35 @@ impl PartitionedEngine {
         window.replication_bytes -= before.replication_bytes;
         window.coordination_bytes -= before.coordination_bytes;
         window.fences -= before.fences;
-        RunReport::new(
+        window.fence_time_us -= before.fence_time_us;
+        window.execution_us -= before.execution_us;
+        window.replication_flush_us -= before.replication_flush_us;
+        window.wal_fsync_us -= before.wal_fsync_us;
+        window.lock_or_validate_us -= before.lock_or_validate_us;
+        let report = RunReport::new(
             self.engine_label(),
             self.workload.name(),
             self.workload.mix().percentage(),
             elapsed,
             window,
             Arc::try_unwrap(latency).map(Mutex::into_inner).unwrap_or_default(),
-        )
+        );
+        self.last_report = Some(report.clone());
+        report
+    }
+
+    fn report(&self) -> RunReport {
+        match &self.last_report {
+            Some(report) => report.clone(),
+            None => RunReport::new(
+                self.engine_label(),
+                self.workload.name(),
+                self.workload.mix().percentage(),
+                Duration::ZERO,
+                self.counters.snapshot(),
+                LatencyHistogram::new(),
+            ),
+        }
     }
 }
 
@@ -514,6 +550,28 @@ impl DistOcc {
     }
 }
 
+impl star_core::Engine for DistOcc {
+    fn name(&self) -> String {
+        self.0.engine_label().to_string()
+    }
+
+    fn run_for(&mut self, duration: Duration) -> RunReport {
+        DistOcc::run_for(self, duration)
+    }
+
+    fn counters(&self) -> &RunCounters {
+        DistOcc::counters(self)
+    }
+
+    fn report(&self) -> RunReport {
+        self.0.report()
+    }
+
+    fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        DistOcc::set_history_recorder(self, recorder)
+    }
+}
+
 /// Distributed strict 2PL (NO_WAIT) with two-phase commit.
 pub struct DistS2pl(PartitionedEngine);
 
@@ -554,6 +612,28 @@ impl DistS2pl {
     }
 }
 
+impl star_core::Engine for DistS2pl {
+    fn name(&self) -> String {
+        self.0.engine_label().to_string()
+    }
+
+    fn run_for(&mut self, duration: Duration) -> RunReport {
+        DistS2pl::run_for(self, duration)
+    }
+
+    fn counters(&self) -> &RunCounters {
+        DistS2pl::counters(self)
+    }
+
+    fn report(&self) -> RunReport {
+        self.0.report()
+    }
+
+    fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        DistS2pl::set_history_recorder(self, recorder)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,11 +641,14 @@ mod tests {
     use star_core::testing::{kv_key, KvWorkload};
 
     fn config() -> BaselineConfig {
-        let mut cluster = ClusterConfig::with_nodes(4);
-        cluster.partitions = 4;
-        cluster.workers_per_node = 1;
-        cluster.iteration = Duration::from_millis(5);
-        cluster.network_latency = Duration::from_micros(20);
+        let cluster = ClusterConfig::builder()
+            .nodes(4)
+            .partitions(4)
+            .workers_per_node(1)
+            .iteration(Duration::from_millis(5))
+            .network_latency(Duration::from_micros(20))
+            .build()
+            .unwrap();
         BaselineConfig::new(cluster)
     }
 
@@ -611,7 +694,8 @@ mod tests {
         // gap robust to scheduling noise on a loaded test host.
         let _serial = crate::test_sync::PERF_TEST_LOCK.lock();
         let mut cfg = config();
-        cfg.cluster.network_latency = Duration::from_micros(200);
+        cfg.cluster =
+            cfg.cluster.to_builder().network_latency(Duration::from_micros(200)).build().unwrap();
         let mut local_engine = DistOcc::new(cfg.clone(), workload(0.0)).unwrap();
         let local = local_engine.run_for(Duration::from_millis(150));
         let mut remote_engine = DistOcc::new(cfg, workload(1.0)).unwrap();

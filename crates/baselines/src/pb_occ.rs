@@ -35,6 +35,7 @@ pub struct PbOcc {
     counters: Arc<RunCounters>,
     epoch: Epoch,
     history: Option<Arc<HistoryRecorder>>,
+    last_report: Option<RunReport>,
 }
 
 impl PbOcc {
@@ -53,7 +54,15 @@ impl PbOcc {
             counters: Arc::new(RunCounters::new()),
             epoch: 1,
             history: None,
+            last_report: None,
         })
+    }
+
+    fn engine_label(&self) -> &'static str {
+        match self.config.replication {
+            ReplicationMode::Sync => "PB. OCC (sync)",
+            ReplicationMode::Async => "PB. OCC",
+        }
     }
 
     /// Attaches a committed-history recorder. PB. OCC never reverts an
@@ -93,6 +102,9 @@ impl PbOcc {
     fn group_commit(&mut self) {
         let start = Instant::now();
         self.link.group_commit(&self.backup);
+        // The whole group commit is one synchronous stall (fence wait), and
+        // its body is the replication apply to the backup (flush slice).
+        self.counters.add_replication_flush(start.elapsed());
         self.epoch += 1;
         self.counters.add_fence(start.elapsed());
     }
@@ -141,7 +153,9 @@ impl PbOcc {
                             let home = rng.gen_range(0..partitions);
                             let proc = workload.mixed_transaction(&mut rng, home);
                             let mut ctx = TxnCtx::new(primary.as_ref());
-                            match proc.execute(&mut ctx) {
+                            let result = proc.execute(&mut ctx);
+                            counters.add_execution(txn_start.elapsed());
+                            match result {
                                 Ok(()) => {}
                                 Err(Error::Abort(star_common::AbortReason::User)) => {
                                     counters.add_user_abort();
@@ -154,14 +168,17 @@ impl PbOcc {
                             }
                             let (rs, ws) = ctx.into_sets();
                             let recorded_reads = history.as_ref().map(|_| rs.clone());
-                            let output =
-                                match commit_single_master(&primary, rs, ws, epoch, &mut tid_gen) {
-                                    Ok(output) => output,
-                                    Err(_) => {
-                                        counters.add_abort();
-                                        continue;
-                                    }
-                                };
+                            let validate_start = Instant::now();
+                            let outcome =
+                                commit_single_master(&primary, rs, ws, epoch, &mut tid_gen);
+                            counters.add_lock_or_validate(validate_start.elapsed());
+                            let output = match outcome {
+                                Ok(output) => output,
+                                Err(_) => {
+                                    counters.add_abort();
+                                    continue;
+                                }
+                            };
                             if let Some(history) = &history {
                                 history.record_final(CommittedTxn::from_sets(
                                     epoch,
@@ -184,23 +201,22 @@ impl PbOcc {
                                 // Synchronous replication: apply on the
                                 // backup and pay the round trip while the
                                 // write locks are (logically) held.
+                                let flush_start = Instant::now();
                                 link.deliver_now(&entries, &backup);
                                 std::thread::sleep(round_trip);
+                                counters.add_replication_flush(flush_start.elapsed());
                                 local_latency.record(txn_start.elapsed());
                             } else {
                                 link.offer(entries);
                                 // Under async replication + group commit the
-                                // result is only released at the end of the
-                                // epoch; latency is recorded then.
+                                // result is only released at the epoch's
+                                // group commit, which fires at the epoch
+                                // deadline: sample each commit's real wait
+                                // until that release point.
+                                local_latency
+                                    .record(epoch_deadline.saturating_duration_since(txn_start));
                             }
                             counters.add_commit();
-                        }
-                        if !sync {
-                            // Approximate the group-commit latency for the
-                            // transactions of this epoch: half the epoch on
-                            // average plus the fence itself (captured by the
-                            // caller's epoch interval).
-                            local_latency.record(epoch_interval / 2);
                         }
                         latency.lock().merge(&local_latency);
                     });
@@ -217,15 +233,21 @@ impl PbOcc {
         window.user_aborted -= before.user_aborted;
         window.replication_bytes -= before.replication_bytes;
         window.fences -= before.fences;
-        let label = if sync { "PB. OCC (sync)" } else { "PB. OCC" };
-        RunReport::new(
-            label,
+        window.fence_time_us -= before.fence_time_us;
+        window.execution_us -= before.execution_us;
+        window.replication_flush_us -= before.replication_flush_us;
+        window.wal_fsync_us -= before.wal_fsync_us;
+        window.lock_or_validate_us -= before.lock_or_validate_us;
+        let report = RunReport::new(
+            self.engine_label(),
             self.workload.name(),
             self.workload.mix().percentage(),
             elapsed,
             window,
             Arc::try_unwrap(latency).map(Mutex::into_inner).unwrap_or_default(),
-        )
+        );
+        self.last_report = Some(report.clone());
+        report
     }
 
     /// Checks that the backup replica has caught up with the primary (valid
@@ -257,6 +279,38 @@ impl PbOcc {
     }
 }
 
+impl star_core::Engine for PbOcc {
+    fn name(&self) -> String {
+        self.engine_label().to_string()
+    }
+
+    fn run_for(&mut self, duration: Duration) -> RunReport {
+        PbOcc::run_for(self, duration)
+    }
+
+    fn counters(&self) -> &RunCounters {
+        PbOcc::counters(self)
+    }
+
+    fn report(&self) -> RunReport {
+        match &self.last_report {
+            Some(report) => report.clone(),
+            None => RunReport::new(
+                self.engine_label(),
+                self.workload.name(),
+                self.workload.mix().percentage(),
+                Duration::ZERO,
+                self.counters.snapshot(),
+                LatencyHistogram::new(),
+            ),
+        }
+    }
+
+    fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        PbOcc::set_history_recorder(self, recorder)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,13 +318,15 @@ mod tests {
     use star_core::testing::KvWorkload;
 
     fn config(sync: bool) -> BaselineConfig {
-        let mut cluster = ClusterConfig::with_nodes(2);
-        cluster.partitions = 4;
-        cluster.workers_per_node = 2;
-        cluster.iteration = Duration::from_millis(5);
-        cluster.network_latency = Duration::from_micros(20);
-        cluster.replication_mode =
-            if sync { ReplicationMode::Sync } else { ReplicationMode::Async };
+        let cluster = ClusterConfig::builder()
+            .nodes(2)
+            .partitions(4)
+            .workers_per_node(2)
+            .iteration(Duration::from_millis(5))
+            .network_latency(Duration::from_micros(20))
+            .replication_mode(if sync { ReplicationMode::Sync } else { ReplicationMode::Async })
+            .build()
+            .unwrap();
         BaselineConfig::new(cluster)
     }
 

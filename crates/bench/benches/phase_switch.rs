@@ -7,11 +7,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn engine(iteration: Duration) -> StarEngine {
-    let mut config = ClusterConfig::with_nodes(4);
-    config.partitions = 4;
-    config.workers_per_node = 1;
-    config.iteration = iteration;
-    config.network_latency = Duration::from_micros(20);
+    let config = ClusterConfig::builder()
+        .nodes(4)
+        .partitions(4)
+        .workers_per_node(1)
+        .iteration(iteration)
+        .network_latency(Duration::from_micros(20))
+        .build()
+        .unwrap();
     let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
         partitions: 4,
         rows_per_partition: 500,

@@ -34,12 +34,15 @@ struct Options {
     contention_only: bool,
     skip_contention: bool,
     threads: usize,
+    threads_sweep: bool,
+    profile: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: star-bench [--quick] [--seed N] [--out-dir DIR] [--check] \
-         [--max-regression FRACTION] [--threads N] [--contention-only] [--skip-contention]"
+         [--max-regression FRACTION] [--threads N] [--threads-sweep] [--profile] \
+         [--contention-only] [--skip-contention]"
     );
     std::process::exit(2);
 }
@@ -54,6 +57,8 @@ fn parse_options() -> Options {
         contention_only: false,
         skip_contention: false,
         threads: 8,
+        threads_sweep: false,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -95,6 +100,8 @@ fn parse_options() -> Options {
             }
             "--contention-only" => options.contention_only = true,
             "--skip-contention" => options.skip_contention = true,
+            "--threads-sweep" => options.threads_sweep = true,
+            "--profile" => options.profile = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -148,8 +155,38 @@ fn load_baseline(path: &Path) -> Vec<BenchPoint> {
     })
 }
 
+/// Runs every engine once and prints the five-slice latency-source breakdown
+/// as a table, in µs per committed transaction (the `just profile` target).
+fn run_profile(options: &Options) {
+    let mut suite = BenchSuite::new(options.scale, options.seed);
+    println!("latency-source profile (ycsb @ 10% cross-partition, seed {}):\n", options.seed);
+    let reports = suite.profile("ycsb", 10.0);
+    println!(
+        "\n{:<16} {:>11} {:>11} {:>11} {:>11} {:>14}   (µs/txn)",
+        "engine", "execution", "fence_wait", "repl_flush", "wal_fsync", "lock/validate"
+    );
+    for report in &reports {
+        let committed = report.counters.committed.max(1) as f64;
+        let b = report.breakdown();
+        println!(
+            "{:<16} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>14.1}",
+            report.engine,
+            b.execution_us as f64 / committed,
+            b.fence_wait_us as f64 / committed,
+            b.replication_flush_us as f64 / committed,
+            b.wal_fsync_us as f64 / committed,
+            b.lock_or_validate_us as f64 / committed,
+        );
+    }
+}
+
 fn main() {
     let options = parse_options();
+
+    if options.profile {
+        run_profile(&options);
+        return;
+    }
 
     if !options.contention_only && options.scale == Scale::Full {
         println!("running at full scale; use --quick for a smoke-test run\n");
@@ -181,6 +218,26 @@ fn main() {
     for (workload, baseline) in WORKLOADS.into_iter().zip(baselines) {
         let points = suite.sweep(workload);
         let path = options.out_dir.join(format!("BENCH_{workload}.json"));
+        if let Some(baseline) = baseline {
+            failures.extend(check_against_baseline(&points, &baseline, options.max_regression));
+        }
+        std::fs::write(&path, BenchSuite::to_json(&points)).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("  wrote {} ({} points)\n", path.display(), points.len());
+    }
+
+    if options.threads_sweep {
+        let path = options.out_dir.join("BENCH_threads.json");
+        // The thread-scaling lane gates like the main sweeps: against its own
+        // committed baseline, when one exists. A missing baseline skips the
+        // check (the lane is opt-in, unlike the always-on workload sweeps).
+        let baseline = options
+            .check
+            .then(|| std::fs::read_to_string(&path).ok().and_then(|t| parse_baseline(&t).ok()))
+            .flatten();
+        let points = suite.thread_scaling("ycsb");
         if let Some(baseline) = baseline {
             failures.extend(check_against_baseline(&points, &baseline, options.max_regression));
         }

@@ -64,12 +64,14 @@ impl FigureRunner {
     }
 
     fn cluster(&self, nodes: usize) -> ClusterConfig {
-        let mut config = ClusterConfig::with_nodes(nodes);
-        config.partitions = nodes * 2;
-        config.workers_per_node = 2;
-        config.iteration = Duration::from_millis(10);
-        config.network_latency = Duration::from_micros(50);
-        config
+        ClusterConfig::builder()
+            .nodes(nodes)
+            .workers_per_node(2)
+            .partitions(nodes * 2)
+            .iteration(Duration::from_millis(10))
+            .network_latency(Duration::from_micros(50))
+            .build()
+            .expect("figure cluster config is valid")
     }
 
     fn ycsb(&self, partitions: usize, cross_pct: f64) -> Arc<YcsbWorkload> {
@@ -193,14 +195,17 @@ impl FigureRunner {
                 let report = self.run_star(config.clone(), workload.clone());
                 self.record(figure, "STAR", pct, &report);
             }
-            let mut baseline_cluster = config.clone();
-            baseline_cluster.replication_mode =
-                if sync { ReplicationMode::Sync } else { ReplicationMode::Async };
-            let bconfig = BaselineConfig::new(baseline_cluster);
+            let mode = if sync { ReplicationMode::Sync } else { ReplicationMode::Async };
+            let bconfig =
+                BaselineConfig::new(config.to_builder().replication_mode(mode).build().unwrap());
 
-            let mut pb_cluster = self.cluster(2);
-            pb_cluster.partitions = config.partitions;
-            pb_cluster.replication_mode = bconfig.cluster.replication_mode;
+            let pb_cluster = self
+                .cluster(2)
+                .to_builder()
+                .partitions(config.partitions)
+                .replication_mode(mode)
+                .build()
+                .unwrap();
             let mut pb = PbOcc::new(BaselineConfig::new(pb_cluster), workload.clone()).unwrap();
             let report = pb.run_for(self.scale.window());
             self.record(figure, "PB. OCC", pct, &report);
@@ -254,9 +259,8 @@ impl FigureRunner {
             self.record("fig12", "STAR (async)", pct, &report);
 
             for sync in [true, false] {
-                let mut cluster = config.clone();
-                cluster.replication_mode =
-                    if sync { ReplicationMode::Sync } else { ReplicationMode::Async };
+                let mode = if sync { ReplicationMode::Sync } else { ReplicationMode::Async };
+                let cluster = config.to_builder().replication_mode(mode).build().unwrap();
                 let label = |name: &str| {
                     if sync {
                         format!("{name} (sync)")
@@ -264,9 +268,13 @@ impl FigureRunner {
                         format!("{name} (async)")
                     }
                 };
-                let mut pb_cluster = self.cluster(2);
-                pb_cluster.partitions = config.partitions;
-                pb_cluster.replication_mode = cluster.replication_mode;
+                let pb_cluster = self
+                    .cluster(2)
+                    .to_builder()
+                    .partitions(config.partitions)
+                    .replication_mode(mode)
+                    .build()
+                    .unwrap();
                 let mut pb = PbOcc::new(BaselineConfig::new(pb_cluster), ycsb.clone()).unwrap();
                 let report = pb.run_for(self.scale.window());
                 self.record("fig12", &label("PB. OCC"), pct, &report);
@@ -330,8 +338,12 @@ impl FigureRunner {
         let iterations_ms = [1u64, 2, 5, 10, 20, 50, 100];
         let mut results = Vec::new();
         for ms in iterations_ms {
-            let mut config = self.cluster(nodes);
-            config.iteration = Duration::from_millis(ms);
+            let config = self
+                .cluster(nodes)
+                .to_builder()
+                .iteration(Duration::from_millis(ms))
+                .build()
+                .unwrap();
             let ycsb = self.ycsb(config.partitions, 10.0);
             let report = self.run_star(config, ycsb);
             results.push((ms, report));
@@ -351,13 +363,17 @@ impl FigureRunner {
         println!("Figure 14(b): phase-switch overhead vs cluster size (YCSB)");
         for &iteration_ms in &[10u64, 20] {
             for nodes in [2usize, 4, 8] {
-                let mut config = self.cluster(nodes);
-                config.iteration = Duration::from_millis(iteration_ms);
+                let config = self
+                    .cluster(nodes)
+                    .to_builder()
+                    .iteration(Duration::from_millis(iteration_ms))
+                    .build()
+                    .unwrap();
                 let ycsb = self.ycsb(config.partitions, 10.0);
                 let report = self.run_star(config.clone(), ycsb.clone());
                 // Reference: the same cluster with a long iteration time.
-                let mut reference_config = config;
-                reference_config.iteration = Duration::from_millis(100);
+                let reference_config =
+                    config.to_builder().iteration(Duration::from_millis(100)).build().unwrap();
                 let reference = self.run_star(reference_config, ycsb);
                 let overhead =
                     100.0 * (1.0 - report.throughput / reference.throughput.max(1.0)).max(0.0);
@@ -379,19 +395,25 @@ impl FigureRunner {
             let base = self.cluster(4);
             let tpcc = self.tpcc(base.partitions, pct);
 
-            let mut sync_config = base.clone();
-            sync_config.replication_mode = ReplicationMode::Sync;
-            sync_config.replication_strategy = ReplicationStrategy::Value;
+            let sync_config = base
+                .to_builder()
+                .replication_mode(ReplicationMode::Sync)
+                .replication_strategy(ReplicationStrategy::Value)
+                .build()
+                .unwrap();
             let report = self.run_star(sync_config, tpcc.clone());
             self.record("fig15a", "SYNC STAR", pct, &report);
 
-            let mut value_config = base.clone();
-            value_config.replication_strategy = ReplicationStrategy::Value;
+            let value_config =
+                base.to_builder().replication_strategy(ReplicationStrategy::Value).build().unwrap();
             let report = self.run_star(value_config, tpcc.clone());
             self.record("fig15a", "STAR", pct, &report);
 
-            let mut hybrid_config = base;
-            hybrid_config.replication_strategy = ReplicationStrategy::Hybrid;
+            let hybrid_config = base
+                .to_builder()
+                .replication_strategy(ReplicationStrategy::Hybrid)
+                .build()
+                .unwrap();
             let report = self.run_star(hybrid_config, tpcc);
             self.record("fig15a", "STAR w/ Hybrid Rep.", pct, &report);
         }
@@ -410,8 +432,7 @@ impl FigureRunner {
             };
             let report = self.run_star(base.clone(), workload.clone());
             self.record("fig15b", &format!("STAR ({label})"), 0.0, &report);
-            let mut logging = base;
-            logging.disk_logging = true;
+            let logging = base.to_builder().disk_logging(true).build().unwrap();
             let report = self.run_star(logging, workload);
             self.record("fig15b", &format!("STAR + Disk logging ({label})"), 0.0, &report);
         }

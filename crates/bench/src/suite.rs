@@ -22,7 +22,16 @@ use std::time::{Duration, Instant};
 /// dominated by the single-master phase.
 pub const SWEEP_CROSS_PCTS: [f64; 4] = [0.0, 10.0, 50.0, 90.0];
 
+/// Worker-thread counts of the thread-scaling sweep (STAR only, fixed 10%
+/// cross-partition mix).
+pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
 /// One canonical benchmark data point, the record schema of `BENCH_*.json`.
+///
+/// Besides throughput and latency percentiles, every point carries the
+/// per-phase latency-source breakdown ([`PhaseBreakdown`]) normalised to
+/// µs per committed transaction, versioned by `breakdown_version` so the
+/// regression gate never compares incompatible slice schemas.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchPoint {
     /// Engine label, matching [`EngineKind::label`] (e.g. `"Dist. OCC"`).
@@ -37,18 +46,50 @@ pub struct BenchPoint {
     pub p50_commit_latency_us: u64,
     /// 99th percentile commit latency in microseconds.
     pub p99_commit_latency_us: u64,
+    /// Schema version of the breakdown slices below
+    /// ([`BREAKDOWN_VERSION`]; 0 in baselines predating the breakdown).
+    pub breakdown_version: u32,
+    /// Execution time per committed transaction, µs.
+    pub execution_us_per_txn: f64,
+    /// Synchronous fence/group-commit stall per committed transaction, µs.
+    pub fence_wait_us_per_txn: f64,
+    /// Replication apply/ship time per committed transaction, µs.
+    pub replication_flush_us_per_txn: f64,
+    /// WAL flush time per committed transaction, µs.
+    pub wal_fsync_us_per_txn: f64,
+    /// Lock acquisition / OCC validation time per committed transaction, µs.
+    pub lock_or_validate_us_per_txn: f64,
 }
 
 impl BenchPoint {
-    fn from_point(point: &Point) -> Self {
+    fn from_report(workload: &str, pct: f64, report: &RunReport) -> Self {
+        let committed = report.counters.committed.max(1) as f64;
+        let breakdown = report.breakdown();
         BenchPoint {
-            engine: point.series.clone(),
-            workload: point.figure.clone(),
-            cross_partition_pct: point.x,
-            committed_txns_per_sec: point.throughput,
-            p50_commit_latency_us: point.p50_us.unwrap_or(0),
-            p99_commit_latency_us: point.p99_us.unwrap_or(0),
+            engine: report.engine.clone(),
+            workload: workload.to_string(),
+            cross_partition_pct: pct,
+            committed_txns_per_sec: report.throughput,
+            p50_commit_latency_us: report.latency.p50().as_micros() as u64,
+            p99_commit_latency_us: report.latency.p99().as_micros() as u64,
+            breakdown_version: BREAKDOWN_VERSION,
+            execution_us_per_txn: breakdown.execution_us as f64 / committed,
+            fence_wait_us_per_txn: breakdown.fence_wait_us as f64 / committed,
+            replication_flush_us_per_txn: breakdown.replication_flush_us as f64 / committed,
+            wal_fsync_us_per_txn: breakdown.wal_fsync_us as f64 / committed,
+            lock_or_validate_us_per_txn: breakdown.lock_or_validate_us as f64 / committed,
         }
+    }
+
+    /// The breakdown slices as `(field name, µs per txn)` pairs.
+    pub fn slices(&self) -> [(&'static str, f64); 5] {
+        [
+            ("execution_us_per_txn", self.execution_us_per_txn),
+            ("fence_wait_us_per_txn", self.fence_wait_us_per_txn),
+            ("replication_flush_us_per_txn", self.replication_flush_us_per_txn),
+            ("wal_fsync_us_per_txn", self.wal_fsync_us_per_txn),
+            ("lock_or_validate_us_per_txn", self.lock_or_validate_us_per_txn),
+        ]
     }
 }
 
@@ -76,13 +117,15 @@ impl BenchSuite {
     }
 
     fn cluster(&self, nodes: usize) -> ClusterConfig {
-        let mut config = ClusterConfig::with_nodes(nodes);
-        config.partitions = nodes * 2;
-        config.workers_per_node = 2;
-        config.iteration = Duration::from_millis(10);
-        config.network_latency = Duration::from_micros(50);
-        config.seed = self.seed;
-        config
+        ClusterConfig::builder()
+            .nodes(nodes)
+            .workers_per_node(2)
+            .partitions(nodes * 2)
+            .iteration(Duration::from_millis(10))
+            .network_latency(Duration::from_micros(50))
+            .seed(self.seed)
+            .build()
+            .expect("bench cluster configuration is valid")
     }
 
     fn ycsb(&self, partitions: usize, cross_pct: f64) -> Arc<YcsbWorkload> {
@@ -113,17 +156,17 @@ impl BenchSuite {
         }))
     }
 
-    fn record(&mut self, workload: &str, engine: EngineKind, pct: f64, report: &RunReport) {
+    fn record(&mut self, workload: &str, pct: f64, report: &RunReport) -> BenchPoint {
         println!(
             "  [{workload}] {:<10} x={pct:>5.1}%  {:>12.0} txns/sec  p50={:?} p99={:?}",
-            engine.label(),
+            report.engine,
             report.throughput,
             report.latency.p50(),
             report.latency.p99()
         );
         self.points.push(Point {
             figure: workload.to_string(),
-            series: engine.label().to_string(),
+            series: report.engine.clone(),
             x: pct,
             throughput: report.throughput,
             p50_us: Some(report.latency.p50().as_micros() as u64),
@@ -132,43 +175,56 @@ impl BenchSuite {
                 report.counters.replication_bytes as f64 / report.counters.committed.max(1) as f64,
             ),
         });
+        BenchPoint::from_report(workload, pct, report)
     }
 
-    fn run_engine(&self, engine: EngineKind, workload: Arc<dyn Workload>) -> RunReport {
-        let nodes = 4;
-        let config = self.cluster(nodes);
-        let window = self.window();
+    /// Builds one engine behind the unified [`Engine`] trait. Everything the
+    /// suite does afterwards — running, reporting, recording — goes through
+    /// the trait object; no per-engine glue survives past this constructor.
+    fn build_engine(&self, engine: EngineKind, workload: Arc<dyn Workload>) -> Box<dyn Engine> {
+        let config = self.cluster(4);
         match engine {
             EngineKind::Star => {
-                let mut star = StarEngine::new(config, workload).expect("STAR construction failed");
-                star.run_for(window)
+                Box::new(StarEngine::new(config, workload).expect("STAR construction failed"))
             }
             EngineKind::PbOcc => {
                 // PB. OCC runs one primary + one backup; it ignores the
                 // partition layout but keeps the partition count so the
                 // workload generates the same key space.
-                let mut pb_cluster = self.cluster(2);
-                pb_cluster.partitions = config.partitions;
-                let mut pb = PbOcc::new(BaselineConfig::new(pb_cluster), workload)
-                    .expect("PB. OCC construction failed");
-                pb.run_for(window)
+                let pb_cluster = self
+                    .cluster(2)
+                    .to_builder()
+                    .partitions(config.partitions)
+                    .build()
+                    .expect("PB. OCC cluster configuration is valid");
+                Box::new(
+                    PbOcc::new(BaselineConfig::new(pb_cluster), workload)
+                        .expect("PB. OCC construction failed"),
+                )
             }
-            EngineKind::DistOcc => {
-                let mut docc = DistOcc::new(BaselineConfig::new(config), workload)
-                    .expect("Dist. OCC construction failed");
-                docc.run_for(window)
-            }
-            EngineKind::DistS2pl => {
-                let mut s2pl = DistS2pl::new(BaselineConfig::new(config), workload)
-                    .expect("Dist. S2PL construction failed");
-                s2pl.run_for(window)
-            }
-            EngineKind::Calvin => {
-                let mut calvin =
-                    Calvin::new(BaselineConfig::new(config), CalvinConfig::default(), workload)
-                        .expect("Calvin construction failed");
-                calvin.run_for(window)
-            }
+            EngineKind::DistOcc => Box::new(
+                DistOcc::new(BaselineConfig::new(config), workload)
+                    .expect("Dist. OCC construction failed"),
+            ),
+            EngineKind::DistS2pl => Box::new(
+                DistS2pl::new(BaselineConfig::new(config), workload)
+                    .expect("Dist. S2PL construction failed"),
+            ),
+            EngineKind::Calvin => Box::new(
+                Calvin::new(BaselineConfig::new(config), CalvinConfig::default(), workload)
+                    .expect("Calvin construction failed"),
+            ),
+        }
+    }
+
+    fn run_engine(&self, engine: EngineKind, workload: Arc<dyn Workload>) -> RunReport {
+        self.build_engine(engine, workload).run_for(self.window())
+    }
+
+    fn workload_for(&self, workload_name: &str, partitions: usize, pct: f64) -> Arc<dyn Workload> {
+        match workload_name {
+            "tpcc" => self.tpcc(partitions, pct),
+            _ => self.ycsb(partitions, pct),
         }
     }
 
@@ -184,19 +240,58 @@ impl BenchSuite {
             EngineKind::Calvin,
         ];
         println!("{workload_name} sweep (seed {}):", self.seed);
-        let start = self.points.len();
+        let mut out = Vec::new();
         for pct in SWEEP_CROSS_PCTS {
             let partitions = self.cluster(4).partitions;
-            let workload: Arc<dyn Workload> = match workload_name {
-                "tpcc" => self.tpcc(partitions, pct),
-                _ => self.ycsb(partitions, pct),
-            };
+            let workload = self.workload_for(workload_name, partitions, pct);
             for engine in engines {
                 let report = self.run_engine(engine, Arc::clone(&workload));
-                self.record(workload_name, engine, pct, &report);
+                out.push(self.record(workload_name, pct, &report));
             }
         }
-        self.points[start..].iter().map(BenchPoint::from_point).collect()
+        out
+    }
+
+    /// The thread-scaling lane: STAR at a fixed 10% cross-partition mix,
+    /// swept across [`THREAD_SWEEP`] worker threads per node. Points are
+    /// labelled `"<workload>-t<n>"` so they never collide with the
+    /// cross-partition sweep in the regression gate.
+    pub fn thread_scaling(&mut self, workload_name: &str) -> Vec<BenchPoint> {
+        let pct = 10.0;
+        let window = self.window();
+        println!("{workload_name} thread-scaling sweep (seed {}):", self.seed);
+        let mut out = Vec::new();
+        for threads in THREAD_SWEEP {
+            let partitions = self.cluster(4).partitions;
+            let config = self
+                .cluster(4)
+                .to_builder()
+                .workers_per_node(threads)
+                .build()
+                .expect("thread-sweep cluster configuration is valid");
+            let workload = self.workload_for(workload_name, partitions, pct);
+            let mut engine: Box<dyn Engine> =
+                Box::new(StarEngine::new(config, workload).expect("STAR construction failed"));
+            let report = engine.run_for(window);
+            let label = format!("{workload_name}-t{threads}");
+            out.push(self.record(&label, pct, &report));
+        }
+        out
+    }
+
+    /// Runs every engine once at `pct`% cross-partition and returns the five
+    /// reports, for the latency-source profiling table (`just profile`).
+    pub fn profile(&mut self, workload_name: &str, pct: f64) -> Vec<RunReport> {
+        let engines = [
+            EngineKind::Star,
+            EngineKind::PbOcc,
+            EngineKind::DistOcc,
+            EngineKind::DistS2pl,
+            EngineKind::Calvin,
+        ];
+        let partitions = self.cluster(4).partitions;
+        let workload = self.workload_for(workload_name, partitions, pct);
+        engines.into_iter().map(|e| self.run_engine(e, Arc::clone(&workload))).collect()
     }
 
     /// Serializes a sweep's points as the canonical `BENCH_*.json` document:
@@ -408,7 +503,8 @@ pub fn contention_microbench(threads: usize, window: Duration, seed: u64) -> Con
 // Baseline regression checking
 // ---------------------------------------------------------------------------
 
-/// One throughput regression found by [`check_against_baseline`].
+/// One regression found by [`check_against_baseline`] — either a throughput
+/// drop or a per-slice breakdown growth.
 #[derive(Debug, Clone)]
 pub struct Regression {
     /// Engine label of the regressed point.
@@ -417,20 +513,25 @@ pub struct Regression {
     pub workload: String,
     /// Cross-partition percentage of the regressed point.
     pub cross_partition_pct: f64,
-    /// Throughput recorded in the committed baseline.
+    /// Which metric regressed: `"committed_txns_per_sec"` or one of the
+    /// `*_us_per_txn` breakdown slice fields.
+    pub metric: &'static str,
+    /// Metric value recorded in the committed baseline.
     pub baseline: f64,
-    /// Throughput measured by this run.
+    /// Metric value measured by this run.
     pub current: f64,
 }
 
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let unit = if self.metric == "committed_txns_per_sec" { "txns/sec" } else { "µs/txn" };
         write!(
             f,
-            "{} / {} @ {:.0}% cross-partition: {:.0} -> {:.0} txns/sec ({:+.1}%)",
+            "{} / {} @ {:.0}% cross-partition: {} {:.0} -> {:.0} {unit} ({:+.1}%)",
             self.workload,
             self.engine,
             self.cross_partition_pct,
+            self.metric,
             self.baseline,
             self.current,
             100.0 * (self.current - self.baseline) / self.baseline.max(1.0),
@@ -486,6 +587,12 @@ pub fn parse_baseline(json: &str) -> std::result::Result<Vec<BenchPoint>, String
                 })?;
             let p50 = field(fields, "p50_commit_latency_us").and_then(as_f64).unwrap_or(0.0);
             let p99 = field(fields, "p99_commit_latency_us").and_then(as_f64).unwrap_or(0.0);
+            // Breakdown fields are optional: baselines committed before the
+            // breakdown existed parse as version 0 and are simply not
+            // slice-gated.
+            let slice = |name: &str| field(fields, name).and_then(as_f64).unwrap_or(0.0);
+            let breakdown_version =
+                field(fields, "breakdown_version").and_then(as_f64).unwrap_or(0.0) as u32;
             Ok(BenchPoint {
                 engine,
                 workload,
@@ -493,15 +600,28 @@ pub fn parse_baseline(json: &str) -> std::result::Result<Vec<BenchPoint>, String
                 committed_txns_per_sec: throughput,
                 p50_commit_latency_us: p50 as u64,
                 p99_commit_latency_us: p99 as u64,
+                breakdown_version,
+                execution_us_per_txn: slice("execution_us_per_txn"),
+                fence_wait_us_per_txn: slice("fence_wait_us_per_txn"),
+                replication_flush_us_per_txn: slice("replication_flush_us_per_txn"),
+                wal_fsync_us_per_txn: slice("wal_fsync_us_per_txn"),
+                lock_or_validate_us_per_txn: slice("lock_or_validate_us_per_txn"),
             })
         })
         .collect()
 }
 
+/// Slices cheaper than this in the baseline are never gated: a few-µs slice
+/// doubling is measurement noise, not a regression.
+const SLICE_GATE_FLOOR_US_PER_TXN: f64 = 100.0;
+
 /// Compares freshly measured points against a committed baseline: any point
 /// whose throughput dropped by more than `max_drop` (a fraction, e.g. `0.25`)
-/// is reported. Points present on only one side are ignored — adding a new
-/// engine or sweep coordinate must not fail the gate retroactively.
+/// is reported, and — when both sides carry the same breakdown schema
+/// version — so is any per-txn breakdown slice that *grew* by more than the
+/// same fraction (above an absolute floor, so microscopic slices cannot trip
+/// the gate on noise). Points present on only one side are ignored — adding
+/// a new engine or sweep coordinate must not fail the gate retroactively.
 pub fn check_against_baseline(
     current: &[BenchPoint],
     baseline: &[BenchPoint],
@@ -514,14 +634,32 @@ pub fn check_against_baseline(
                 && c.workload == b.workload
                 && (c.cross_partition_pct - b.cross_partition_pct).abs() < f64::EPSILON
         });
-        if let Some(c) = matching {
-            if c.committed_txns_per_sec < b.committed_txns_per_sec * (1.0 - max_drop) {
+        let Some(c) = matching else { continue };
+        if c.committed_txns_per_sec < b.committed_txns_per_sec * (1.0 - max_drop) {
+            regressions.push(Regression {
+                engine: b.engine.clone(),
+                workload: b.workload.clone(),
+                cross_partition_pct: b.cross_partition_pct,
+                metric: "committed_txns_per_sec",
+                baseline: b.committed_txns_per_sec,
+                current: c.committed_txns_per_sec,
+            });
+        }
+        if b.breakdown_version != BREAKDOWN_VERSION || c.breakdown_version != BREAKDOWN_VERSION {
+            continue;
+        }
+        for ((name, base_us), (_, cur_us)) in b.slices().into_iter().zip(c.slices()) {
+            if base_us >= SLICE_GATE_FLOOR_US_PER_TXN
+                && cur_us > base_us * (1.0 + max_drop)
+                && cur_us - base_us > SLICE_GATE_FLOOR_US_PER_TXN
+            {
                 regressions.push(Regression {
                     engine: b.engine.clone(),
                     workload: b.workload.clone(),
                     cross_partition_pct: b.cross_partition_pct,
-                    baseline: b.committed_txns_per_sec,
-                    current: c.committed_txns_per_sec,
+                    metric: name,
+                    baseline: base_us,
+                    current: cur_us,
                 });
             }
         }
@@ -541,6 +679,12 @@ mod tests {
             committed_txns_per_sec: tput,
             p50_commit_latency_us: 10,
             p99_commit_latency_us: 99,
+            breakdown_version: BREAKDOWN_VERSION,
+            execution_us_per_txn: 500.0,
+            fence_wait_us_per_txn: 200.0,
+            replication_flush_us_per_txn: 150.0,
+            wal_fsync_us_per_txn: 0.0,
+            lock_or_validate_us_per_txn: 50.0,
         }
     }
 
@@ -555,6 +699,42 @@ mod tests {
         assert_eq!(parsed[0].committed_txns_per_sec, 125000.0);
         assert_eq!(parsed[1].workload, "tpcc");
         assert_eq!(parsed[1].p99_commit_latency_us, 99);
+        // Breakdown slices roundtrip with their schema version.
+        assert_eq!(parsed[0].breakdown_version, BREAKDOWN_VERSION);
+        assert_eq!(parsed[0].execution_us_per_txn, 500.0);
+        assert_eq!(parsed[0].fence_wait_us_per_txn, 200.0);
+    }
+
+    #[test]
+    fn pre_breakdown_baselines_parse_as_version_zero() {
+        // A baseline committed before the breakdown existed has none of the
+        // slice fields; it must parse cleanly and never be slice-gated.
+        let json = r#"[{"engine": "STAR", "workload": "ycsb",
+            "cross_partition_pct": 10.0, "committed_txns_per_sec": 1000.0}]"#;
+        let baseline = parse_baseline(json).unwrap();
+        assert_eq!(baseline[0].breakdown_version, 0);
+        // Current run has huge slices; no slice regression may fire because
+        // the baseline predates the schema.
+        let current = vec![point("STAR", "ycsb", 10.0, 1000.0)];
+        assert!(check_against_baseline(&current, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn slice_regressions_fire_past_threshold_and_floor() {
+        let baseline = vec![point("STAR", "ycsb", 10.0, 1000.0)];
+        // fence_wait grows 200 -> 500 µs/txn: a slice regression even though
+        // throughput held.
+        let mut bad = point("STAR", "ycsb", 10.0, 1000.0);
+        bad.fence_wait_us_per_txn = 500.0;
+        let regressions = check_against_baseline(&[bad], &baseline, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "fence_wait_us_per_txn");
+        assert!(regressions[0].to_string().contains("µs/txn"));
+        // lock_or_validate grows 50 -> 90 µs/txn: below the absolute floor,
+        // ignored as noise.
+        let mut noisy = point("STAR", "ycsb", 10.0, 1000.0);
+        noisy.lock_or_validate_us_per_txn = 90.0;
+        assert!(check_against_baseline(&[noisy], &baseline, 0.25).is_empty());
     }
 
     #[test]

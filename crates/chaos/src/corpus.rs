@@ -311,28 +311,29 @@ fn op_from_value(value: &Value) -> Result<FaultOp, String> {
 }
 
 fn config_from_value(value: &Value) -> Result<ClusterConfig, String> {
-    Ok(ClusterConfig {
-        num_nodes: get_u64(value, "num_nodes")? as usize,
-        full_replicas: get_u64(value, "full_replicas")? as usize,
-        workers_per_node: get_u64(value, "workers_per_node")? as usize,
-        partitions: get_u64(value, "partitions")? as usize,
-        iteration: Duration::from_micros(get_u64(value, "iteration_us")?),
-        replication_strategy: match get_str(value, "replication_strategy")? {
+    ClusterConfig::builder()
+        .nodes(get_u64(value, "num_nodes")? as usize)
+        .full_replicas(get_u64(value, "full_replicas")? as usize)
+        .workers_per_node(get_u64(value, "workers_per_node")? as usize)
+        .partitions(get_u64(value, "partitions")? as usize)
+        .iteration(Duration::from_micros(get_u64(value, "iteration_us")?))
+        .replication_strategy(match get_str(value, "replication_strategy")? {
             "Value" => ReplicationStrategy::Value,
             "Operation" => ReplicationStrategy::Operation,
             "Hybrid" => ReplicationStrategy::Hybrid,
             other => return Err(format!("unknown replication strategy \"{other}\"")),
-        },
-        replication_mode: match get_str(value, "replication_mode")? {
+        })
+        .replication_mode(match get_str(value, "replication_mode")? {
             "Async" => ReplicationMode::Async,
             "Sync" => ReplicationMode::Sync,
             other => return Err(format!("unknown replication mode \"{other}\"")),
-        },
-        replication_factor: get_u64(value, "replication_factor")? as usize,
-        network_latency: Duration::from_micros(get_u64(value, "network_latency_us")?),
-        disk_logging: get_bool(value, "disk_logging")?,
-        seed: get_u64(value, "seed")?,
-    })
+        })
+        .replication_factor(get_u64(value, "replication_factor")? as usize)
+        .network_latency(Duration::from_micros(get_u64(value, "network_latency_us")?))
+        .disk_logging(get_bool(value, "disk_logging")?)
+        .seed(get_u64(value, "seed")?)
+        .build()
+        .map_err(|e| format!("corpus cluster config is invalid: {e}"))
 }
 
 /// Parses one corpus entry. Stale or future format versions are rejected
@@ -424,15 +425,17 @@ pub fn committed_entries() -> Vec<(&'static str, &'static str, &'static str, Cha
     use crate::schedule::FaultSchedule;
     use star_common::ClusterConfig;
 
-    let canonical = |seed: u64| ClusterConfig {
-        num_nodes: 4,
-        full_replicas: 1,
-        workers_per_node: 1,
-        partitions: 4,
-        iteration: Duration::from_millis(5),
-        network_latency: Duration::from_micros(20),
-        seed,
-        ..ClusterConfig::default()
+    let canonical = |seed: u64| {
+        ClusterConfig::builder()
+            .nodes(4)
+            .full_replicas(1)
+            .workers_per_node(1)
+            .partitions(4)
+            .iteration(Duration::from_millis(5))
+            .network_latency(Duration::from_micros(20))
+            .seed(seed)
+            .build()
+            .expect("canonical corpus config is valid")
     };
 
     // PR 3's harness-caught recovery bug: a node that crashed
@@ -481,16 +484,16 @@ pub fn committed_entries() -> Vec<(&'static str, &'static str, &'static str, Cha
     // deterministically), a recovery of the old master is interrupted by a
     // crash of its copy source, and the cluster still converges once the
     // retries land.
-    let reelection_config = ClusterConfig {
-        num_nodes: 5,
-        full_replicas: 2,
-        workers_per_node: 1,
-        partitions: 4,
-        iteration: Duration::from_millis(5),
-        network_latency: Duration::from_micros(20),
-        seed: 7,
-        ..ClusterConfig::default()
-    };
+    let reelection_config = ClusterConfig::builder()
+        .nodes(5)
+        .full_replicas(2)
+        .workers_per_node(1)
+        .partitions(4)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .seed(7)
+        .build()
+        .expect("re-election corpus config is valid");
     let reelection = ChaosPlan {
         seed: 7,
         label: "corpus-reelection-with-faulted-recovery".into(),

@@ -385,16 +385,16 @@ mod tests {
     use std::time::Duration;
 
     fn base_plan(seed: u64) -> ChaosPlan {
-        let config = ClusterConfig {
-            num_nodes: 4,
-            full_replicas: 1,
-            workers_per_node: 1,
-            partitions: 4,
-            iteration: Duration::from_millis(5),
-            network_latency: Duration::from_micros(20),
-            seed,
-            ..ClusterConfig::default()
-        };
+        let config = ClusterConfig::builder()
+            .nodes(4)
+            .full_replicas(1)
+            .workers_per_node(1)
+            .partitions(4)
+            .iteration(Duration::from_millis(5))
+            .network_latency(Duration::from_micros(20))
+            .seed(seed)
+            .build()
+            .unwrap();
         ChaosPlan {
             seed,
             label: "test".into(),

@@ -17,22 +17,26 @@
 //! below proves it does.
 
 use crate::checker::{check_history, compare_with_database, CheckReport};
-use star_baselines::{BaselineConfig, Calvin, CalvinConfig, DistOcc, DistS2pl, PbOcc};
+use star_baselines::{BaselineConfig, Calvin, CalvinConfig, DistOcc, DistS2pl, PbOcc, ReplicaLink};
 use star_common::{ClusterConfig, Result};
 use star_core::history::HistoryRecorder;
 use star_core::testing::KvWorkload;
+use star_core::Engine;
 use star_net::LinkFaults;
 use star_storage::Database;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn baseline_config(seed: u64) -> BaselineConfig {
-    let mut cluster = ClusterConfig::with_nodes(4);
-    cluster.partitions = 4;
-    cluster.workers_per_node = 2;
-    cluster.iteration = Duration::from_millis(5);
-    cluster.network_latency = Duration::from_micros(10);
-    cluster.seed = seed;
+    let cluster = ClusterConfig::builder()
+        .nodes(4)
+        .partitions(4)
+        .workers_per_node(2)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(10))
+        .seed(seed)
+        .build()
+        .expect("chaos baseline config is valid");
     BaselineConfig::new(cluster)
 }
 
@@ -76,9 +80,62 @@ fn verify_backup(
     compare_with_database(backup, &report.final_state)
 }
 
+/// A baseline engine boxed behind the shared [`Engine`] trait, plus the two
+/// handles the checker needs that the trait deliberately does not expose:
+/// the backup replica (for the oracle comparison) and the replication link
+/// (for the dropped-entry accounting).
+struct PreparedBaseline {
+    engine: Box<dyn Engine>,
+    backup: Option<Arc<Database>>,
+    link: Arc<ReplicaLink>,
+}
+
+fn prepare_baselines(
+    seed: u64,
+    faults: LinkFaults,
+    faulted: bool,
+) -> Result<Vec<PreparedBaseline>> {
+    let mut pb = PbOcc::new(baseline_config(seed), workload())?;
+    let mut occ = DistOcc::new(baseline_config(seed), workload())?;
+    let mut s2pl = DistS2pl::new(baseline_config(seed), workload())?;
+    let mut calvin = Calvin::new(baseline_config(seed), CalvinConfig::default(), workload())?;
+    if faulted {
+        pb.set_replication_faults(faults);
+        occ.set_replication_faults(faults);
+        s2pl.set_replication_faults(faults);
+        calvin.set_replication_faults(faults);
+    }
+    Ok(vec![
+        PreparedBaseline {
+            backup: Some(Arc::clone(pb.backup())),
+            link: Arc::clone(pb.replica_link()),
+            engine: Box::new(pb),
+        },
+        PreparedBaseline {
+            backup: Some(Arc::clone(occ.backup())),
+            link: Arc::clone(occ.replica_link()),
+            engine: Box::new(occ),
+        },
+        PreparedBaseline {
+            backup: Some(Arc::clone(s2pl.backup())),
+            link: Arc::clone(s2pl.replica_link()),
+            engine: Box::new(s2pl),
+        },
+        PreparedBaseline {
+            backup: calvin.backup().cloned(),
+            link: Arc::clone(calvin.replica_link()),
+            engine: Box::new(calvin),
+        },
+    ])
+}
+
 /// Runs every baseline engine for `window` under a contended KV workload
 /// with `faults` injected into its replication path, recording and checking
 /// its committed history and comparing its backup against the oracle.
+///
+/// All four engines are driven through the shared [`Engine`] trait: only
+/// construction and fault arming are engine-specific, the record/run/check
+/// loop is written once.
 ///
 /// With `LinkFaults::none()` no fault plane is armed and the backup
 /// comparison is skipped (reported as `Ok(0)`): the engines behave exactly
@@ -91,67 +148,18 @@ pub fn check_baseline_engines_with_faults(
 ) -> Result<Vec<BaselineCheck>> {
     let faulted = !faults.is_none();
     let mut results = Vec::new();
-
-    let recorder = Arc::new(HistoryRecorder::new());
-    let mut pb = PbOcc::new(baseline_config(seed), workload())?;
-    pb.set_history_recorder(Arc::clone(&recorder));
-    if faulted {
-        pb.set_replication_faults(faults);
+    for PreparedBaseline { mut engine, backup, link } in prepare_baselines(seed, faults, faulted)? {
+        let recorder = Arc::new(HistoryRecorder::new());
+        engine.set_history_recorder(Arc::clone(&recorder));
+        engine.run_for(window);
+        let report = check_history(&recorder.committed());
+        results.push(BaselineCheck {
+            label: engine.name(),
+            backup_vs_oracle: if faulted { verify_backup(backup.as_ref(), &report) } else { Ok(0) },
+            dropped_entries: link.dropped(),
+            report,
+        });
     }
-    pb.run_for(window);
-    let report = check_history(&recorder.committed());
-    results.push(BaselineCheck {
-        label: "PB. OCC".to_string(),
-        backup_vs_oracle: if faulted { verify_backup(Some(pb.backup()), &report) } else { Ok(0) },
-        dropped_entries: pb.replica_link().dropped(),
-        report,
-    });
-
-    let recorder = Arc::new(HistoryRecorder::new());
-    let mut occ = DistOcc::new(baseline_config(seed), workload())?;
-    occ.set_history_recorder(Arc::clone(&recorder));
-    if faulted {
-        occ.set_replication_faults(faults);
-    }
-    occ.run_for(window);
-    let report = check_history(&recorder.committed());
-    results.push(BaselineCheck {
-        label: "Dist. OCC".to_string(),
-        backup_vs_oracle: if faulted { verify_backup(Some(occ.backup()), &report) } else { Ok(0) },
-        dropped_entries: occ.replica_link().dropped(),
-        report,
-    });
-
-    let recorder = Arc::new(HistoryRecorder::new());
-    let mut s2pl = DistS2pl::new(baseline_config(seed), workload())?;
-    s2pl.set_history_recorder(Arc::clone(&recorder));
-    if faulted {
-        s2pl.set_replication_faults(faults);
-    }
-    s2pl.run_for(window);
-    let report = check_history(&recorder.committed());
-    results.push(BaselineCheck {
-        label: "Dist. S2PL".to_string(),
-        backup_vs_oracle: if faulted { verify_backup(Some(s2pl.backup()), &report) } else { Ok(0) },
-        dropped_entries: s2pl.replica_link().dropped(),
-        report,
-    });
-
-    let recorder = Arc::new(HistoryRecorder::new());
-    let mut calvin = Calvin::new(baseline_config(seed), CalvinConfig::default(), workload())?;
-    calvin.set_history_recorder(Arc::clone(&recorder));
-    if faulted {
-        calvin.set_replication_faults(faults);
-    }
-    calvin.run_for(window);
-    let report = check_history(&recorder.committed());
-    results.push(BaselineCheck {
-        label: calvin.label(),
-        backup_vs_oracle: if faulted { verify_backup(calvin.backup(), &report) } else { Ok(0) },
-        dropped_entries: calvin.replica_link().dropped(),
-        report,
-    });
-
     Ok(results)
 }
 
@@ -219,7 +227,7 @@ mod tests {
         // serializable every time, and no lock may leak.
         for round in 0..3u64 {
             let mut config = baseline_config(100 + round);
-            config.cluster.workers_per_node = 3;
+            config.cluster = config.cluster.to_builder().workers_per_node(3).build().unwrap();
             let workload = Arc::new(KvWorkload {
                 partitions: 4,
                 rows_per_partition: 4,

@@ -83,16 +83,16 @@ impl ScenarioKind {
 /// redundant (their loss is Case 1). Shared by the guided family
 /// generators and the schedule synthesizer (`crate::synth`).
 pub fn canonical_config(seed: u64) -> ClusterConfig {
-    ClusterConfig {
-        num_nodes: 4,
-        full_replicas: 1,
-        workers_per_node: 1,
-        partitions: 4,
-        iteration: Duration::from_millis(5),
-        network_latency: Duration::from_micros(20),
-        seed,
-        ..ClusterConfig::default()
-    }
+    ClusterConfig::builder()
+        .nodes(4)
+        .full_replicas(1)
+        .workers_per_node(1)
+        .partitions(4)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .seed(seed)
+        .build()
+        .expect("canonical chaos config is valid")
 }
 
 /// Builds the deterministic plan for one seed: the scenario family is

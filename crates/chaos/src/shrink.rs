@@ -195,16 +195,16 @@ mod tests {
         // negative control, buried in benign noise ops. The shrinker must
         // strip the noise and keep a schedule of at most the cut/heal pair
         // plus whatever the category genuinely needs.
-        let config = ClusterConfig {
-            num_nodes: 4,
-            full_replicas: 1,
-            workers_per_node: 1,
-            partitions: 4,
-            iteration: Duration::from_millis(5),
-            network_latency: Duration::from_micros(20),
-            seed: 31,
-            ..ClusterConfig::default()
-        };
+        let config = ClusterConfig::builder()
+            .nodes(4)
+            .full_replicas(1)
+            .workers_per_node(1)
+            .partitions(4)
+            .iteration(Duration::from_millis(5))
+            .network_latency(Duration::from_micros(20))
+            .seed(31)
+            .build()
+            .unwrap();
         let mut schedule = FaultSchedule::new();
         use InjectionPoint::*;
         let noise = star_net::LinkFaults::delaying(0.4, Duration::from_micros(40));

@@ -263,16 +263,17 @@ pub fn synth_plan(seed: u64, options: &SynthOptions) -> ChaosPlan {
 /// interleaved recoveries — without losing the single-master phase for the
 /// whole run.
 fn reelection_config(seed: u64) -> ClusterConfig {
-    ClusterConfig {
-        num_nodes: 5,
-        full_replicas: 2,
-        workers_per_node: 1,
-        partitions: 4,
-        iteration: Duration::from_millis(5),
-        network_latency: Duration::from_micros(20),
-        seed,
-        ..ClusterConfig::default()
-    }
+    ClusterConfig::builder()
+        .nodes(5)
+        .full_replicas(2)
+        .workers_per_node(1)
+        .partitions(4)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .seed(seed)
+        .build()
+        // star-lint: allow(panic::expect) -- statically valid config in plan generation, not recovery-time code
+        .expect("re-election config is valid")
 }
 
 /// The source node [`star_core::StarEngine::recover_node_interrupted`] will

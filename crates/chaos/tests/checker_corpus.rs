@@ -237,16 +237,16 @@ fn cycle_diagnostics_name_the_involved_transactions() {
 // ---------------------------------------------------------------------------
 
 fn byzantine_base_plan(seed: u64) -> ChaosPlan {
-    let config = ClusterConfig {
-        num_nodes: 4,
-        full_replicas: 1,
-        workers_per_node: 1,
-        partitions: 4,
-        iteration: Duration::from_millis(5),
-        network_latency: Duration::from_micros(20),
-        seed,
-        ..ClusterConfig::default()
-    };
+    let config = ClusterConfig::builder()
+        .nodes(4)
+        .full_replicas(1)
+        .workers_per_node(1)
+        .partitions(4)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .seed(seed)
+        .build()
+        .expect("byzantine control config is valid");
     ChaosPlan {
         seed,
         label: "byzantine-control".into(),

@@ -38,16 +38,16 @@ const TIMINGS: [CrashTiming; 6] = [
 ];
 
 fn build_engine(full_replicas: usize) -> StarEngine {
-    let config = ClusterConfig {
-        num_nodes: 5,
-        full_replicas,
-        workers_per_node: 1,
-        partitions: 4,
-        iteration: Duration::from_millis(5),
-        network_latency: Duration::from_micros(20),
-        seed: 7,
-        ..ClusterConfig::default()
-    };
+    let config = ClusterConfig::builder()
+        .nodes(5)
+        .full_replicas(full_replicas)
+        .workers_per_node(1)
+        .partitions(4)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .seed(7)
+        .build()
+        .unwrap();
     let workload = Arc::new(KvWorkload {
         partitions: 4,
         rows_per_partition: 16,

@@ -120,7 +120,115 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Validating builder for [`ClusterConfig`].
+///
+/// This is the sanctioned way to construct a configuration outside
+/// `crates/core`: every setter mirrors one field, `nodes(n)` keeps the
+/// paper's `partitions = total workers` convention unless `partitions` is
+/// set explicitly, and [`build`](Self::build) rejects infeasible topologies
+/// with a typed [`Error::Config`](crate::Error::Config) instead of letting a
+/// field-poked struct reach an engine.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+    explicit_partitions: bool,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the number of nodes. Unless [`partitions`](Self::partitions) is
+    /// called, the partition count tracks `nodes * workers_per_node`.
+    pub fn nodes(mut self, num_nodes: usize) -> Self {
+        self.config.num_nodes = num_nodes;
+        self
+    }
+
+    /// Sets the number of full-replica nodes (`f` in the paper).
+    pub fn full_replicas(mut self, full_replicas: usize) -> Self {
+        self.config.full_replicas = full_replicas;
+        self
+    }
+
+    /// Sets the number of worker threads per node.
+    pub fn workers_per_node(mut self, workers: usize) -> Self {
+        self.config.workers_per_node = workers;
+        self
+    }
+
+    /// Sets an explicit partition count, overriding the
+    /// `partitions = total workers` convention.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.config.partitions = partitions;
+        self.explicit_partitions = true;
+        self
+    }
+
+    /// Sets the phase-switching iteration time `e`.
+    pub fn iteration(mut self, iteration: Duration) -> Self {
+        self.config.iteration = iteration;
+        self
+    }
+
+    /// Sets the replication strategy.
+    pub fn replication_strategy(mut self, strategy: ReplicationStrategy) -> Self {
+        self.config.replication_strategy = strategy;
+        self
+    }
+
+    /// Sets synchronous or asynchronous replication.
+    pub fn replication_mode(mut self, mode: ReplicationMode) -> Self {
+        self.config.replication_mode = mode;
+        self
+    }
+
+    /// Sets the replication factor.
+    pub fn replication_factor(mut self, factor: usize) -> Self {
+        self.config.replication_factor = factor;
+        self
+    }
+
+    /// Sets the simulated one-way network latency.
+    pub fn network_latency(mut self, latency: Duration) -> Self {
+        self.config.network_latency = latency;
+        self
+    }
+
+    /// Enables or disables write-ahead logging.
+    pub fn disk_logging(mut self, enabled: bool) -> Self {
+        self.config.disk_logging = enabled;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration, or a typed
+    /// [`Error::Config`](crate::Error::Config) describing why the topology is
+    /// infeasible.
+    pub fn build(mut self) -> Result<ClusterConfig, crate::Error> {
+        if !self.explicit_partitions {
+            self.config.partitions = self.config.num_nodes * self.config.workers_per_node;
+        }
+        self.config.validate().map_err(crate::Error::Config)?;
+        Ok(self.config)
+    }
+}
+
 impl ClusterConfig {
+    /// Starts a validating builder from the default configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
+    /// Starts a builder seeded from this configuration (for derived variants
+    /// — e.g. the same cluster with synchronous replication). The partition
+    /// count is kept as-is rather than re-derived.
+    pub fn to_builder(&self) -> ClusterConfigBuilder {
+        ClusterConfigBuilder { config: self.clone(), explicit_partitions: true }
+    }
+
     /// Base value every engine mixes (XOR) into its per-worker RNG seeds. The
     /// Fibonacci multiply spreads low-entropy seeds across the word; seed 0
     /// maps to 0 on purpose, which reproduces the pre-`seed` constants so the
@@ -295,6 +403,39 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ClusterConfig { iteration: Duration::ZERO, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_tracks_the_partitions_convention_and_validates() {
+        let c = ClusterConfig::builder()
+            .nodes(4)
+            .full_replicas(2)
+            .workers_per_node(3)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.partitions, 12, "partitions = total workers unless set explicitly");
+        assert_eq!(c.full_replicas, 2);
+        assert_eq!(c.seed, 7);
+
+        let c = ClusterConfig::builder().nodes(4).partitions(5).build().unwrap();
+        assert_eq!(c.partitions, 5);
+
+        // Infeasible topologies come back as typed Error::Config.
+        let err = ClusterConfig::builder().nodes(2).full_replicas(3).build().unwrap_err();
+        assert!(matches!(err, crate::Error::Config(_)), "{err:?}");
+        assert!(ClusterConfig::builder().nodes(0).build().is_err());
+        assert!(ClusterConfig::builder().iteration(Duration::ZERO).build().is_err());
+    }
+
+    #[test]
+    fn to_builder_round_trips_and_supports_variants() {
+        let base = ClusterConfig::builder().nodes(4).build().unwrap();
+        let same = base.to_builder().build().unwrap();
+        assert_eq!(base, same);
+        let sync = base.to_builder().replication_mode(ReplicationMode::Sync).build().unwrap();
+        assert_eq!(sync.replication_mode, ReplicationMode::Sync);
+        assert_eq!(sync.partitions, base.partitions, "partition count is preserved");
     }
 
     #[test]

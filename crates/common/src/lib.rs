@@ -26,9 +26,12 @@ pub mod row;
 pub mod stats;
 pub mod tid;
 
-pub use config::{ClusterConfig, EngineKind, ReplicationMode, ReplicationStrategy};
+pub use config::{
+    ClusterConfig, ClusterConfigBuilder, EngineKind, ReplicationMode, ReplicationStrategy,
+};
 pub use error::{AbortReason, Error, Result};
 pub use row::{FieldValue, Operation, Row};
+pub use stats::{CounterSnapshot, PhaseBreakdown, RunCounters, RunReport, BREAKDOWN_VERSION};
 pub use tid::{Epoch, Tid, TidGenerator};
 
 /// Identifier of a table in the database catalog.

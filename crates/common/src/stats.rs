@@ -11,16 +11,29 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Upper bound (exclusive) of the 1 µs-resolution region, in µs.
+const FINE_LIMIT_US: u64 = 8_192;
+/// Upper bound (exclusive) of the mid region, in µs.
+const MID_LIMIT_US: u64 = 100_000;
+/// Bucket width of the mid region, in µs.
+const MID_STEP_US: u64 = 16;
+/// Upper bound (exclusive) of the coarse region, in µs.
+const COARSE_LIMIT_US: u64 = 10_000_000;
+/// Bucket width of the coarse region, in µs.
+const COARSE_STEP_US: u64 = 1_000;
+
 /// A fixed-bucket latency histogram with microsecond resolution.
 ///
-/// Buckets are exponential: 1 µs granularity below 1 ms, then 100 µs up to
-/// 100 ms, then 1 ms up to 10 s. This is plenty for OLTP latencies and avoids
-/// any allocation on the record path.
+/// Buckets are exponential: exact 1 µs granularity below ~8 ms (the whole
+/// OLTP commit-latency range, so percentiles there are exact to the
+/// microsecond rather than snapping to bucket edges), then 16 µs up to
+/// 100 ms, then 1 ms up to 10 s. This avoids any allocation on the record
+/// path.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyHistogram {
-    /// 0..1000 µs in 1 µs buckets.
+    /// 0..8192 µs in 1 µs buckets.
     fine: Vec<u64>,
-    /// 1 ms..100 ms in 100 µs buckets.
+    /// 8192 µs..100 ms in 16 µs buckets.
     mid: Vec<u64>,
     /// 100 ms..10 s in 1 ms buckets.
     coarse: Vec<u64>,
@@ -41,9 +54,9 @@ impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            fine: vec![0; 1000],
-            mid: vec![0; 990],
-            coarse: vec![0; 9900],
+            fine: vec![0; FINE_LIMIT_US as usize],
+            mid: vec![0; ((MID_LIMIT_US - FINE_LIMIT_US) / MID_STEP_US) as usize],
+            coarse: vec![0; ((COARSE_LIMIT_US - MID_LIMIT_US) / COARSE_STEP_US) as usize],
             overflow: 0,
             count: 0,
             total_us: 0,
@@ -57,12 +70,12 @@ impl LatencyHistogram {
         self.count += 1;
         self.total_us += us;
         self.max_us = self.max_us.max(us);
-        if us < 1_000 {
+        if us < FINE_LIMIT_US {
             self.fine[us as usize] += 1;
-        } else if us < 100_000 {
-            self.mid[((us - 1_000) / 100) as usize] += 1;
-        } else if us < 10_000_000 {
-            self.coarse[((us - 100_000) / 1_000) as usize] += 1;
+        } else if us < MID_LIMIT_US {
+            self.mid[((us - FINE_LIMIT_US) / MID_STEP_US) as usize] += 1;
+        } else if us < COARSE_LIMIT_US {
+            self.coarse[((us - MID_LIMIT_US) / COARSE_STEP_US) as usize] += 1;
         } else {
             self.overflow += 1;
         }
@@ -102,13 +115,13 @@ impl LatencyHistogram {
         for (i, c) in self.mid.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Duration::from_micros(1_000 + i as u64 * 100);
+                return Duration::from_micros(FINE_LIMIT_US + i as u64 * MID_STEP_US);
             }
         }
         for (i, c) in self.coarse.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Duration::from_micros(100_000 + i as u64 * 1_000);
+                return Duration::from_micros(MID_LIMIT_US + i as u64 * COARSE_STEP_US);
             }
         }
         Duration::from_micros(self.max_us)
@@ -143,6 +156,53 @@ impl LatencyHistogram {
     }
 }
 
+/// Version of the per-phase breakdown schema emitted into BENCH_*.json.
+/// Bump when slices are added, removed or change meaning so the regression
+/// gate never compares incompatible breakdowns.
+pub const BREAKDOWN_VERSION: u32 = 1;
+
+/// Where an engine's wall-clock time went, attributed to the five
+/// latency-source slices of the VProfiler-style breakdown. All values are
+/// cumulative microseconds over the measured window, summed across workers
+/// (so a slice can exceed the window duration on a multi-threaded engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Time spent executing transaction logic (both phases / all workers).
+    pub execution_us: u64,
+    /// Time the epoch loop stalled inside a replication fence or group
+    /// commit (the synchronous part only — drained work is attributed to
+    /// the flush/fsync slices below).
+    pub fence_wait_us: u64,
+    /// Time applying/shipping replication batches to replicas.
+    pub replication_flush_us: u64,
+    /// Time flushing the write-ahead log.
+    pub wal_fsync_us: u64,
+    /// Time acquiring locks or validating read sets at commit.
+    pub lock_or_validate_us: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all slices, in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.execution_us
+            + self.fence_wait_us
+            + self.replication_flush_us
+            + self.wal_fsync_us
+            + self.lock_or_validate_us
+    }
+
+    /// The slices as `(name, µs)` pairs, in display order.
+    pub fn slices(&self) -> [(&'static str, u64); 5] {
+        [
+            ("execution", self.execution_us),
+            ("fence_wait", self.fence_wait_us),
+            ("replication_flush", self.replication_flush_us),
+            ("wal_fsync", self.wal_fsync_us),
+            ("lock_or_validate", self.lock_or_validate_us),
+        ]
+    }
+}
+
 /// Thread-safe counters shared by all workers of an engine run.
 #[derive(Debug, Default)]
 pub struct RunCounters {
@@ -162,6 +222,14 @@ pub struct RunCounters {
     pub fence_time_us: AtomicU64,
     /// Bytes written to the write-ahead log.
     pub wal_bytes: AtomicU64,
+    /// Breakdown slice: transaction execution time (µs).
+    pub execution_us: AtomicU64,
+    /// Breakdown slice: replication apply/ship time (µs).
+    pub replication_flush_us: AtomicU64,
+    /// Breakdown slice: WAL flush time (µs).
+    pub wal_fsync_us: AtomicU64,
+    /// Breakdown slice: lock acquisition / OCC validation time (µs).
+    pub lock_or_validate_us: AtomicU64,
 }
 
 impl RunCounters {
@@ -207,6 +275,26 @@ impl RunCounters {
         self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record transaction execution time (breakdown slice).
+    pub fn add_execution(&self, elapsed: Duration) {
+        self.execution_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Record replication apply/ship time (breakdown slice).
+    pub fn add_replication_flush(&self, elapsed: Duration) {
+        self.replication_flush_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Record WAL flush time (breakdown slice).
+    pub fn add_wal_fsync(&self, elapsed: Duration) {
+        self.wal_fsync_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Record lock acquisition / validation time (breakdown slice).
+    pub fn add_lock_or_validate(&self, elapsed: Duration) {
+        self.lock_or_validate_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters into a plain struct.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -218,6 +306,10 @@ impl RunCounters {
             fences: self.fences.load(Ordering::Relaxed),
             fence_time_us: self.fence_time_us.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            execution_us: self.execution_us.load(Ordering::Relaxed),
+            replication_flush_us: self.replication_flush_us.load(Ordering::Relaxed),
+            wal_fsync_us: self.wal_fsync_us.load(Ordering::Relaxed),
+            lock_or_validate_us: self.lock_or_validate_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -241,6 +333,18 @@ pub struct CounterSnapshot {
     pub fence_time_us: u64,
     /// WAL bytes written.
     pub wal_bytes: u64,
+    /// Breakdown slice: execution time (µs).
+    #[serde(default)]
+    pub execution_us: u64,
+    /// Breakdown slice: replication apply/ship time (µs).
+    #[serde(default)]
+    pub replication_flush_us: u64,
+    /// Breakdown slice: WAL flush time (µs).
+    #[serde(default)]
+    pub wal_fsync_us: u64,
+    /// Breakdown slice: lock/validation time (µs).
+    #[serde(default)]
+    pub lock_or_validate_us: u64,
 }
 
 impl CounterSnapshot {
@@ -251,6 +355,18 @@ impl CounterSnapshot {
             0.0
         } else {
             self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// The five-slice latency-source breakdown. Fence wait is the synchronous
+    /// fence stall already tracked by `fence_time_us`.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            execution_us: self.execution_us,
+            fence_wait_us: self.fence_time_us,
+            replication_flush_us: self.replication_flush_us,
+            wal_fsync_us: self.wal_fsync_us,
+            lock_or_validate_us: self.lock_or_validate_us,
         }
     }
 }
@@ -299,6 +415,11 @@ impl RunReport {
             latency,
             throughput,
         }
+    }
+
+    /// The latency-source breakdown measured over the window.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        self.counters.breakdown()
     }
 }
 
@@ -402,6 +523,40 @@ mod tests {
         assert_eq!(s.fence_time_us, 250);
         assert_eq!(s.wal_bytes, 42);
         assert!((s.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_slices_accumulate_and_total() {
+        let c = RunCounters::new();
+        c.add_execution(Duration::from_micros(100));
+        c.add_execution(Duration::from_micros(50));
+        c.add_fence(Duration::from_micros(30));
+        c.add_replication_flush(Duration::from_micros(20));
+        c.add_wal_fsync(Duration::from_micros(10));
+        c.add_lock_or_validate(Duration::from_micros(5));
+        let b = c.snapshot().breakdown();
+        assert_eq!(b.execution_us, 150);
+        assert_eq!(b.fence_wait_us, 30);
+        assert_eq!(b.replication_flush_us, 20);
+        assert_eq!(b.wal_fsync_us, 10);
+        assert_eq!(b.lock_or_validate_us, 5);
+        assert_eq!(b.total_us(), 215);
+        assert_eq!(b.slices()[0], ("execution", 150));
+    }
+
+    #[test]
+    fn percentiles_are_exact_to_the_microsecond_in_the_oltp_range() {
+        // The quantization bug this guards against: p50 values snapping to
+        // bucket starts (e.g. exactly 13000 µs with 100 µs-wide buckets).
+        let mut h = LatencyHistogram::new();
+        for us in [4_321u64, 4_322, 4_323] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.p50(), Duration::from_micros(4_322));
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7_777));
+        assert_eq!(h.p50(), Duration::from_micros(7_777));
+        assert_eq!(h.p99(), Duration::from_micros(7_777));
     }
 
     #[test]

@@ -38,7 +38,10 @@ use star_common::{
 };
 use star_net::{Endpoint, Message as _};
 use star_occ::{commit_partitioned, commit_single_master, TxnCtx, WriteEntry};
-use star_replication::{build_log_entries, ExecutionPhase, LogEntry, Payload, WalWriter};
+use star_replication::{
+    build_log_entries, CommitQueue, DrainMode, EpochDrain, ExecutionPhase, LogEntry, Payload,
+    WalWriter,
+};
 use star_storage::Database;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,6 +108,25 @@ pub struct InterruptedRecovery {
     /// leave in place because the copy is idempotent under the Thomas write
     /// rule and a later successful recovery re-copies everything).
     pub records_copied: usize,
+}
+
+/// What the phase after a replication fence will read, which decides how
+/// much of the fence's replication traffic must be applied synchronously.
+///
+/// Only the records the next phase touches need their replicas current at
+/// the fence; every other apply can drain asynchronously while the next
+/// phase executes (the pipelined group commit). A partitioned phase reads
+/// each partition only on its effective primary; a single-master phase reads
+/// everything, but only on the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NextPhase {
+    /// The next phase executes on the partitions' effective primaries.
+    Partitioned,
+    /// The next phase executes on the elected master.
+    SingleMaster,
+    /// The caller gave no hint (the public [`StarEngine::fence`]): every
+    /// apply is synchronous, which is always safe.
+    Unknown,
 }
 
 /// Per-partition worker state that survives across iterations.
@@ -250,7 +272,13 @@ fn run_one_master_txn(
     }
     let (read_set, write_set) = ctx.into_sets();
     let recorded_reads = history.map(|_| read_set.clone());
-    let output = match commit_single_master(db, read_set, write_set, epoch, &mut state.tid_gen) {
+    // The Silo OCC validate-and-install step is the only lock-or-validate
+    // work STAR does (the partitioned phase commits lock-free), so its time
+    // is metered for the latency-source breakdown.
+    let validate_start = Instant::now();
+    let commit = commit_single_master(db, read_set, write_set, epoch, &mut state.tid_gen);
+    counters.add_lock_or_validate(validate_start.elapsed());
+    let output = match commit {
         Ok(output) => output,
         Err(_) => {
             counters.add_abort();
@@ -329,6 +357,15 @@ pub struct StarEngine {
     /// Every election ever held, in order (index 0 is the initial
     /// appointment).
     elections: Vec<MasterElection>,
+    /// Completion-tracked queue for the asynchronous tail of each epoch's
+    /// group commit (deferred replica applies and WAL flushes).
+    commit_queue: CommitQueue,
+    /// Which phase the most recent fence's deferred applies are safe to
+    /// overlap with ([`NextPhase::Unknown`] = no deferred applies pending).
+    drain_safe_for: NextPhase,
+    /// The report of the most recent `run_for` window, replayed by
+    /// [`Engine::report`](crate::engine_api::Engine::report).
+    last_report: Option<RunReport>,
 }
 
 impl std::fmt::Debug for StarEngine {
@@ -343,6 +380,10 @@ impl std::fmt::Debug for StarEngine {
 
 impl Drop for StarEngine {
     fn drop(&mut self) {
+        // Complete any in-flight epoch drain first: pending jobs hold Arcs
+        // to the WAL writers and replica databases, and flushing into files
+        // that are about to be unlinked would be wasted work.
+        self.commit_queue.quiesce();
         // The per-engine WAL directory models this cluster's disks; once the
         // engine is gone nothing can read it back (wal_paths() borrows the
         // engine), so remove it rather than leaking one directory per engine
@@ -409,13 +450,19 @@ impl StarEngine {
         let failed = vec![false; config.num_nodes];
         let failed_at_committed_epoch = vec![None; config.num_nodes];
         let initial_master = (config.full_replicas > 0).then_some(0);
+        let counters = Arc::new(RunCounters::new());
+        // Deferred by default: drains are pumped at deterministic points (the
+        // next fence, or a quiesce), which keeps the stepped drivers and the
+        // chaos corpus bit-reproducible. The timed path switches to
+        // Background for the duration of `run_for`.
+        let commit_queue = CommitQueue::new(DrainMode::Deferred, Arc::clone(&counters));
         Ok(StarEngine {
             cluster,
             workload,
             plan,
             epoch: 1,
             last_committed_epoch: 0,
-            counters: Arc::new(RunCounters::new()),
+            counters,
             latency: LatencyHistogram::new(),
             partition_workers,
             master_workers,
@@ -428,7 +475,50 @@ impl StarEngine {
             elected_master: initial_master,
             master_generation: 0,
             elections: vec![MasterElection { epoch: 0, master: initial_master, generation: 0 }],
+            commit_queue,
+            drain_safe_for: NextPhase::Unknown,
+            last_report: None,
         })
+    }
+
+    /// Completes the pending epoch drain unless its deferred applies were
+    /// chosen for exactly the phase about to run. Called on entry to every
+    /// phase: a fence hint can mispredict (the failure picture or the plan
+    /// changed), and running a phase over replicas whose applies were
+    /// deferred *for a different reader* would serve stale records.
+    fn ensure_drain_safe(&mut self, phase: NextPhase) {
+        if self.drain_safe_for != phase && self.drain_safe_for != NextPhase::Unknown {
+            self.commit_queue.wait_for(self.last_committed_epoch);
+            self.drain_safe_for = NextPhase::Unknown;
+        }
+    }
+
+    /// How the asynchronous tail of each group commit is executed. See
+    /// [`DrainMode`]; the default is [`DrainMode::Deferred`].
+    pub fn drain_mode(&self) -> DrainMode {
+        self.commit_queue.mode()
+    }
+
+    /// Switches the commit-drain mode. Pending drains complete first, so the
+    /// switch can never reorder or lose an epoch's tail.
+    /// [`DrainMode::Immediate`] restores the unpipelined pre-fence behaviour
+    /// for A/B comparison.
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        self.commit_queue.set_mode(mode);
+    }
+
+    /// Completes every outstanding epoch drain. After this returns, all
+    /// replica copies reflect every committed epoch and all WAL buffers have
+    /// been flushed — required before inspecting replicas or WAL files
+    /// directly.
+    pub fn quiesce(&self) {
+        self.commit_queue.quiesce();
+    }
+
+    /// Epochs whose commit drains are still queued behind the fence
+    /// (tests and debugging).
+    pub fn pending_drains(&self) -> Vec<Epoch> {
+        self.commit_queue.pending_epochs()
     }
 
     /// The underlying cluster (replicas, network).
@@ -472,14 +562,19 @@ impl StarEngine {
     }
 
     /// The directory holding this engine's per-node WAL files, when disk
-    /// logging is enabled.
+    /// logging is enabled. Quiesces pending epoch drains first so the files
+    /// on disk reflect every committed epoch.
     pub fn wal_dir(&self) -> Option<&Path> {
+        self.commit_queue.quiesce();
         self.wal_dir.as_deref()
     }
 
     /// The per-node WAL file paths (index = node id), when disk logging is
-    /// enabled.
+    /// enabled. Quiesces pending epoch drains first (see
+    /// [`wal_dir`](Self::wal_dir)): callers read or truncate these files, and
+    /// a deferred WAL flush landing afterwards would corrupt the experiment.
     pub fn wal_paths(&self) -> Vec<PathBuf> {
+        self.commit_queue.quiesce();
         match &self.wal_dir {
             Some(dir) => (0..self.cluster.config().num_nodes)
                 .map(|n| dir.join(format!("node-{n}.wal")))
@@ -572,11 +667,18 @@ impl StarEngine {
     /// Runs the engine for (at least) `duration`, returning a report with the
     /// throughput, latency distribution and traffic counters of the window.
     pub fn run_for(&mut self, duration: Duration) -> RunReport {
+        // Timed runs drain each epoch's commit tail on a background worker so
+        // it overlaps the next phase's execution; the prior mode (Deferred by
+        // default, deterministic) is restored — and pending drains completed
+        // — before returning, so callers can inspect replicas right away.
+        let prior_mode = self.commit_queue.mode();
+        self.commit_queue.set_mode(DrainMode::Background);
         let start = Instant::now();
         let before = self.counters.snapshot();
         while start.elapsed() < duration {
             self.run_iteration();
         }
+        self.commit_queue.set_mode(prior_mode);
         let elapsed = start.elapsed();
         let after = self.counters.snapshot();
         let mut window = after;
@@ -588,21 +690,31 @@ impl StarEngine {
         window.fences -= before.fences;
         window.fence_time_us -= before.fence_time_us;
         window.wal_bytes -= before.wal_bytes;
-        RunReport::new(
+        window.execution_us -= before.execution_us;
+        window.replication_flush_us -= before.replication_flush_us;
+        window.wal_fsync_us -= before.wal_fsync_us;
+        window.lock_or_validate_us -= before.lock_or_validate_us;
+        let report = RunReport::new(
             "STAR",
             self.workload.name(),
             self.workload.mix().percentage(),
             elapsed,
             window,
             std::mem::take(&mut self.latency),
-        )
+        );
+        self.last_report = Some(report.clone());
+        report
     }
 
     /// Executes exactly one iteration (partitioned phase, fence,
     /// single-master phase, fence). Exposed for tests and for the
     /// phase-overhead benchmark.
     pub fn run_iteration(&mut self) {
-        let iteration = self.cluster.config().iteration;
+        // Adapt the iteration length to the observed commit mix: at low
+        // cross-partition ratios the fences are nearly free (almost all
+        // replication drains behind them), so shorter iterations cut the
+        // group-commit latency without costing throughput.
+        let iteration = self.plan.adaptive_iteration(self.cluster.config().iteration);
         let (tau_p, tau_s) = self.plan.split(iteration);
 
         let available = self.failure_case().map(|c| c.available()).unwrap_or(false);
@@ -611,8 +723,19 @@ impl StarEngine {
         } else {
             None
         };
-        let fence_end = self.replication_fence();
-        if let Some(result) = partitioned {
+        // The fence hint anticipates which phase runs next so the fence can
+        // defer every replica apply that phase will not read. A mispredicted
+        // hint (the failure picture changed at the fence) is caught by the
+        // phases themselves: they complete a drain deferred for a different
+        // phase before touching any replica (`ensure_drain_safe`).
+        let next = if !tau_s.is_zero() && self.current_master().is_some() {
+            NextPhase::SingleMaster
+        } else {
+            NextPhase::Partitioned
+        };
+        let fence_end = self.replication_fence(next);
+        if let Some(result) = &partitioned {
+            self.counters.add_execution(result.elapsed);
             self.plan.observe_partitioned(result.committed, result.elapsed);
             self.close_latency_samples(&result.samples, fence_end);
         }
@@ -622,11 +745,23 @@ impl StarEngine {
         } else {
             None
         };
-        let fence_end = self.replication_fence();
-        if let Some(result) = single_master {
+        let next = if tau_s >= iteration && self.current_master().is_some() {
+            // A pure cross-partition plan starts the next iteration with the
+            // single-master phase again.
+            NextPhase::SingleMaster
+        } else {
+            NextPhase::Partitioned
+        };
+        let fence_end = self.replication_fence(next);
+        if let Some(result) = &single_master {
+            self.counters.add_execution(result.elapsed);
             self.plan.observe_single_master(result.committed, result.elapsed);
             self.close_latency_samples(&result.samples, fence_end);
         }
+        self.plan.observe_mix(
+            partitioned.as_ref().map_or(0, |r| r.committed),
+            single_master.as_ref().map_or(0, |r| r.committed),
+        );
     }
 
     fn close_latency_samples(&mut self, samples: &[Instant], fence_end: Instant) {
@@ -637,6 +772,7 @@ impl StarEngine {
 
     /// Runs the partitioned phase for `tau_p`.
     fn run_partitioned_phase(&mut self, tau_p: Duration) -> PhaseResult {
+        self.ensure_drain_safe(NextPhase::Partitioned);
         let config = self.cluster.config().clone();
         let deadline = Instant::now() + tau_p;
         let start = Instant::now();
@@ -725,6 +861,7 @@ impl StarEngine {
 
     /// Runs the single-master phase for `tau_s`.
     fn run_single_master_phase(&mut self, tau_s: Duration) -> PhaseResult {
+        self.ensure_drain_safe(NextPhase::SingleMaster);
         let config = self.cluster.config().clone();
         let Some(master) = self.current_master() else {
             return PhaseResult { committed: 0, elapsed: Duration::ZERO, samples: Vec::new() };
@@ -810,6 +947,7 @@ impl StarEngine {
         if txns_per_partition == 0 || !available {
             return 0;
         }
+        self.ensure_drain_safe(NextPhase::Partitioned);
         let config = self.cluster.config().clone();
         let epoch = self.epoch;
         let strategy = config.replication_strategy;
@@ -877,6 +1015,7 @@ impl StarEngine {
         if txns_per_worker == 0 {
             return 0;
         }
+        self.ensure_drain_safe(NextPhase::SingleMaster);
         let epoch = self.epoch;
         let healthy: Vec<NodeId> =
             (0..config.num_nodes).filter(|&n| n != master && !self.failed[n]).collect();
@@ -916,19 +1055,42 @@ impl StarEngine {
     /// `τp` / `τs` wall-clock split of [`run_iteration`](Self::run_iteration).
     pub fn run_iteration_stepped(&mut self, partitioned_txns: u64, single_master_txns: u64) {
         self.run_partitioned_phase_stepped(partitioned_txns);
-        self.fence();
+        // Same fence hints as `run_iteration`, so the stepped driver
+        // exercises the pipelined (deferred-apply) fence path — in
+        // `DrainMode::Deferred` the drains are pumped at the next fence,
+        // keeping the whole iteration deterministic.
+        let next = if single_master_txns > 0 && self.current_master().is_some() {
+            NextPhase::SingleMaster
+        } else {
+            NextPhase::Partitioned
+        };
+        let _ = self.replication_fence(next);
         self.run_single_master_phase_stepped(single_master_txns);
-        self.fence();
+        let _ = self.replication_fence(NextPhase::Partitioned);
     }
 
-    /// Executes a replication fence: detect failures, apply all outstanding
-    /// replication messages on every healthy replica, advance the epoch.
-    /// Returns the instant the fence completed (the group-commit point of the
-    /// epoch that just closed).
-    fn replication_fence(&mut self) -> Instant {
+    /// Executes a replication fence: complete the previous epoch's pending
+    /// drain, detect failures, apply the outstanding replication the *next*
+    /// phase will read, package the rest (plus the WAL flush) into an
+    /// [`EpochDrain`] that runs behind the fence, advance the epoch. Returns
+    /// the instant the fence completed (the group-commit point of the epoch
+    /// that just closed).
+    ///
+    /// The commit *decision* is entirely synchronous — failure detection,
+    /// the epoch revert, the election, history finalization and the latency
+    /// release all happen here, exactly as without pipelining. Only the
+    /// mechanical tail is deferred, and only the slice of it the next phase
+    /// provably does not read (`next` picks that slice).
+    fn replication_fence(&mut self, next: NextPhase) -> Instant {
         // star-lint: allow(determinism::instant-now) -- fence-duration telemetry only; no control flow or recorded history depends on it
         let start = Instant::now();
         let config = self.cluster.config().clone();
+
+        // Pipelining step 1: the previous epoch's drain must fully land
+        // before this fence reasons about replica state (reverts, applies,
+        // recoveries all assume replicas reflect every committed epoch).
+        self.commit_queue.wait_for(self.last_committed_epoch);
+        self.drain_safe_for = NextPhase::Unknown;
 
         // Failure detection: the coordinator notices nodes that stopped
         // responding. Newly failed nodes trigger an epoch revert on every
@@ -961,15 +1123,28 @@ impl StarEngine {
             node.endpoint.flush_stash();
         }
 
-        // Apply outstanding replication streams on every healthy node,
+        // Drain outstanding replication streams on every healthy node,
         // ignoring messages that originated at failed nodes. When a failure
         // was just detected, the whole in-flight epoch is being discarded
         // (Figure 6), so its replication messages must be dropped as well —
         // applying them would resurrect writes the primaries just reverted.
+        //
+        // Each surviving entry is applied *now* only if the next phase reads
+        // the target copy: on the elected master before a single-master
+        // phase, on the partition's effective primary before a partitioned
+        // phase. Everything else is deferred into the epoch's drain job and
+        // applied while the next phase runs. (After a partitioned epoch at
+        // 0% cross-partition traffic no entry targets its own primary, so
+        // the fence applies nothing synchronously at all.)
+        let master = self.current_master();
+        // star-lint: allow(determinism::instant-now) -- apply-time telemetry for the replication-flush latency slice only
+        let apply_start = Instant::now();
+        let mut deferred: Vec<(Arc<Database>, Vec<LogEntry>)> = Vec::new();
         for (n, node) in self.cluster.nodes().iter().enumerate() {
             if self.failed[n] {
                 continue;
             }
+            let mut deferred_entries: Vec<LogEntry> = Vec::new();
             for envelope in node.endpoint.drain() {
                 if self.failed[envelope.from] {
                     continue;
@@ -977,24 +1152,43 @@ impl StarEngine {
                 if reverting && envelope.payload.epoch > self.last_committed_epoch {
                     continue;
                 }
-                for entry in &envelope.payload.entries {
-                    if node.db.holds(entry.partition) {
+                for entry in envelope.payload.entries {
+                    if !node.db.holds(entry.partition) {
+                        continue;
+                    }
+                    let read_by_next_phase = match next {
+                        NextPhase::Unknown => true,
+                        NextPhase::SingleMaster => master == Some(n),
+                        NextPhase::Partitioned => {
+                            self.effective_primary(entry.partition) == Some(n)
+                        }
+                    };
+                    if read_by_next_phase {
                         let _ = entry.apply(&node.db);
+                    } else {
+                        deferred_entries.push(entry);
                     }
                 }
             }
-        }
-
-        // Epoch commit: drop stashed versions, flush WALs, advance the epoch.
-        for (n, node) in self.cluster.nodes().iter().enumerate() {
-            if !self.failed[n] {
-                node.db.commit_epoch();
+            if !deferred_entries.is_empty() {
+                deferred.push((Arc::clone(&node.db), deferred_entries));
             }
         }
+        self.counters.add_replication_flush(apply_start.elapsed());
+
+        // Epoch commit: no per-record work at all. Advancing
+        // `last_committed_epoch` below is what retires the epoch's version
+        // stashes — `revert_to_epoch`'s gate skips any record whose current
+        // epoch has committed, and the first write of a later epoch replaces
+        // the stash with its own pre-image. (An eager fence-time GC here
+        // used to walk every record of every replica, which dominated the
+        // fence at short iterations.) Only the WAL flush is deferred into
+        // the drain.
+        let mut wal_flushes = Vec::new();
         if let Some(wal) = &self.wal {
             for (n, writer) in wal.iter().enumerate() {
                 if !self.failed[n] {
-                    let _ = writer.lock().flush();
+                    wal_flushes.push(Arc::clone(writer));
                 }
             }
         }
@@ -1007,6 +1201,11 @@ impl StarEngine {
         if let Some(history) = &self.history {
             history.finalize_epoch(self.epoch, !reverting);
         }
+        let drain = EpochDrain { epoch: self.epoch, applies: deferred, wal_flushes };
+        if !drain.is_empty() {
+            self.commit_queue.submit(drain);
+        }
+        self.drain_safe_for = next;
         self.last_committed_epoch = self.epoch;
         self.epoch += 1;
         // star-lint: allow(determinism::instant-now) -- group-commit timestamp feeds latency telemetry, not simulation state
@@ -1018,9 +1217,11 @@ impl StarEngine {
     /// Runs one replication fence: detects failures, applies outstanding
     /// replication on every healthy replica and advances the epoch. This is
     /// the fence `run_iteration` executes twice per iteration, exposed so the
-    /// chaos driver can compose phases and fences explicitly.
+    /// chaos driver can compose phases and fences explicitly. Without a
+    /// next-phase hint every replica apply is synchronous (always safe); the
+    /// WAL flush still drains behind the fence.
     pub fn fence(&mut self) {
-        let _ = self.replication_fence();
+        let _ = self.replication_fence(NextPhase::Unknown);
     }
 
     /// Whether a memory-to-memory recovery of `node` is currently possible:
@@ -1056,6 +1257,11 @@ impl StarEngine {
     /// untouched, and a later recovery attempt — e.g. after another replica
     /// rejoined — can still succeed.
     pub fn recover_node(&mut self, node: NodeId) -> Result<usize> {
+        // The copy below reads healthy replicas directly; a still-pending
+        // epoch drain would make it miss the deferred applies (the source
+        // would receive them after the copy, leaving the recovered node
+        // permanently behind).
+        self.commit_queue.quiesce();
         let Some(target) = self.cluster.node(node) else {
             return Err(Error::Config(format!("no such node {node}")));
         };
@@ -1140,6 +1346,9 @@ impl StarEngine {
         node: NodeId,
         fault: RecoveryFault,
     ) -> Result<InterruptedRecovery> {
+        // Same as `recover_node`: the partial copy reads replicas directly,
+        // so pending epoch drains must land first.
+        self.commit_queue.quiesce();
         let Some(target) = self.cluster.node(node) else {
             return Err(Error::Config(format!("no such node {node}")));
         };
@@ -1205,6 +1414,9 @@ impl StarEngine {
     /// assert consistency after a fence.
     pub fn verify_replica_consistency(&self) -> Result<()> {
         use std::collections::BTreeMap;
+        // Replicas with a pending epoch drain legitimately lag; complete it
+        // before comparing copies.
+        self.commit_queue.quiesce();
         let config = self.cluster.config();
         type Snapshot = BTreeMap<(u32, usize, u64), (star_common::Tid, star_common::Row)>;
         let snapshots: Vec<Option<Snapshot>> = self
@@ -1254,6 +1466,42 @@ impl StarEngine {
             }
         }
         Ok(())
+    }
+}
+
+impl crate::engine_api::Engine for StarEngine {
+    fn name(&self) -> String {
+        "STAR".to_string()
+    }
+
+    fn run_for(&mut self, duration: Duration) -> RunReport {
+        StarEngine::run_for(self, duration)
+    }
+
+    fn counters(&self) -> &RunCounters {
+        StarEngine::counters(self)
+    }
+
+    fn report(&self) -> RunReport {
+        match &self.last_report {
+            Some(report) => report.clone(),
+            None => RunReport::new(
+                "STAR",
+                self.workload.name(),
+                self.workload.mix().percentage(),
+                Duration::ZERO,
+                self.counters.snapshot(),
+                LatencyHistogram::new(),
+            ),
+        }
+    }
+
+    fn set_history_recorder(&mut self, recorder: Arc<HistoryRecorder>) {
+        StarEngine::set_history_recorder(self, recorder)
+    }
+
+    fn wal_paths(&self) -> Vec<PathBuf> {
+        StarEngine::wal_paths(self)
     }
 }
 
@@ -1656,6 +1904,92 @@ mod tests {
         let mut engine = StarEngine::new(config, workload(0.5)).unwrap();
         let report = engine.run_for(Duration::from_millis(20));
         assert!(report.counters.committed > 0);
+        engine.verify_replica_consistency().unwrap();
+    }
+
+    #[test]
+    fn crash_during_async_drain_reverts_only_the_inflight_epoch() {
+        // Pipelined group commit keeps two epochs in flight: epoch N's
+        // deferred replica applies drain while epoch N+1 executes. A crash
+        // landing in that window must revert exactly the in-flight epoch —
+        // epoch N group-committed at its fence (its transactions were
+        // released to clients), so the fence first completes N's drain and
+        // only then discards N+1.
+        use crate::history::HistoryRecorder;
+        let wl = Arc::new(KvWorkload {
+            partitions: 4,
+            rows_per_partition: 64,
+            cross_partition_fraction: 0.3,
+        });
+        let mut engine = StarEngine::new(small_config(), wl).unwrap();
+        let history = Arc::new(HistoryRecorder::new());
+        engine.set_history_recorder(Arc::clone(&history));
+
+        // Epochs 1 and 2 commit; the fence closing epoch 2 defers the
+        // replica applies the upcoming partitioned phase will not read.
+        engine.run_iteration_stepped(8, 4);
+        let committed_before = history.committed_len();
+        assert!(committed_before > 0);
+        assert_eq!(
+            engine.pending_drains(),
+            vec![2],
+            "epoch 2's drain must still be queued behind the fence"
+        );
+
+        // Epoch 3 executes while epoch 2 drains; the crash lands in exactly
+        // that window.
+        engine.run_partitioned_phase_stepped(8);
+        engine.inject_failure(2);
+        assert_eq!(engine.pending_drains(), vec![2], "the crash must land mid-drain");
+        engine.fence();
+
+        // Epoch 2 survived: its drain completed before the revert, and its
+        // records stay in the committed history. Epoch 3 vanished entirely.
+        assert_eq!(engine.reverted_epochs(), &[3]);
+        assert_eq!(history.reverted_epochs(), vec![3]);
+        assert_eq!(history.committed_len(), committed_before);
+        assert!(engine.pending_drains().is_empty());
+        engine.verify_replica_consistency().unwrap();
+
+        // The surviving replicas carry exactly the committed transactions:
+        // every KvRmw increments two counters by one, so the master's
+        // counter total must equal twice the committed-history length.
+        let master_db = &engine.cluster().master().unwrap().db;
+        let mut total = 0u64;
+        for p in 0..4usize {
+            for offset in 0..64 {
+                let rec = master_db.get(0, p, kv_key(p, offset)).unwrap();
+                total += rec.read().row.field(0).unwrap().as_u64().unwrap();
+            }
+        }
+        assert_eq!(total, 2 * committed_before as u64, "epoch 3 writes must be gone");
+    }
+
+    #[test]
+    fn pipelined_stepped_runs_are_deterministic() {
+        // The two-deep epoch window must not cost reproducibility: two
+        // stepped runs over the same seed, with drains pumped at fences,
+        // must produce bit-identical committed histories.
+        use crate::history::HistoryRecorder;
+        let run = || {
+            let mut engine = StarEngine::new(small_config(), workload(0.3)).unwrap();
+            let history = Arc::new(HistoryRecorder::new());
+            engine.set_history_recorder(Arc::clone(&history));
+            for _ in 0..5 {
+                engine.run_iteration_stepped(8, 4);
+            }
+            engine.quiesce();
+            history.fingerprint()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn immediate_drain_mode_restores_unpipelined_fences() {
+        let mut engine = StarEngine::new(small_config(), workload(0.3)).unwrap();
+        engine.set_drain_mode(DrainMode::Immediate);
+        engine.run_iteration_stepped(8, 4);
+        assert!(engine.pending_drains().is_empty(), "immediate mode drains at the fence");
         engine.verify_replica_consistency().unwrap();
     }
 

@@ -150,15 +150,26 @@ impl HistoryRecorder {
     /// pending records join the final history; otherwise the epoch was
     /// reverted and its records are discarded (the group commit never
     /// released them to clients).
+    ///
+    /// Only records *tagged with* `epoch` are finalized — with pipelined
+    /// group commit two epochs can be in flight at once (epoch `N` draining
+    /// behind the fence while `N+1` executes), and finalizing one must never
+    /// drag the other's records along.
     pub fn finalize_epoch(&self, epoch: Epoch, committed: bool) {
         let mut inner = self.inner.lock();
+        let (this_epoch, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut inner.pending).into_iter().partition(|t| t.epoch == epoch);
+        inner.pending = rest;
         if committed {
-            let pending = std::mem::take(&mut inner.pending);
-            inner.committed.extend(pending);
+            inner.committed.extend(this_epoch);
         } else {
-            inner.pending.clear();
             inner.reverted.push(epoch);
         }
+    }
+
+    /// Number of records still buffered in open epochs (tests).
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().pending.len()
     }
 
     /// A copy of the committed history, in commit order.
@@ -308,6 +319,31 @@ mod tests {
         assert_eq!(rec.committed_len(), 1, "the reverted epoch must vanish");
         assert_eq!(rec.reverted_epochs(), vec![2]);
         assert_eq!(rec.committed()[0].epoch, 1);
+    }
+
+    #[test]
+    fn finalize_only_touches_records_of_its_own_epoch() {
+        // Two epochs in flight at once (pipelined group commit): closing one
+        // must leave the other's records pending, in both directions.
+        let rec = HistoryRecorder::new();
+        rec.record(txn(1, 0, 10));
+        rec.record(txn(2, 1, 20));
+        rec.finalize_epoch(1, true);
+        assert_eq!(rec.committed_len(), 1);
+        assert_eq!(rec.pending_len(), 1, "epoch 2 must stay pending");
+        rec.finalize_epoch(2, false);
+        assert_eq!(rec.committed_len(), 1);
+        assert_eq!(rec.pending_len(), 0);
+        assert_eq!(rec.reverted_epochs(), vec![2]);
+
+        let rec = HistoryRecorder::new();
+        rec.record(txn(3, 0, 30));
+        rec.record(txn(4, 1, 40));
+        rec.finalize_epoch(3, false);
+        assert_eq!(rec.pending_len(), 1, "epoch 4 must survive epoch 3's revert");
+        rec.finalize_epoch(4, true);
+        assert_eq!(rec.committed_len(), 1);
+        assert_eq!(rec.committed()[0].epoch, 4);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod engine_api;
 pub mod failure;
 pub mod history;
 pub mod messages;
@@ -43,6 +44,7 @@ pub mod workload;
 
 pub use cluster::StarCluster;
 pub use engine::{InterruptedRecovery, MasterElection, RecoveryFault, StarEngine, SyncReplication};
+pub use engine_api::Engine;
 pub use failure::{FailureCase, FailureVectorMismatch};
 pub use history::{CommittedTxn, HistoryRecorder, RecordedRead, RecordedWrite};
 pub use model::AnalyticalModel;

@@ -17,6 +17,22 @@
 
 use std::time::Duration;
 
+/// Smallest fraction of the configured iteration the adaptive controller
+/// will shrink to. Group-commit latency is bounded by the iteration time, so
+/// at low cross-partition ratios — where fences are cheap because almost all
+/// replication drains asynchronously — shortening iterations buys latency
+/// almost for free.
+const ADAPTIVE_MIN_SCALE: f64 = 0.25;
+
+/// Observed cross-partition share at (or above) which the full configured
+/// iteration is used. Below it the iteration shrinks linearly towards
+/// [`ADAPTIVE_MIN_SCALE`].
+const ADAPTIVE_FULL_AT: f64 = 0.20;
+
+/// Hard floor for the adaptive iteration (fence overhead must stay
+/// amortized), unless the configured iteration is itself shorter.
+const ADAPTIVE_FLOOR: Duration = Duration::from_millis(2);
+
 /// Planner that tracks phase throughputs and computes the `τp` / `τs` split.
 #[derive(Debug, Clone)]
 pub struct PhasePlan {
@@ -26,6 +42,9 @@ pub struct PhasePlan {
     ts: f64,
     /// Cross-partition fraction of the workload, `P ∈ [0, 1]`.
     cross_partition_fraction: f64,
+    /// Smoothed observed share of commits served by the single-master phase
+    /// (`None` until the first iteration with any commits completes).
+    observed_cross: Option<f64>,
     /// Exponential smoothing factor for throughput updates.
     alpha: f64,
 }
@@ -39,6 +58,7 @@ impl PhasePlan {
             tp: 0.0,
             ts: 0.0,
             cross_partition_fraction: cross_partition_fraction.clamp(0.0, 1.0),
+            observed_cross: None,
             alpha: 0.5,
         }
     }
@@ -77,6 +97,46 @@ impl PhasePlan {
     /// Current smoothed throughput estimates `(tp, ts)`.
     pub fn estimates(&self) -> (f64, f64) {
         (self.tp, self.ts)
+    }
+
+    /// Records the commit mix of one full iteration: how many transactions
+    /// each phase committed. Feeds the adaptive iteration-length controller
+    /// with the *observed* cross-partition share, which can differ from the
+    /// configured fraction when the workload shifts at runtime.
+    pub fn observe_mix(&mut self, partitioned_commits: u64, single_master_commits: u64) {
+        let total = partitioned_commits + single_master_commits;
+        if total == 0 {
+            return;
+        }
+        let share = single_master_commits as f64 / total as f64;
+        self.observed_cross = Some(match self.observed_cross {
+            None => share,
+            Some(prev) => self.alpha * share + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// The smoothed observed cross-partition share, falling back to the
+    /// configured fraction before any iteration has completed.
+    pub fn observed_cross_fraction(&self) -> f64 {
+        self.observed_cross.unwrap_or(self.cross_partition_fraction)
+    }
+
+    /// Effective iteration length for the next epoch given the `configured`
+    /// one. Group commit releases clients at the fence, so p50 latency is
+    /// roughly half the iteration; when the observed cross-partition share is
+    /// low the fence is almost free (nearly all replication drains
+    /// asynchronously behind it) and shrinking the iteration converts that
+    /// slack directly into lower latency. Above [`ADAPTIVE_FULL_AT`] the full
+    /// configured length is kept so the single-master phase stays amortized.
+    pub fn adaptive_iteration(&self, configured: Duration) -> Duration {
+        let observed = self.observed_cross_fraction().clamp(0.0, 1.0);
+        let scale = if observed >= ADAPTIVE_FULL_AT {
+            1.0
+        } else {
+            ADAPTIVE_MIN_SCALE + (1.0 - ADAPTIVE_MIN_SCALE) * (observed / ADAPTIVE_FULL_AT)
+        };
+        let shrunk = configured.mul_f64(scale);
+        shrunk.max(ADAPTIVE_FLOOR.min(configured))
     }
 
     /// Splits an iteration time `e` into `(τp, τs)` per Equations (1)–(2).
@@ -175,6 +235,32 @@ mod tests {
         plan.set_cross_partition_fraction(1.0);
         assert_eq!(plan.split(E).0, Duration::ZERO);
         assert_eq!(plan.cross_partition_fraction(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_iteration_shrinks_at_low_observed_cross_and_holds_at_high() {
+        let base = Duration::from_millis(10);
+        let mut plan = PhasePlan::new(0.0);
+        // Before any observation the configured fraction is the prior.
+        assert_eq!(plan.adaptive_iteration(base), base.mul_f64(0.25));
+        // A pure single-partition mix keeps the quarter-length iteration.
+        plan.observe_mix(1_000, 0);
+        assert_eq!(plan.observed_cross_fraction(), 0.0);
+        assert_eq!(plan.adaptive_iteration(base), base.mul_f64(0.25));
+        // A heavily cross-partition mix restores the full iteration (the
+        // smoothed share needs a couple of iterations to cross 20%).
+        plan.observe_mix(0, 1_000);
+        plan.observe_mix(0, 1_000);
+        assert!(plan.observed_cross_fraction() > 0.20);
+        assert_eq!(plan.adaptive_iteration(base), base);
+        // The floor never stretches an iteration that is already short.
+        let tiny = Duration::from_micros(500);
+        let plan = PhasePlan::new(0.0);
+        assert_eq!(plan.adaptive_iteration(tiny), tiny);
+        // Empty iterations do not disturb the estimate.
+        let mut plan = PhasePlan::new(0.5);
+        plan.observe_mix(0, 0);
+        assert_eq!(plan.observed_cross_fraction(), 0.5);
     }
 
     // Seeded property-style tests: random plans drawn from a fixed-seed RNG,

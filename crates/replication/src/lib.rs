@@ -24,11 +24,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod checkpoint;
+pub mod commit_queue;
 pub mod entry;
 pub mod recovery;
 pub mod strategy;
 pub mod wal;
 
+pub use commit_queue::{CommitQueue, DrainMode, EpochDrain};
 pub use entry::{LogEntry, Payload};
 pub use strategy::{build_log_entries, ExecutionPhase};
 pub use wal::{truncate_wal_tail, WalReader, WalWriter};

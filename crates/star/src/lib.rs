@@ -24,9 +24,12 @@
 //! use std::time::Duration;
 //!
 //! // A 4-node cluster: 1 full replica + 3 partial replicas.
-//! let mut config = ClusterConfig::with_nodes(4);
-//! config.partitions = 8;
-//! config.iteration = Duration::from_millis(5);
+//! let config = ClusterConfig::builder()
+//!     .nodes(4)
+//!     .partitions(8)
+//!     .iteration(Duration::from_millis(5))
+//!     .build()
+//!     .unwrap();
 //!
 //! // YCSB with 10% cross-partition transactions, scaled down for the doctest.
 //! let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
@@ -58,17 +61,20 @@ pub use star_workloads as workloads;
 /// The most commonly used types, re-exported for `use star::prelude::*`.
 pub mod prelude {
     pub use star_baselines::{BaselineConfig, Calvin, CalvinConfig, DistOcc, DistS2pl, PbOcc};
-    pub use star_common::stats::{CounterSnapshot, LatencyHistogram, RunReport};
+    pub use star_common::stats::{
+        CounterSnapshot, LatencyHistogram, PhaseBreakdown, RunReport, BREAKDOWN_VERSION,
+    };
     pub use star_common::{
-        ClusterConfig, EngineKind, Epoch, Error, FieldValue, Operation, ReplicationMode,
-        ReplicationStrategy, Result, Row, Tid,
+        ClusterConfig, ClusterConfigBuilder, EngineKind, Epoch, Error, FieldValue, Operation,
+        ReplicationMode, ReplicationStrategy, Result, Row, Tid,
     };
     pub use star_core::{
-        AnalyticalModel, CommittedTxn, FailureCase, FailureVectorMismatch, HistoryRecorder,
+        AnalyticalModel, CommittedTxn, Engine, FailureCase, FailureVectorMismatch, HistoryRecorder,
         PhasePlan, StarCluster, StarEngine, Workload, WorkloadMix,
     };
     pub use star_net::LinkFaults;
     pub use star_occ::{Procedure, TxnCtx};
+    pub use star_replication::DrainMode;
     pub use star_storage::{Database, DatabaseBuilder, TableSpec};
     pub use star_workloads::{TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};
 }

@@ -244,6 +244,10 @@ impl Database {
 
     /// Reverts every held record written after `committed_epoch` to its
     /// stable version. Returns the number of reverted records.
+    ///
+    /// This is the failure path, so the full-replica walk is acceptable;
+    /// the per-epoch commit needs no walk at all (version stashes are
+    /// invalidated lazily by the epoch gate in `Record::revert_to_epoch`).
     pub fn revert_to_epoch(&self, committed_epoch: Epoch) -> usize {
         let mut reverted = 0;
         for table in &self.tables {
@@ -261,21 +265,6 @@ impl Database {
             }
         }
         reverted
-    }
-
-    /// Drops all stashed pre-epoch versions; called once an epoch has
-    /// committed at the replication fence.
-    pub fn commit_epoch(&self) {
-        for table in &self.tables {
-            for p in 0..self.partitions {
-                if !self.held[p] {
-                    continue;
-                }
-                if let Some(part) = table.partition(p) {
-                    part.for_each(|_, rec| rec.commit_epoch());
-                }
-            }
-        }
     }
 
     /// Runs `f` over every `(table, partition, key, record)` this replica
@@ -386,9 +375,8 @@ mod tests {
         let d = db(2);
         d.insert(0, 0, 1, r(1)).unwrap();
         d.insert(0, 1, 2, r(2)).unwrap();
-        // Epoch 1 commits.
+        // Epoch 1 commits (no explicit GC step: the stash invalidates lazily).
         d.apply_value_write(0, 0, 1, r(10), Tid::new(1, 1)).unwrap();
-        d.commit_epoch();
         // Epoch 2 writes both keys, then a failure occurs before the fence.
         d.apply_value_write(0, 0, 1, r(100), Tid::new(2, 1)).unwrap();
         d.apply_value_write(0, 1, 2, r(200), Tid::new(2, 2)).unwrap();

@@ -42,8 +42,14 @@ pub struct Record {
     meta: AtomicU64,
     data: RwLock<Row>,
     /// Most recent version from an epoch earlier than the current one, kept
-    /// for epoch revert during recovery. `None` when the record has not been
-    /// written in the current epoch.
+    /// for epoch revert during recovery.
+    ///
+    /// The stash is invalidated *lazily*: once the record's current epoch
+    /// has committed, [`Record::revert_to_epoch`] can never consult it again
+    /// (the epoch gate fails), and the first write of any later epoch
+    /// overwrites it with that epoch's pre-image. No fence-time clearing
+    /// pass is needed — which is what keeps the replication fence O(1) in
+    /// database size rather than a full-replica walk per epoch.
     stable: Mutex<Option<(Tid, Row)>>,
 }
 
@@ -196,7 +202,10 @@ impl Record {
         }
     }
 
-    /// The stable (pre-current-epoch) version, if one is stashed.
+    /// The stashed pre-image, if any. The stash belongs to the epoch of the
+    /// record's *current* TID: it is only meaningful while that epoch is in
+    /// flight, and becomes unreachable garbage (overwritten by the next
+    /// cross-epoch write) once the epoch commits.
     pub fn stable_version(&self) -> Option<(Tid, Row)> {
         self.stable.lock().clone()
     }
@@ -208,6 +217,10 @@ impl Record {
     /// This implements the "revert to the last committed epoch" step of
     /// failure handling (Figure 6): versions written in the in-flight epoch
     /// were never released to clients and are discarded.
+    ///
+    /// The epoch gate below is also what makes stale stashes harmless: a
+    /// record last written in a committed epoch is skipped outright, so the
+    /// stash it may still carry from an even older epoch is never read.
     pub fn revert_to_epoch(&self, committed_epoch: Epoch) -> bool {
         let cur_tid = self.tid();
         if cur_tid.epoch() <= committed_epoch {
@@ -227,13 +240,6 @@ impl Record {
         } else {
             false
         }
-    }
-
-    /// Drops the stashed stable version. Called at the replication fence once
-    /// the epoch has durably committed: the current version becomes the new
-    /// stable baseline.
-    pub fn commit_epoch(&self) {
-        *self.stable.lock() = None;
     }
 }
 
@@ -307,8 +313,8 @@ mod tests {
         // Commit in epoch 1.
         rec.lock();
         rec.write_and_unlock(r(10), Tid::new(1, 1));
-        rec.commit_epoch();
-        // Write in epoch 2, which then fails before the fence.
+        // Write in epoch 2, which then fails before the fence. The
+        // cross-epoch write replaces the stash with epoch 1's version.
         rec.lock();
         rec.write_and_unlock(r(20), Tid::new(2, 1));
         assert_eq!(rec.read().row, r(20));
@@ -322,9 +328,11 @@ mod tests {
         let rec = Record::new(r(1));
         rec.lock();
         rec.write_and_unlock(r(10), Tid::new(1, 1));
-        rec.commit_epoch();
+        // Epoch 1 has committed: the gate skips the record even though a
+        // stale stash (the loaded row) is still physically present.
         assert!(!rec.revert_to_epoch(1));
         assert_eq!(rec.read().row, r(10));
+        assert!(rec.stable_version().is_some(), "lazy invalidation keeps the stash in place");
     }
 
     #[test]

@@ -12,10 +12,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let mut config = ClusterConfig::with_nodes(4);
-    config.partitions = 8;
-    config.workers_per_node = 2;
-    config.iteration = Duration::from_millis(5);
+    let config = ClusterConfig::builder()
+        .nodes(4)
+        .partitions(8)
+        .workers_per_node(2)
+        .iteration(Duration::from_millis(5))
+        .build()
+        .expect("fault-tolerance config is valid");
 
     let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
         partitions: config.partitions,

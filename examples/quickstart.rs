@@ -11,11 +11,14 @@ use std::time::Duration;
 
 fn main() {
     // 4 nodes: node 0 holds a full replica, nodes 1-3 hold partial replicas.
-    let mut config = ClusterConfig::with_nodes(4);
-    config.partitions = 8;
-    config.workers_per_node = 2;
-    config.iteration = Duration::from_millis(10);
-    config.replication_strategy = ReplicationStrategy::Hybrid;
+    let config = ClusterConfig::builder()
+        .nodes(4)
+        .partitions(8)
+        .workers_per_node(2)
+        .iteration(Duration::from_millis(10))
+        .replication_strategy(ReplicationStrategy::Hybrid)
+        .build()
+        .expect("quickstart config is valid");
 
     // YCSB, 10% cross-partition transactions (the paper's default).
     let workload = Arc::new(YcsbWorkload::new(YcsbConfig {

@@ -14,12 +14,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn cluster() -> ClusterConfig {
-    let mut config = ClusterConfig::with_nodes(4);
-    config.partitions = 4;
-    config.workers_per_node = 2;
-    config.iteration = Duration::from_millis(10);
-    config.network_latency = Duration::from_micros(100);
-    config
+    ClusterConfig::builder()
+        .nodes(4)
+        .partitions(4)
+        .workers_per_node(2)
+        .iteration(Duration::from_millis(10))
+        .network_latency(Duration::from_micros(100))
+        .build()
+        .expect("tpcc example config is valid")
 }
 
 fn workload() -> Arc<TpccWorkload> {
@@ -32,24 +34,25 @@ fn workload() -> Arc<TpccWorkload> {
 
 fn main() {
     let window = Duration::from_millis(500);
-    let mut results: Vec<RunReport> = Vec::new();
 
+    // STAR runs concretely so the example can also verify replica
+    // consistency — an engine-specific check the `Engine` trait leaves out.
     println!("running STAR...");
     let mut star = StarEngine::new(cluster(), workload()).unwrap();
-    results.push(star.run_for(window));
+    let mut results: Vec<RunReport> = vec![star.run_for(window)];
     star.verify_replica_consistency().expect("replicas diverged");
 
-    println!("running PB. OCC...");
-    let mut pb = PbOcc::new(BaselineConfig::new(cluster()), workload()).unwrap();
-    results.push(pb.run_for(window));
-
-    println!("running Dist. OCC...");
-    let mut docc = DistOcc::new(BaselineConfig::new(cluster()), workload()).unwrap();
-    results.push(docc.run_for(window));
-
-    println!("running Dist. S2PL...");
-    let mut s2pl = DistS2pl::new(BaselineConfig::new(cluster()), workload()).unwrap();
-    results.push(s2pl.run_for(window));
+    // The baselines are all driven through the shared `Engine` trait: one
+    // loop, no per-engine glue, `RunReport` as the common result type.
+    let mut baselines: Vec<Box<dyn Engine>> = vec![
+        Box::new(PbOcc::new(BaselineConfig::new(cluster()), workload()).unwrap()),
+        Box::new(DistOcc::new(BaselineConfig::new(cluster()), workload()).unwrap()),
+        Box::new(DistS2pl::new(BaselineConfig::new(cluster()), workload()).unwrap()),
+    ];
+    for engine in &mut baselines {
+        println!("running {}...", engine.name());
+        results.push(engine.run_for(window));
+    }
 
     println!("\nTPC-C (NewOrder + Payment), {}% cross-partition:", 12.5);
     println!("{:<14} {:>14} {:>12} {:>12} {:>14}", "engine", "txns/sec", "p50", "p99", "repl. KB");

@@ -22,10 +22,13 @@ fn main() {
         "P (%)", "txns/sec", "commits", "repl. KB", "fences"
     );
     for pct in percentages {
-        let mut config = ClusterConfig::with_nodes(4);
-        config.partitions = 8;
-        config.workers_per_node = 2;
-        config.iteration = Duration::from_millis(10);
+        let config = ClusterConfig::builder()
+            .nodes(4)
+            .partitions(8)
+            .workers_per_node(2)
+            .iteration(Duration::from_millis(10))
+            .build()
+            .expect("adaptivity config is valid");
 
         let workload = Arc::new(YcsbWorkload::new(YcsbConfig {
             partitions: config.partitions,

@@ -29,16 +29,23 @@ bench seed="42":
 # CI's bench-smoke job measures (--quick --seed 42). Run a few times and keep
 # the lowest numbers if the machine is noisy.
 bench-baseline seed="42":
-    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}}
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --threads-sweep
 
 # The quick CI smoke variant, including the regression gate against the
-# committed baselines.
+# committed baselines (throughput plus the per-slice latency-source gate)
+# and the STAR thread-scaling lane (BENCH_threads.json).
 bench-smoke seed="42":
-    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --check
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --check --threads-sweep
 
 # Index-contention microbenchmark only (sharded vs pre-shard index).
 bench-contention:
     cargo run --release -p star-bench --bin star-bench -- --contention-only
+
+# Per-engine latency-source profile: one run of all five engines, printed as
+# a five-slice table (execution / fence wait / replication flush / WAL fsync
+# / lock-or-validate) in µs per committed transaction.
+profile seed="42":
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --profile
 
 # Deterministic chaos sweep: 100 seeded fault-injection scenarios, each
 # checked for serializability against a sequential oracle.

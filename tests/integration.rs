@@ -6,12 +6,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn small_cluster(nodes: usize, partitions: usize) -> ClusterConfig {
-    let mut config = ClusterConfig::with_nodes(nodes);
-    config.partitions = partitions;
-    config.workers_per_node = 2;
-    config.iteration = Duration::from_millis(5);
-    config.network_latency = Duration::from_micros(20);
-    config
+    ClusterConfig::builder()
+        .nodes(nodes)
+        .partitions(partitions)
+        .workers_per_node(2)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .build()
+        .unwrap()
 }
 
 fn ycsb(partitions: usize, cross_pct: f64) -> Arc<YcsbWorkload> {
@@ -58,10 +60,16 @@ fn star_runs_tpcc_end_to_end() {
 fn star_hybrid_replication_ships_fewer_bytes_than_value_replication_on_tpcc() {
     // The Section 5 claim behind Figure 15(a): operation replication in the
     // partitioned phase cuts replication bandwidth substantially.
-    let mut value_config = small_cluster(4, 4);
-    value_config.replication_strategy = ReplicationStrategy::Value;
-    let mut hybrid_config = small_cluster(4, 4);
-    hybrid_config.replication_strategy = ReplicationStrategy::Hybrid;
+    let value_config = small_cluster(4, 4)
+        .to_builder()
+        .replication_strategy(ReplicationStrategy::Value)
+        .build()
+        .unwrap();
+    let hybrid_config = small_cluster(4, 4)
+        .to_builder()
+        .replication_strategy(ReplicationStrategy::Hybrid)
+        .build()
+        .unwrap();
 
     let mut value_engine = StarEngine::new(value_config, tpcc(4, 10.0)).unwrap();
     let value_report = value_engine.run_for(Duration::from_millis(100));

@@ -11,13 +11,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn cluster(nodes: usize, full: usize) -> ClusterConfig {
-    let mut config = ClusterConfig::with_nodes(nodes);
-    config.full_replicas = full;
-    config.partitions = nodes * 2;
-    config.workers_per_node = 2;
-    config.iteration = Duration::from_millis(5);
-    config.network_latency = Duration::from_micros(20);
-    config
+    ClusterConfig::builder()
+        .nodes(nodes)
+        .full_replicas(full)
+        .partitions(nodes * 2)
+        .workers_per_node(2)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(20))
+        .build()
+        .unwrap()
 }
 
 fn ycsb(partitions: usize) -> Arc<YcsbWorkload> {
@@ -161,8 +163,7 @@ fn checkpoint_plus_wal_rebuilds_a_lost_replica() {
 fn wal_written_by_the_engine_is_replayable() {
     // Run the engine with disk logging enabled, then parse one node's WAL and
     // check every entry decodes and carries a valid epoch.
-    let mut config = cluster(2, 1);
-    config.disk_logging = true;
+    let config = cluster(2, 1).to_builder().disk_logging(true).build().unwrap();
     let mut engine = StarEngine::new(config, ycsb(4)).unwrap();
     let report = engine.run_for(Duration::from_millis(40));
     assert!(report.counters.wal_bytes > 0);

@@ -10,12 +10,14 @@ const PARTITIONS: usize = 4;
 const BURST: Duration = Duration::from_millis(25);
 
 fn tiny_cluster(nodes: usize) -> ClusterConfig {
-    let mut config = ClusterConfig::with_nodes(nodes);
-    config.partitions = PARTITIONS;
-    config.workers_per_node = 1;
-    config.iteration = Duration::from_millis(5);
-    config.network_latency = Duration::from_micros(10);
-    config
+    ClusterConfig::builder()
+        .nodes(nodes)
+        .partitions(PARTITIONS)
+        .workers_per_node(1)
+        .iteration(Duration::from_millis(5))
+        .network_latency(Duration::from_micros(10))
+        .build()
+        .unwrap()
 }
 
 fn tiny_ycsb() -> Arc<YcsbWorkload> {
@@ -75,6 +77,36 @@ fn calvin_via_prelude() {
     .unwrap();
     let report = engine.run_for(BURST);
     assert_burst_commits(EngineKind::Calvin, &report);
+}
+
+#[test]
+fn all_five_engines_run_through_the_engine_trait() {
+    // Every engine kind must be drivable behind `Box<dyn Engine>` alone:
+    // one loop, no duck typing, RunReport as the single typed result.
+    let mut engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(StarEngine::new(tiny_cluster(2), tiny_ycsb()).unwrap()),
+        Box::new(PbOcc::new(BaselineConfig::new(tiny_cluster(2)), tiny_ycsb()).unwrap()),
+        Box::new(DistOcc::new(BaselineConfig::new(tiny_cluster(2)), tiny_ycsb()).unwrap()),
+        Box::new(DistS2pl::new(BaselineConfig::new(tiny_cluster(2)), tiny_ycsb()).unwrap()),
+        Box::new(
+            Calvin::new(
+                BaselineConfig::new(tiny_cluster(2)),
+                CalvinConfig::with_lock_managers(1),
+                tiny_ycsb(),
+            )
+            .unwrap(),
+        ),
+    ];
+    for engine in &mut engines {
+        let name = engine.name();
+        assert_eq!(engine.report().counters.committed, 0, "{name}: pre-run report not empty");
+        let report = engine.run_for(BURST);
+        assert!(report.counters.committed > 0, "{name} committed nothing via the trait");
+        assert_eq!(report.engine, name);
+        // `report()` replays the last run's report without re-running.
+        assert_eq!(engine.report().counters.committed, report.counters.committed, "{name}");
+        assert_eq!(engine.counters().snapshot().committed, report.counters.committed, "{name}");
+    }
 }
 
 #[test]
