@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention profile chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke figures ci
+.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention profile chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke server-smoke figures ci
 
 build:
 	cargo build --release
@@ -75,7 +75,12 @@ lock-witness:
 	cargo test -q -p star-chaos --features lock-witness --test lock_witness
 	cargo test -q -p parking_lot --features lock-witness
 
+# Boot a 3-node localhost cluster, drive the YCSB client over TCP, and run
+# the transport-parity suite (wire == simulation, byte for byte).
+server-smoke:
+	./scripts/server_smoke.sh
+
 figures:
 	cargo run --release -p star-bench --bin figures -- --quick all
 
-ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus
+ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus server-smoke

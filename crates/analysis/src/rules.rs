@@ -91,9 +91,15 @@ fn determinism_in_scope(path: &str, fn_name: Option<&str>) -> bool {
     false
 }
 
-/// Whether a function name puts its body in panic-freedom scope: recovery,
-/// election, and WAL-replay code must not be able to panic.
-fn panic_in_scope(fn_name: Option<&str>) -> bool {
+/// Whether a function puts its body in panic-freedom scope: recovery,
+/// election, and WAL-replay code must not be able to panic, and neither may
+/// anything in the wire-protocol crate — every byte it decodes arrives from
+/// the network, so malformed input must surface as a typed `DecodeError`,
+/// never a crash.
+fn panic_in_scope(path: &str, fn_name: Option<&str>) -> bool {
+    if path.starts_with("crates/proto/src/") {
+        return true;
+    }
     let Some(f) = fn_name else { return false };
     f.contains("recover")
         || f.contains("election")
@@ -237,11 +243,12 @@ fn determinism_pass(path: &str, tokens: &[Token], ctxs: &FileContexts, out: &mut
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Panic-freedom: recovery/election/replay functions run exactly when the
-/// system is least able to tolerate a crash-on-crash, so they must return
-/// errors instead of panicking.
+/// system is least able to tolerate a crash-on-crash, and the wire-protocol
+/// crate parses untrusted network bytes, so they must return errors instead
+/// of panicking.
 fn panic_pass(path: &str, tokens: &[Token], ctxs: &FileContexts, out: &mut Vec<Finding>) {
     for (i, t) in tokens.iter().enumerate() {
-        if ctxs.ctx[i].in_test || !panic_in_scope(ctxs.fn_name(i)) {
+        if ctxs.ctx[i].in_test || !panic_in_scope(path, ctxs.fn_name(i)) {
             continue;
         }
         let fn_name = ctxs.fn_name(i).unwrap_or("?");
@@ -474,6 +481,18 @@ mod tests {
     fn panic_scope_is_name_based() {
         let src = "fn fast_path(v: Vec<u32>) { let a = v[0].clone(); let b = v.first().unwrap(); }";
         assert!(run("crates/core/src/engine.rs", src, &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn proto_crate_is_panic_free_in_every_function() {
+        // The wire-protocol crate decodes network input, so the whole crate
+        // is in scope regardless of function name — even a `fast_path`.
+        let src = "fn fast_path(v: Vec<u32>) { let a = v[0].clone(); let b = v.first().unwrap(); }";
+        let f = run("crates/proto/src/message.rs", src, &AnalysisConfig::default());
+        assert_eq!(rules(&f), vec!["panic::slice-index", "panic::unwrap"]);
+        // Test modules inside the crate stay exempt.
+        let test_src = "#[cfg(test)] mod tests { fn f(o: Option<u32>) { o.unwrap(); } }";
+        assert!(run("crates/proto/src/message.rs", test_src, &AnalysisConfig::default()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Seeded YCSB driver for a running `star-serverd` cluster.
+//!
+//! ```text
+//! star-client --bootstrap cluster.toml --iterations 3 \
+//!     --partitioned-txns 200 --single-master-txns 50
+//! ```
+//!
+//! Sends one `Run` request to the master node (which coordinates the stepped
+//! partitioned / single-master schedule across the cluster), then samples a
+//! pipelined batch of point reads across every partition to show the
+//! replicated state, and prints commit statistics.
+
+use star_client::{Client, Pool};
+use star_proto::{AdminQuery, Request, Response, Role};
+use star_serverd::Bootstrap;
+use star_workloads::ycsb::{ycsb_key, YCSB_TABLE};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: star-client --bootstrap <file> [--iterations N] \
+         [--partitioned-txns N] [--single-master-txns N] [--samples N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut bootstrap_path: Option<String> = None;
+    let mut iterations: u32 = 3;
+    let mut partitioned_txns: u64 = 100;
+    let mut single_master_txns: u64 = 20;
+    let mut samples: u64 = 4;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = args.next().unwrap_or_default();
+        let ok = match arg.as_str() {
+            "--bootstrap" => {
+                bootstrap_path = Some(value);
+                true
+            }
+            "--iterations" => value.parse().map(|n| iterations = n).is_ok(),
+            "--partitioned-txns" => value.parse().map(|n| partitioned_txns = n).is_ok(),
+            "--single-master-txns" => value.parse().map(|n| single_master_txns = n).is_ok(),
+            "--samples" => value.parse().map(|n| samples = n).is_ok(),
+            _ => return usage(),
+        };
+        if !ok {
+            eprintln!("star-client: bad value for {arg}");
+            return usage();
+        }
+    }
+    let Some(path) = bootstrap_path else {
+        return usage();
+    };
+    let boot = match Bootstrap::from_file(&path) {
+        Ok(boot) => boot,
+        Err(e) => {
+            eprintln!("star-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = drive(&boot, iterations, partitioned_txns, single_master_txns, samples) {
+        eprintln!("star-client: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn drive(
+    boot: &Bootstrap,
+    iterations: u32,
+    partitioned_txns: u64,
+    single_master_txns: u64,
+    samples: u64,
+) -> std::io::Result<()> {
+    let master = boot.config.master_node();
+    let mut coordinator = Client::connect(&boot.addrs[master], Role::Client)?;
+    println!(
+        "star-client: driving {iterations} iteration(s) of YCSB \
+         ({partitioned_txns} partitioned + {single_master_txns} single-master txns each) \
+         via node {master}"
+    );
+    let started = Instant::now();
+    let run =
+        coordinator.request(Request::Run { iterations, partitioned_txns, single_master_txns })?;
+    let elapsed = started.elapsed();
+    let (committed, epochs) = match run {
+        Response::RunDone { committed, epochs } => (committed, epochs),
+        Response::Error(e) => return Err(std::io::Error::other(e)),
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected RunDone, got {other:?}"),
+            ));
+        }
+    };
+    let per_sec = committed as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "star-client: committed {committed} txn(s) across {epochs} epoch(s) \
+         in {elapsed:.2?} ({per_sec:.0} txn/s)"
+    );
+
+    // Sample point reads across every partition, pipelined per node through
+    // the pool; a node answers only for partitions it holds a replica of.
+    let mut pool = Pool::connect(&boot.addrs, Role::Client)?;
+    let rows = boot.workload.rows_per_partition;
+    for node in 0..pool.len() {
+        let client = pool.node(node).expect("pooled node");
+        let batch: Vec<Request> = (0..boot.config.partitions)
+            .flat_map(|p| {
+                (0..samples.min(rows)).map(move |offset| Request::Get {
+                    table: YCSB_TABLE,
+                    partition: p as u32,
+                    key: ycsb_key(p, offset),
+                })
+            })
+            .collect();
+        let total = batch.len();
+        let responses = client.pipeline(batch)?;
+        let found =
+            responses.iter().filter(|r| matches!(r, Response::Record { row: Some(_), .. })).count();
+        let errors = responses.iter().filter(|r| matches!(r, Response::Error(_))).count();
+        println!(
+            "star-client: node {node}: {found}/{total} sampled rows present, \
+             {}/{total} reads served locally",
+            total - errors
+        );
+    }
+
+    // Close with the cluster status from the coordinator's point of view.
+    match coordinator.request(Request::Admin(AdminQuery::Status))? {
+        Response::Status(status) => {
+            println!(
+                "star-client: node {} at epoch {} (last committed {}), master {}, \
+                 generation {}, {} committed txn(s)",
+                status.node,
+                status.epoch,
+                status.last_committed,
+                status.master,
+                status.generation,
+                status.committed
+            );
+            Ok(())
+        }
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected Status, got {other:?}"),
+        )),
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end coverage for the pooled, pipelined client against a live
+//! localhost cluster.
+
+use star_client::{Client, Pool};
+use star_proto::{AdminQuery, Request, Response, Role};
+use star_serverd::{Bootstrap, NodeServer};
+use star_workloads::ycsb::{ycsb_key, YCSB_TABLE};
+use std::net::TcpListener;
+
+fn boot_cluster() -> (Vec<NodeServer>, Bootstrap) {
+    let listeners: Vec<TcpListener> =
+        (0..3).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+    let addrs: Vec<String> =
+        listeners.iter().map(|l| l.local_addr().expect("addr").to_string()).collect();
+    let text = format!(
+        "[cluster]\nnodes = [{}]\nfull_replicas = 1\nworkers_per_node = 1\n\
+         partitions = 6\nseed = 7\n\n[workload]\nrows_per_partition = 32\n\
+         ops_per_transaction = 4\nread_pct = 80.0\ncross_partition_pct = 10.0\n",
+        addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", ")
+    );
+    let boot = Bootstrap::parse(&text).expect("bootstrap parses");
+    let servers: Vec<NodeServer> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| NodeServer::start_on(listener, &boot, id).expect("start node"))
+        .collect();
+    (servers, boot)
+}
+
+#[test]
+fn handshake_reports_node_identity() {
+    let (servers, boot) = boot_cluster();
+    for (id, server) in servers.iter().enumerate() {
+        let client = Client::connect(server.local_addr(), Role::Client).expect("connect");
+        assert_eq!(client.node(), id as u32);
+        assert_eq!(client.num_nodes() as usize, boot.config.num_nodes);
+    }
+    for server in &servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_batch_returns_responses_in_request_order() {
+    let (servers, _boot) = boot_cluster();
+    // Node 0 is the primary for partition 0; interleave pings with reads of
+    // loaded and absent keys so each slot has a distinct expected response.
+    let mut client = Client::connect(servers[0].local_addr(), Role::Client).expect("connect");
+    let batch = vec![
+        Request::Ping,
+        Request::Get { table: YCSB_TABLE, partition: 0, key: ycsb_key(0, 0) },
+        Request::Ping,
+        Request::Get { table: YCSB_TABLE, partition: 0, key: ycsb_key(0, 1_000_000) },
+        Request::Ping,
+    ];
+    let responses = client.pipeline(batch).expect("pipeline");
+    assert_eq!(responses.len(), 5);
+    assert_eq!(responses[0], Response::Pong);
+    assert!(matches!(responses[1], Response::Record { row: Some(_), .. }), "{:?}", responses[1]);
+    assert_eq!(responses[2], Response::Pong);
+    assert!(
+        matches!(responses[3], Response::Record { row: None, .. }),
+        "unloaded key should read as absent: {:?}",
+        responses[3]
+    );
+    assert_eq!(responses[4], Response::Pong);
+    for server in &servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn pool_runs_workload_and_inspects_every_node() {
+    let (servers, boot) = boot_cluster();
+    let mut addrs = boot.addrs.clone();
+    // The pool must work from the actual bound addresses.
+    for (server, addr) in servers.iter().zip(addrs.iter_mut()) {
+        *addr = server.local_addr().to_string();
+    }
+    let mut pool = Pool::connect(&addrs, Role::Client).expect("pool");
+    assert_eq!(pool.len(), 3);
+    assert!(!pool.is_empty());
+
+    // Round-robin distributes across connections.
+    let first = pool.any().node();
+    let second = pool.any().node();
+    assert_ne!(first, second, "round-robin should advance");
+
+    // Drive a run through the master node, then confirm every node reports
+    // the same advanced epoch via its own pooled connection.
+    let master = boot.config.master_node();
+    let committed = match pool
+        .node(master)
+        .expect("master conn")
+        .request(Request::Run { iterations: 2, partitioned_txns: 10, single_master_txns: 5 })
+        .expect("run")
+    {
+        Response::RunDone { committed, epochs } => {
+            assert_eq!(epochs, 4);
+            committed
+        }
+        other => panic!("expected RunDone, got {other:?}"),
+    };
+    assert!(committed > 0);
+    for node in 0..pool.len() {
+        match pool
+            .node(node)
+            .expect("node conn")
+            .request(Request::Admin(AdminQuery::Status))
+            .expect("status")
+        {
+            Response::Status(status) => {
+                assert_eq!(status.node as usize, node);
+                assert_eq!(status.last_committed, 4, "node {node} lags the run");
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+    for server in &servers {
+        server.shutdown();
+    }
+}

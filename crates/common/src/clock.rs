@@ -1,0 +1,142 @@
+//! Time sources for the transport layer.
+//!
+//! The in-memory simulation transport stamps every envelope with a delivery
+//! deadline. Reading the wall clock for that deadline made the transport the
+//! last non-deterministic component in the simulation-facing code, so the
+//! clock is now injected: [`WallClock`] preserves the real-time latency
+//! semantics the latency tests rely on, while [`VirtualClock`] gives
+//! deterministic, manually-advanced time for simulation and replay.
+//!
+//! Deadlines are expressed as nanoseconds on a monotonic axis whose origin is
+//! clock-defined (construction time for [`WallClock`], zero for
+//! [`VirtualClock`]). Only differences between values from the *same* clock
+//! are meaningful.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source the transport layer reads delivery deadlines from.
+///
+/// Implementations must be monotone: successive calls to
+/// [`Clock::now_nanos`] never decrease.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Current time in nanoseconds since the clock's origin.
+    fn now_nanos(&self) -> u64;
+
+    /// Blocks (or advances virtual time) until `now_nanos() >= deadline`.
+    fn sleep_until_nanos(&self, deadline: u64);
+}
+
+/// Real time: nanoseconds since the clock was constructed, with genuine
+/// sleeping. This is the default for in-memory transports so configured
+/// network latency remains observable in wall-clock terms.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock anchored at the current instant.
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl fmt::Debug for WallClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WallClock").finish()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        // Saturate instead of truncating: u64 nanoseconds cover ~584 years
+        // from the origin, far beyond any process lifetime.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_until_nanos(&self, deadline: u64) {
+        let now = self.now_nanos();
+        if deadline > now {
+            std::thread::sleep(Duration::from_nanos(deadline - now));
+        }
+    }
+}
+
+/// Deterministic time: an atomic counter advanced either explicitly by the
+/// test harness ([`VirtualClock::advance_to`]) or implicitly when a reader
+/// sleeps past a deadline. No real time passes.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock { now: AtomicU64::new(0) }
+    }
+
+    /// Advances the clock to `nanos` if that is later than the current time.
+    /// Never moves time backwards.
+    pub fn advance_to(&self, nanos: u64) {
+        self.now.fetch_max(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_until_nanos(&self, deadline: u64) {
+        // A virtual sleep is a jump: the waiter is by definition the thing
+        // the clock was waiting on.
+        self.advance_to(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_sleeps() {
+        let clock = WallClock::new();
+        let a = clock.now_nanos();
+        clock.sleep_until_nanos(a + 2_000_000); // 2ms
+        let b = clock.now_nanos();
+        assert!(b >= a + 2_000_000, "slept {}ns, wanted >= 2ms", b - a);
+    }
+
+    #[test]
+    fn wall_clock_sleep_past_deadline_is_noop() {
+        let clock = WallClock::new();
+        clock.sleep_until_nanos(0); // already elapsed
+    }
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_jumps() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.sleep_until_nanos(1_000);
+        assert_eq!(clock.now_nanos(), 1_000);
+        // Sleeping to an earlier deadline never rewinds.
+        clock.sleep_until_nanos(500);
+        assert_eq!(clock.now_nanos(), 1_000);
+    }
+
+    #[test]
+    fn virtual_clock_advance_is_monotone() {
+        let clock = VirtualClock::new();
+        clock.advance_to(10);
+        clock.advance_to(5);
+        assert_eq!(clock.now_nanos(), 10);
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`row`] — typed rows ([`row::Row`], [`row::FieldValue`]) and the
 //!   operations that can be replicated against them ([`row::Operation`]).
 //! * [`config`] — cluster, replication and workload configuration.
+//! * [`clock`] — injectable time sources ([`clock::WallClock`],
+//!   [`clock::VirtualClock`]) the transport layer stamps delivery deadlines
+//!   with.
 //! * [`rng`] — uniform / Zipfian / TPC-C `NURand` distributions.
 //! * [`stats`] — latency histograms and throughput counters used by the
 //!   benchmark harness to report the paper's tables and figures.
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod clock;
 pub mod config;
 pub mod error;
 pub mod rng;
@@ -26,6 +30,7 @@ pub mod row;
 pub mod stats;
 pub mod tid;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, EngineKind, ReplicationMode, ReplicationStrategy,
 };

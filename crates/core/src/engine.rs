@@ -23,25 +23,17 @@
 //! epoch-based group commit the latency table (Figure 12) reports.
 
 use crate::cluster::StarCluster;
+use crate::exec::{
+    run_one_master_txn, run_one_partitioned_txn, MasterWorkerState, PartitionWorkerState,
+};
 use crate::failure::FailureCase;
-use crate::history::{CommittedTxn, HistoryRecorder, MASTER_EXECUTOR_OFFSET};
-use crate::messages::ReplicationBatch;
+use crate::history::HistoryRecorder;
 use crate::phase::PhasePlan;
 use crate::workload::Workload;
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
-use star_common::{
-    ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, ReplicationStrategy, Result,
-    Tid, TidGenerator,
-};
-use star_net::{Endpoint, Message as _};
-use star_occ::{commit_partitioned, commit_single_master, TxnCtx, WriteEntry};
-use star_replication::{
-    build_log_entries, CommitQueue, DrainMode, EpochDrain, ExecutionPhase, LogEntry, Payload,
-    WalWriter,
-};
+use star_common::{ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, Result};
+use star_replication::{CommitQueue, DrainMode, EpochDrain, LogEntry, WalWriter};
 use star_storage::Database;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,18 +121,6 @@ enum NextPhase {
     Unknown,
 }
 
-/// Per-partition worker state that survives across iterations.
-struct PartitionWorkerState {
-    tid_gen: TidGenerator,
-    rng: StdRng,
-}
-
-/// Per-master-worker state that survives across iterations.
-struct MasterWorkerState {
-    tid_gen: TidGenerator,
-    rng: StdRng,
-}
-
 /// Result of one phase execution.
 struct PhaseResult {
     committed: u64,
@@ -148,182 +128,6 @@ struct PhaseResult {
     /// Commit instants of sampled transactions (latency is closed at the next
     /// fence).
     samples: Vec<Instant>,
-}
-
-/// Logs a committed write set to a worker's WAL, as full rows (Section 5).
-fn append_writes_to_wal(
-    wal: &Mutex<WalWriter>,
-    write_set: &[WriteEntry],
-    tid: Tid,
-    counters: &RunCounters,
-) {
-    let mut wal = wal.lock();
-    for w in write_set {
-        let entry = LogEntry {
-            table: w.table,
-            partition: w.partition,
-            key: w.key,
-            tid,
-            payload: Payload::Value(w.row.clone()),
-        };
-        let _ = wal.append_value(&entry);
-        counters.add_wal_bytes(entry.wire_size() as u64);
-    }
-}
-
-/// Executes one single-partition transaction on `partition`'s effective
-/// primary: generate → execute → lock-free commit → record → replicate to
-/// `targets` → WAL. Shared by the threaded and stepped partitioned phases so
-/// the two cannot drift. Returns `true` if the transaction committed.
-#[allow(clippy::too_many_arguments)]
-fn run_one_partitioned_txn(
-    partition: PartitionId,
-    primary: NodeId,
-    targets: &[NodeId],
-    db: &Database,
-    endpoint: &Endpoint<ReplicationBatch>,
-    workload: &dyn Workload,
-    counters: &RunCounters,
-    wal: Option<&Mutex<WalWriter>>,
-    history: Option<&HistoryRecorder>,
-    epoch: Epoch,
-    strategy: ReplicationStrategy,
-    state: &mut PartitionWorkerState,
-) -> bool {
-    let proc = workload.single_partition_transaction(&mut state.rng, partition);
-    let mut ctx = TxnCtx::new_single_threaded(db);
-    match proc.execute(&mut ctx) {
-        Ok(()) => {}
-        Err(Error::Abort(star_common::AbortReason::User)) => {
-            counters.add_user_abort();
-            return false;
-        }
-        Err(_) => {
-            counters.add_abort();
-            return false;
-        }
-    }
-    let (read_set, write_set) = ctx.into_sets();
-    let recorded_reads = history.map(|_| read_set.clone());
-    let Ok(output) = commit_partitioned(db, read_set, write_set, epoch, &mut state.tid_gen) else {
-        counters.add_abort();
-        return false;
-    };
-    if let Some(history) = history {
-        history.record(CommittedTxn::from_sets(
-            epoch,
-            ExecutionPhase::Partitioned,
-            partition as u64,
-            output.tid,
-            recorded_reads.as_deref().unwrap_or(&[]),
-            &output.write_set,
-        ));
-    }
-    let entries =
-        build_log_entries(&output.write_set, output.tid, strategy, ExecutionPhase::Partitioned);
-    if !entries.is_empty() {
-        let batch = ReplicationBatch { from_node: primary, epoch, entries };
-        for &target in targets {
-            counters.add_replication_bytes(batch.wire_size() as u64);
-            let _ = endpoint.send(target, batch.clone());
-        }
-    }
-    if let Some(wal) = wal {
-        append_writes_to_wal(wal, &output.write_set, output.tid, counters);
-    }
-    counters.add_commit();
-    true
-}
-
-/// Executes one cross-partition transaction on the master under Silo OCC:
-/// generate → execute → validate/commit → record → replicate the relevant
-/// entries to every healthy node → (optionally) wait out synchronous
-/// replication → WAL. Shared by the threaded and stepped single-master
-/// phases so the two cannot drift. Returns `true` on commit.
-#[allow(clippy::too_many_arguments)]
-fn run_one_master_txn(
-    worker_id: usize,
-    master: NodeId,
-    healthy: &[NodeId],
-    config: &ClusterConfig,
-    db: &Database,
-    endpoint: &Endpoint<ReplicationBatch>,
-    workload: &dyn Workload,
-    counters: &RunCounters,
-    wal: Option<&Mutex<WalWriter>>,
-    history: Option<&HistoryRecorder>,
-    epoch: Epoch,
-    state: &mut MasterWorkerState,
-) -> bool {
-    use rand::Rng;
-    let home = (state.rng.gen::<usize>() ^ worker_id) % config.partitions;
-    let proc = workload.cross_partition_transaction(&mut state.rng, home);
-    let mut ctx = TxnCtx::new(db);
-    match proc.execute(&mut ctx) {
-        Ok(()) => {}
-        Err(Error::Abort(star_common::AbortReason::User)) => {
-            counters.add_user_abort();
-            return false;
-        }
-        Err(_) => {
-            counters.add_abort();
-            return false;
-        }
-    }
-    let (read_set, write_set) = ctx.into_sets();
-    let recorded_reads = history.map(|_| read_set.clone());
-    // The Silo OCC validate-and-install step is the only lock-or-validate
-    // work STAR does (the partitioned phase commits lock-free), so its time
-    // is metered for the latency-source breakdown.
-    let validate_start = Instant::now();
-    let commit = commit_single_master(db, read_set, write_set, epoch, &mut state.tid_gen);
-    counters.add_lock_or_validate(validate_start.elapsed());
-    let output = match commit {
-        Ok(output) => output,
-        Err(_) => {
-            counters.add_abort();
-            return false;
-        }
-    };
-    if let Some(history) = history {
-        history.record(CommittedTxn::from_sets(
-            epoch,
-            ExecutionPhase::SingleMaster,
-            MASTER_EXECUTOR_OFFSET + worker_id as u64,
-            output.tid,
-            recorded_reads.as_deref().unwrap_or(&[]),
-            &output.write_set,
-        ));
-    }
-    let entries = build_log_entries(
-        &output.write_set,
-        output.tid,
-        config.replication_strategy,
-        ExecutionPhase::SingleMaster,
-    );
-    for &target in healthy {
-        let relevant: Vec<LogEntry> = entries
-            .iter()
-            .filter(|e| config.node_stores_partition(target, e.partition))
-            .cloned()
-            .collect();
-        if relevant.is_empty() {
-            continue;
-        }
-        let batch = ReplicationBatch { from_node: master, epoch, entries: relevant };
-        counters.add_replication_bytes(batch.wire_size() as u64);
-        let _ = endpoint.send(target, batch);
-    }
-    if config.replication_mode == ReplicationMode::Sync && !healthy.is_empty() {
-        // Synchronous replication: the write locks are held for a round trip
-        // to the replicas before the transaction can release them.
-        std::thread::sleep(config.network_latency * 2);
-    }
-    if let Some(wal) = wal {
-        append_writes_to_wal(wal, &output.write_set, output.tid, counters);
-    }
-    counters.add_commit();
-    true
 }
 
 /// The STAR engine.
@@ -405,19 +209,10 @@ impl StarEngine {
     /// every replica.
     pub fn new(config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
         let cluster = StarCluster::build(&config, workload.as_ref())?;
-        let base_seed = config.rng_seed_base();
-        let partition_workers = (0..config.partitions)
-            .map(|p| PartitionWorkerState {
-                tid_gen: TidGenerator::new(),
-                rng: StdRng::seed_from_u64(base_seed ^ 0x5747_u64 ^ (p as u64)),
-            })
-            .collect();
-        let master_workers = (0..config.workers_per_node)
-            .map(|w| MasterWorkerState {
-                tid_gen: TidGenerator::new(),
-                rng: StdRng::seed_from_u64(base_seed ^ 0xCA11_u64 ^ (w as u64)),
-            })
-            .collect();
+        let partition_workers =
+            (0..config.partitions).map(|p| PartitionWorkerState::new(&config, p)).collect();
+        let master_workers =
+            (0..config.workers_per_node).map(|w| MasterWorkerState::new(&config, w)).collect();
         let (wal, wal_dir) = if config.disk_logging {
             let dir = std::env::temp_dir().join(format!(
                 "star-wal-{}-{}",
@@ -830,7 +625,7 @@ impl StarEngine {
                             primary,
                             &targets,
                             &db,
-                            &endpoint,
+                            endpoint.as_ref(),
                             workload.as_ref(),
                             &counters,
                             wal.as_deref(),
@@ -904,7 +699,7 @@ impl StarEngine {
                             &healthy,
                             &config,
                             &db,
-                            &endpoint,
+                            endpoint.as_ref(),
                             workload.as_ref(),
                             &counters,
                             wal.as_deref(),
@@ -984,7 +779,7 @@ impl StarEngine {
                     primary,
                     &targets,
                     &node.db,
-                    &node.endpoint,
+                    node.endpoint.as_ref(),
                     workload.as_ref(),
                     counters,
                     wal,
@@ -1035,7 +830,7 @@ impl StarEngine {
                     &healthy,
                     &config,
                     &master_node.db,
-                    &master_node.endpoint,
+                    master_node.endpoint.as_ref(),
                     workload.as_ref(),
                     counters,
                     wal,

@@ -1,0 +1,281 @@
+//! The shared per-transaction execution paths.
+//!
+//! Exactly one implementation exists of "execute one partitioned-phase
+//! transaction" and "execute one single-master-phase transaction", and both
+//! the in-process [`StarEngine`](crate::StarEngine) (threaded and stepped
+//! drivers) and the TCP deployment (`star-serverd`) call it. Replication goes
+//! through [`Transport`], the seam implemented by the deterministic
+//! in-memory endpoint and by the real TCP mesh alike — so when the
+//! transport-parity harness asserts byte-identical committed histories
+//! between wire and simulation, the engine logic is shared by construction
+//! and any divergence is the transport's.
+//!
+//! Worker state (TID generator + seeded RNG) is also constructed here, from
+//! the one canonical seed-derivation formula: partition worker `p` draws from
+//! `rng_seed_base() ^ 0x5747 ^ p`, master worker `w` from
+//! `rng_seed_base() ^ 0xCA11 ^ w`. Identical configuration ⇒ identical
+//! transaction streams, on every backend.
+
+use crate::history::{CommittedTxn, HistoryRecorder, MASTER_EXECUTOR_OFFSET};
+use crate::messages::ReplicationBatch;
+use crate::workload::Workload;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use star_common::stats::RunCounters;
+use star_common::{
+    ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, ReplicationStrategy, Tid,
+    TidGenerator,
+};
+use star_net::{Message as _, Transport};
+use star_occ::{commit_partitioned, commit_single_master, TxnCtx, WriteEntry};
+use star_replication::{build_log_entries, ExecutionPhase, LogEntry, Payload, WalWriter};
+use star_storage::Database;
+use std::time::Instant;
+
+/// Per-partition worker state that survives across iterations.
+pub struct PartitionWorkerState {
+    pub(crate) tid_gen: TidGenerator,
+    pub(crate) rng: StdRng,
+}
+
+impl PartitionWorkerState {
+    /// State for the worker owning `partition`, seeded by the canonical
+    /// formula shared by every backend.
+    pub fn new(config: &ClusterConfig, partition: PartitionId) -> Self {
+        PartitionWorkerState {
+            tid_gen: TidGenerator::new(),
+            rng: StdRng::seed_from_u64(config.rng_seed_base() ^ 0x5747_u64 ^ (partition as u64)),
+        }
+    }
+}
+
+/// Per-master-worker state that survives across iterations.
+pub struct MasterWorkerState {
+    pub(crate) tid_gen: TidGenerator,
+    pub(crate) rng: StdRng,
+}
+
+impl MasterWorkerState {
+    /// State for master worker `worker`, seeded by the canonical formula
+    /// shared by every backend.
+    pub fn new(config: &ClusterConfig, worker: usize) -> Self {
+        MasterWorkerState {
+            tid_gen: TidGenerator::new(),
+            rng: StdRng::seed_from_u64(config.rng_seed_base() ^ 0xCA11_u64 ^ (worker as u64)),
+        }
+    }
+}
+
+/// Logs a committed write set to a worker's WAL, as full rows (Section 5).
+pub fn append_writes_to_wal(
+    wal: &Mutex<WalWriter>,
+    write_set: &[WriteEntry],
+    tid: Tid,
+    counters: &RunCounters,
+) {
+    let mut wal = wal.lock();
+    for w in write_set {
+        let entry = LogEntry {
+            table: w.table,
+            partition: w.partition,
+            key: w.key,
+            tid,
+            payload: Payload::Value(w.row.clone()),
+        };
+        let _ = wal.append_value(&entry);
+        counters.add_wal_bytes(entry.wire_size() as u64);
+    }
+}
+
+/// Executes one single-partition transaction on `partition`'s effective
+/// primary: generate → execute → lock-free commit → record → replicate to
+/// `targets` → WAL. Shared by the threaded and stepped partitioned phases and
+/// by the TCP deployment, so the backends cannot drift. Returns `true` if the
+/// transaction committed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_partitioned_txn(
+    partition: PartitionId,
+    primary: NodeId,
+    targets: &[NodeId],
+    db: &Database,
+    transport: &dyn Transport<ReplicationBatch>,
+    workload: &dyn Workload,
+    counters: &RunCounters,
+    wal: Option<&Mutex<WalWriter>>,
+    history: Option<&HistoryRecorder>,
+    epoch: Epoch,
+    strategy: ReplicationStrategy,
+    state: &mut PartitionWorkerState,
+) -> bool {
+    let proc = workload.single_partition_transaction(&mut state.rng, partition);
+    let mut ctx = TxnCtx::new_single_threaded(db);
+    match proc.execute(&mut ctx) {
+        Ok(()) => {}
+        Err(Error::Abort(star_common::AbortReason::User)) => {
+            counters.add_user_abort();
+            return false;
+        }
+        Err(_) => {
+            counters.add_abort();
+            return false;
+        }
+    }
+    let (read_set, write_set) = ctx.into_sets();
+    let recorded_reads = history.map(|_| read_set.clone());
+    let Ok(output) = commit_partitioned(db, read_set, write_set, epoch, &mut state.tid_gen) else {
+        counters.add_abort();
+        return false;
+    };
+    if let Some(history) = history {
+        history.record(CommittedTxn::from_sets(
+            epoch,
+            ExecutionPhase::Partitioned,
+            partition as u64,
+            output.tid,
+            recorded_reads.as_deref().unwrap_or(&[]),
+            &output.write_set,
+        ));
+    }
+    let entries =
+        build_log_entries(&output.write_set, output.tid, strategy, ExecutionPhase::Partitioned);
+    if !entries.is_empty() {
+        let batch = ReplicationBatch { from_node: primary, epoch, entries };
+        for &target in targets {
+            counters.add_replication_bytes(batch.wire_size() as u64);
+            let _ = transport.send(target, batch.clone());
+        }
+    }
+    if let Some(wal) = wal {
+        append_writes_to_wal(wal, &output.write_set, output.tid, counters);
+    }
+    counters.add_commit();
+    true
+}
+
+/// Executes one cross-partition transaction on the master under Silo OCC:
+/// generate → execute → validate/commit → record → replicate the relevant
+/// entries to every healthy node → (optionally) wait out synchronous
+/// replication → WAL. Shared by the threaded and stepped single-master
+/// phases and by the TCP deployment, so the backends cannot drift. Returns
+/// `true` on commit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_master_txn(
+    worker_id: usize,
+    master: NodeId,
+    healthy: &[NodeId],
+    config: &ClusterConfig,
+    db: &Database,
+    transport: &dyn Transport<ReplicationBatch>,
+    workload: &dyn Workload,
+    counters: &RunCounters,
+    wal: Option<&Mutex<WalWriter>>,
+    history: Option<&HistoryRecorder>,
+    epoch: Epoch,
+    state: &mut MasterWorkerState,
+) -> bool {
+    use rand::Rng;
+    let home = (state.rng.gen::<usize>() ^ worker_id) % config.partitions;
+    let proc = workload.cross_partition_transaction(&mut state.rng, home);
+    let mut ctx = TxnCtx::new(db);
+    match proc.execute(&mut ctx) {
+        Ok(()) => {}
+        Err(Error::Abort(star_common::AbortReason::User)) => {
+            counters.add_user_abort();
+            return false;
+        }
+        Err(_) => {
+            counters.add_abort();
+            return false;
+        }
+    }
+    let (read_set, write_set) = ctx.into_sets();
+    let recorded_reads = history.map(|_| read_set.clone());
+    // The Silo OCC validate-and-install step is the only lock-or-validate
+    // work STAR does (the partitioned phase commits lock-free), so its time
+    // is metered for the latency-source breakdown.
+    let validate_start = Instant::now();
+    let commit = commit_single_master(db, read_set, write_set, epoch, &mut state.tid_gen);
+    counters.add_lock_or_validate(validate_start.elapsed());
+    let output = match commit {
+        Ok(output) => output,
+        Err(_) => {
+            counters.add_abort();
+            return false;
+        }
+    };
+    if let Some(history) = history {
+        history.record(CommittedTxn::from_sets(
+            epoch,
+            ExecutionPhase::SingleMaster,
+            MASTER_EXECUTOR_OFFSET + worker_id as u64,
+            output.tid,
+            recorded_reads.as_deref().unwrap_or(&[]),
+            &output.write_set,
+        ));
+    }
+    let entries = build_log_entries(
+        &output.write_set,
+        output.tid,
+        config.replication_strategy,
+        ExecutionPhase::SingleMaster,
+    );
+    for &target in healthy {
+        let relevant: Vec<LogEntry> = entries
+            .iter()
+            .filter(|e| config.node_stores_partition(target, e.partition))
+            .cloned()
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        let batch = ReplicationBatch { from_node: master, epoch, entries: relevant };
+        counters.add_replication_bytes(batch.wire_size() as u64);
+        let _ = transport.send(target, batch);
+    }
+    if config.replication_mode == ReplicationMode::Sync && !healthy.is_empty() {
+        // Synchronous replication: the write locks are held for a round trip
+        // to the replicas before the transaction can release them.
+        std::thread::sleep(config.network_latency * 2);
+    }
+    if let Some(wal) = wal {
+        append_writes_to_wal(wal, &output.write_set, output.tid, counters);
+    }
+    counters.add_commit();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::builder()
+            .nodes(2)
+            .full_replicas(1)
+            .workers_per_node(2)
+            .seed(7)
+            .build()
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn worker_seeds_are_per_index_and_reproducible() {
+        let config = config();
+        let mut a = PartitionWorkerState::new(&config, 0);
+        let mut a2 = PartitionWorkerState::new(&config, 0);
+        let mut b = PartitionWorkerState::new(&config, 1);
+        let (xa, xa2, xb) = (a.rng.next_u64(), a2.rng.next_u64(), b.rng.next_u64());
+        assert_eq!(xa, xa2, "same partition, same seed, same stream");
+        assert_ne!(xa, xb, "distinct partitions draw distinct streams");
+    }
+
+    #[test]
+    fn master_and_partition_streams_differ() {
+        let config = config();
+        let mut p = PartitionWorkerState::new(&config, 0);
+        let mut m = MasterWorkerState::new(&config, 0);
+        assert_ne!(p.rng.next_u64(), m.rng.next_u64());
+    }
+}

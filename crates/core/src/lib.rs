@@ -18,6 +18,9 @@
 //! * [`engine`] — the phase-switching execution loop itself: partitioned
 //!   phase, replication fence, single-master phase, replication fence,
 //!   epoch advancement, statistics.
+//! * [`exec`] — the per-transaction execution paths shared by the in-process
+//!   engine and the TCP deployment (`star-serverd`), parameterized over the
+//!   [`star_net::Transport`] seam.
 //! * [`failure`] — failure-scenario classification (the four recovery cases
 //!   of Section 4.5.3), epoch revert and node recovery.
 //! * [`history`] — optional committed-history recording (epoch-buffered, so
@@ -34,6 +37,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod engine_api;
+pub mod exec;
 pub mod failure;
 pub mod history;
 pub mod messages;

@@ -3,10 +3,16 @@
 use crate::fault::{FaultPlane, FaultVerdict, LinkFaults};
 use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use star_common::clock::{Clock, WallClock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Converts a latency [`Duration`] to clock nanoseconds, saturating.
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Anything that can be shipped over the simulated network.
 ///
@@ -57,13 +63,31 @@ impl NetworkConfig {
 }
 
 /// A message in flight, tagged with its origin and delivery deadline.
+///
+/// The deadline is expressed in nanoseconds on the owning network's
+/// [`Clock`] axis, so a simulation run under a
+/// [`star_common::clock::VirtualClock`] is fully deterministic.
 #[derive(Debug)]
 pub struct Envelope<M> {
     /// Sending node.
     pub from: usize,
     /// The payload.
     pub payload: M,
-    deliver_at: Instant,
+    deliver_at: u64,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope with an explicit delivery deadline (clock
+    /// nanoseconds). Alternative transport backends use this to feed
+    /// received messages into endpoint-shaped plumbing.
+    pub fn new(from: usize, payload: M, deliver_at_nanos: u64) -> Self {
+        Envelope { from, payload, deliver_at: deliver_at_nanos }
+    }
+
+    /// The delivery deadline, in nanoseconds on the owning clock's axis.
+    pub fn deliver_at_nanos(&self) -> u64 {
+        self.deliver_at
+    }
 }
 
 /// Error returned by [`Endpoint::send`].
@@ -109,13 +133,26 @@ pub struct SimNetwork {
     stats: Arc<NetStats>,
     failed: Arc<Vec<AtomicBool>>,
     faults: Arc<FaultPlane>,
+    clock: Arc<dyn Clock>,
     num_nodes: usize,
 }
 
 impl SimNetwork {
     /// Creates a network of `num_nodes` nodes, returning the shared handle
-    /// and one endpoint per node (in node-id order).
+    /// and one endpoint per node (in node-id order). Delivery deadlines are
+    /// stamped by a [`WallClock`], so configured latency is real latency.
     pub fn new<M: Message>(num_nodes: usize, config: NetworkConfig) -> (Self, Vec<Endpoint<M>>) {
+        Self::new_with_clock(num_nodes, config, Arc::new(WallClock::new()))
+    }
+
+    /// Like [`SimNetwork::new`], but with an injected time source. Pass a
+    /// [`star_common::clock::VirtualClock`] to make delivery timing fully
+    /// deterministic (no wall-clock reads anywhere on the message path).
+    pub fn new_with_clock<M: Message>(
+        num_nodes: usize,
+        config: NetworkConfig,
+        clock: Arc<dyn Clock>,
+    ) -> (Self, Vec<Endpoint<M>>) {
         let stats = Arc::new(NetStats::new(num_nodes));
         let failed: Arc<Vec<AtomicBool>> =
             Arc::new((0..num_nodes).map(|_| AtomicBool::new(false)).collect());
@@ -138,15 +175,21 @@ impl SimNetwork {
                 stats: Arc::clone(&stats),
                 failed: Arc::clone(&failed),
                 faults: Arc::clone(&faults),
+                clock: Arc::clone(&clock),
                 reorder_stash: Mutex::new(BTreeMap::new()),
             })
             .collect();
-        (SimNetwork { config, stats, failed, faults, num_nodes }, endpoints)
+        (SimNetwork { config, stats, failed, faults, clock, num_nodes }, endpoints)
     }
 
     /// The latency model in use.
     pub fn config(&self) -> NetworkConfig {
         self.config
+    }
+
+    /// The time source stamping delivery deadlines.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Number of nodes.
@@ -249,6 +292,7 @@ pub struct Endpoint<M> {
     stats: Arc<NetStats>,
     failed: Arc<Vec<AtomicBool>>,
     faults: Arc<FaultPlane>,
+    clock: Arc<dyn Clock>,
     /// Messages held back by reorder faults, keyed by destination. A stashed
     /// message is released after the next message on the same link (so it is
     /// overtaken), or by [`Endpoint::flush_stash`].
@@ -309,9 +353,8 @@ impl<M: Message> Endpoint<M> {
         let bytes = payload.wire_size() as u64;
         if to == self.node {
             // Loopback traffic never touches the wire: no bytes, no faults.
-            let envelope =
-                Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
-            return self.enqueue(to, envelope);
+            let deliver_at = self.clock.now_nanos().saturating_add(nanos(latency));
+            return self.enqueue(to, Envelope { from: self.node, payload, deliver_at });
         }
         self.stats.record(self.node, bytes);
         match self.faults.roll(self.node, to) {
@@ -319,12 +362,12 @@ impl<M: Message> Endpoint<M> {
                 if !extra_delay.is_zero() {
                     self.stats.record_delayed();
                 }
-                let envelope = Envelope {
-                    from: self.node,
-                    payload,
-                    deliver_at: Instant::now() + latency + extra_delay,
-                };
-                self.enqueue(to, envelope)?;
+                let deliver_at = self
+                    .clock
+                    .now_nanos()
+                    .saturating_add(nanos(latency))
+                    .saturating_add(nanos(extra_delay));
+                self.enqueue(to, Envelope { from: self.node, payload, deliver_at })?;
                 self.release_stash_for(to)
             }
             FaultVerdict::Drop => {
@@ -337,7 +380,11 @@ impl<M: Message> Endpoint<M> {
                 self.stats.record_duplicated();
                 // The duplicate is a second transmission.
                 self.stats.record(self.node, bytes);
-                let deliver_at = Instant::now() + latency + extra_delay;
+                let deliver_at = self
+                    .clock
+                    .now_nanos()
+                    .saturating_add(nanos(latency))
+                    .saturating_add(nanos(extra_delay));
                 self.enqueue(
                     to,
                     Envelope { from: self.node, payload: payload.clone(), deliver_at },
@@ -347,8 +394,8 @@ impl<M: Message> Endpoint<M> {
             }
             FaultVerdict::Reorder => {
                 self.stats.record_reordered();
-                let envelope =
-                    Envelope { from: self.node, payload, deliver_at: Instant::now() + latency };
+                let deliver_at = self.clock.now_nanos().saturating_add(nanos(latency));
+                let envelope = Envelope { from: self.node, payload, deliver_at };
                 self.reorder_stash.lock().unwrap().entry(to).or_default().push(envelope);
                 Ok(())
             }
@@ -357,12 +404,12 @@ impl<M: Message> Endpoint<M> {
                 if payload.corrupt(salt) {
                     self.stats.record_corrupted();
                 }
-                let envelope = Envelope {
-                    from: self.node,
-                    payload,
-                    deliver_at: Instant::now() + latency + extra_delay,
-                };
-                self.enqueue(to, envelope)?;
+                let deliver_at = self
+                    .clock
+                    .now_nanos()
+                    .saturating_add(nanos(latency))
+                    .saturating_add(nanos(extra_delay));
+                self.enqueue(to, Envelope { from: self.node, payload, deliver_at })?;
                 self.release_stash_for(to)
             }
         }
@@ -402,18 +449,15 @@ impl<M: Message> Endpoint<M> {
         unreachable
     }
 
-    fn wait_for_delivery(envelope: Envelope<M>) -> Envelope<M> {
-        let now = Instant::now();
-        if envelope.deliver_at > now {
-            std::thread::sleep(envelope.deliver_at - now);
-        }
+    fn wait_for_delivery(&self, envelope: Envelope<M>) -> Envelope<M> {
+        self.clock.sleep_until_nanos(envelope.deliver_at);
         envelope
     }
 
     /// Blocking receive.
     pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
         match self.receiver.recv() {
-            Ok(env) => Ok(Self::wait_for_delivery(env)),
+            Ok(env) => Ok(self.wait_for_delivery(env)),
             Err(_) => Err(RecvError::Disconnected),
         }
     }
@@ -422,7 +466,7 @@ impl<M: Message> Endpoint<M> {
     /// queued message may add up to one latency of sleep on top.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
         match self.receiver.recv_timeout(timeout) {
-            Ok(env) => Ok(Self::wait_for_delivery(env)),
+            Ok(env) => Ok(self.wait_for_delivery(env)),
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
         }
@@ -431,7 +475,7 @@ impl<M: Message> Endpoint<M> {
     /// Non-blocking receive; returns `Timeout` when the queue is empty.
     pub fn try_recv(&self) -> Result<Envelope<M>, RecvError> {
         match self.receiver.try_recv() {
-            Ok(env) => Ok(Self::wait_for_delivery(env)),
+            Ok(env) => Ok(self.wait_for_delivery(env)),
             Err(TryRecvError::Empty) => Err(RecvError::Timeout),
             Err(TryRecvError::Disconnected) => Err(RecvError::Disconnected),
         }
@@ -441,7 +485,7 @@ impl<M: Message> Endpoint<M> {
     pub fn drain(&self) -> Vec<Envelope<M>> {
         let mut out = Vec::new();
         while let Ok(env) = self.receiver.try_recv() {
-            out.push(Self::wait_for_delivery(env));
+            out.push(self.wait_for_delivery(env));
         }
         out
     }
@@ -455,6 +499,8 @@ impl<M: Message> Endpoint<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use star_common::clock::VirtualClock;
+    use std::time::Instant;
 
     #[derive(Debug, Clone, PartialEq)]
     struct TestMsg(u64, usize);
@@ -540,6 +586,31 @@ mod tests {
         eps[0].send(1, TestMsg(1, 1)).unwrap();
         let _ = eps[1].recv().unwrap();
         assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn virtual_clock_delivers_without_real_sleep() {
+        // Even with a large configured latency, a virtual clock jumps to the
+        // deadline instead of sleeping: delivery is immediate in real time
+        // and the clock lands exactly on the deadline.
+        let config = NetworkConfig::with_latency(Duration::from_secs(3600));
+        let clock = Arc::new(VirtualClock::new());
+        let (net, eps) =
+            SimNetwork::new_with_clock::<TestMsg>(2, config, Arc::clone(&clock) as Arc<dyn Clock>);
+        let start = Instant::now();
+        eps[0].send(1, TestMsg(9, 1)).unwrap();
+        let env = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.payload, TestMsg(9, 1));
+        assert!(start.elapsed() < Duration::from_secs(60));
+        assert_eq!(net.clock().now_nanos(), 3600 * 1_000_000_000);
+        assert_eq!(env.deliver_at_nanos(), 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn envelope_constructor_round_trips() {
+        let env = Envelope::new(3, TestMsg(1, 2), 77);
+        assert_eq!(env.from, 3);
+        assert_eq!(env.deliver_at_nanos(), 77);
     }
 
     #[test]

@@ -22,7 +22,15 @@
 //! `crossbeam`, with latency enforced by the receiver sleeping until the
 //! message's delivery deadline. This preserves ordering per link (which the
 //! operation-replication correctness argument relies on) while modelling the
-//! round-trip costs that dominate the baselines' behaviour.
+//! round-trip costs that dominate the baselines' behaviour. Delivery
+//! deadlines come from an injected [`star_common::clock::Clock`] (wall clock
+//! by default, virtual clock for fully deterministic runs), so no code on the
+//! message path reads real time directly.
+//!
+//! The [`transport::Transport`] trait is the seam between the engine's
+//! execution paths and the substrate: the in-memory [`Endpoint`] implements
+//! it, and so does the TCP mesh in `star-serverd`, which is how the
+//! transport-parity harness proves wire == simulation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,7 +38,9 @@
 pub mod endpoint;
 pub mod fault;
 pub mod stats;
+pub mod transport;
 
 pub use endpoint::{Endpoint, Envelope, Message, NetworkConfig, RecvError, SendError, SimNetwork};
 pub use fault::{FaultPlane, FaultVerdict, LinkFaults};
 pub use stats::NetStats;
+pub use transport::Transport;

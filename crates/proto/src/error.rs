@@ -1,0 +1,69 @@
+//! Typed decode errors.
+//!
+//! Every way a frame can be malformed maps to a distinct variant, and the
+//! decoder guarantees it returns one of these instead of panicking — the
+//! wire is attacker-adjacent input, and `star-lint` keeps the whole crate in
+//! panic-freedom scope to enforce it statically.
+
+use std::fmt;
+
+/// Why a frame (or frame body) failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a complete value: `needed` more bytes were
+    /// required but only `have` remained.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The frame does not start with the `STAR` magic.
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is not one this peer speaks.
+    UnsupportedVersion(u16),
+    /// The frame header's kind byte names no known message.
+    UnknownKind(u8),
+    /// A tag byte inside a frame body names no known variant.
+    UnknownTag {
+        /// What was being decoded when the tag appeared.
+        context: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The frame's declared body length exceeds the protocol maximum (a
+    /// corrupt length prefix would otherwise ask the receiver to buffer
+    /// gigabytes).
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// The protocol's maximum body length.
+        max: usize,
+    },
+    /// The body was structurally invalid in some other way (bad UTF-8, a
+    /// count prefix pointing past the input, a nested entry that failed to
+    /// parse).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} more byte(s), have {have}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::UnknownTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag}")
+            }
+            DecodeError::Oversized { len, max } => {
+                write!(f, "frame body of {len} byte(s) exceeds the {max}-byte maximum")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

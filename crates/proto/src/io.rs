@@ -1,0 +1,72 @@
+//! Blocking frame I/O over any byte stream.
+//!
+//! `star-serverd` and `star-client` both speak frames over [`TcpStream`]s;
+//! this module is the one place that turns a byte stream into messages. The
+//! reader trusts nothing: the header is validated before `body_len` is used
+//! as a read size, and every decode failure surfaces as a typed
+//! [`DecodeError`] wrapped in [`io::ErrorKind::InvalidData`].
+//!
+//! [`TcpStream`]: std::net::TcpStream
+
+use crate::frame::{decode_frame_header, FRAME_HEADER_LEN};
+use crate::message::WireMessage;
+use std::io::{self, Read, Write};
+
+/// Writes one complete frame to `writer` (no implicit flush; callers batch
+/// pipelined frames and flush once).
+pub fn write_message<W: Write>(writer: &mut W, message: &WireMessage) -> io::Result<()> {
+    writer.write_all(&message.encode())
+}
+
+/// Reads exactly one frame from `reader` and decodes it.
+///
+/// Errors pass through from the underlying reader (including timeouts on
+/// sockets with a read deadline, which callers use to poll a shutdown flag);
+/// malformed frames become [`io::ErrorKind::InvalidData`] carrying the
+/// [`DecodeError`](crate::DecodeError) as their source.
+pub fn read_message<R: Read>(reader: &mut R) -> io::Result<WireMessage> {
+    let mut header_raw = [0u8; FRAME_HEADER_LEN];
+    reader.read_exact(&mut header_raw)?;
+    let header = decode_frame_header(&header_raw)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut body = vec![0u8; header.body_len];
+    reader.read_exact(&mut body)?;
+    WireMessage::decode_body(header.kind, &body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Request, WireMessage};
+
+    #[test]
+    fn messages_round_trip_through_a_stream() {
+        let mut buf: Vec<u8> = Vec::new();
+        let a = WireMessage::Request { id: 1, body: Request::Ping };
+        let b = WireMessage::Request { id: 2, body: Request::Shutdown };
+        write_message(&mut buf, &a).unwrap();
+        write_message(&mut buf, &b).unwrap();
+        let mut cursor = buf.as_slice();
+        assert_eq!(read_message(&mut cursor).unwrap(), a);
+        assert_eq!(read_message(&mut cursor).unwrap(), b);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, &WireMessage::Request { id: 1, body: Request::Ping }).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = buf.as_slice();
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn garbage_header_is_invalid_data() {
+        let raw = [0u8; FRAME_HEADER_LEN];
+        let mut cursor = raw.as_slice();
+        let err = read_message(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -133,7 +133,9 @@ impl LogEntry {
     }
 }
 
-fn encode_field(field: &FieldValue, buf: &mut BytesMut) {
+/// Encodes one field value (tag byte + payload, little-endian). Part of the
+/// shared binary vocabulary also used by the `star-proto` wire protocol.
+pub fn encode_field(field: &FieldValue, buf: &mut BytesMut) {
     match field {
         FieldValue::U64(v) => {
             buf.put_u8(0);
@@ -160,7 +162,9 @@ fn encode_field(field: &FieldValue, buf: &mut BytesMut) {
     }
 }
 
-fn decode_field(buf: &mut impl Buf) -> Result<FieldValue> {
+/// Decodes one field value from the front of `buf`. Every read is bounds
+/// checked; malformed input yields a typed error, never a panic.
+pub fn decode_field(buf: &mut impl Buf) -> Result<FieldValue> {
     if buf.remaining() < 1 {
         return Err(Error::Durability("truncated field".into()));
     }
@@ -207,18 +211,27 @@ fn decode_field(buf: &mut impl Buf) -> Result<FieldValue> {
     }
 }
 
-fn encode_row(row: &Row, buf: &mut BytesMut) {
+/// Encodes a row as a field count followed by its fields.
+pub fn encode_row(row: &Row, buf: &mut BytesMut) {
     buf.put_u32_le(row.len() as u32);
     for field in row.iter() {
         encode_field(field, buf);
     }
 }
 
-fn decode_row(buf: &mut impl Buf) -> Result<Row> {
+/// Decodes a row from the front of `buf`. Bounds checked like
+/// [`decode_field`].
+pub fn decode_row(buf: &mut impl Buf) -> Result<Row> {
     if buf.remaining() < 4 {
         return Err(Error::Durability("truncated row".into()));
     }
     let n = buf.get_u32_le() as usize;
+    // Every field occupies at least one byte, so a count beyond the
+    // remaining input is certainly truncated — reject it before trusting it
+    // as an allocation hint.
+    if n > buf.remaining() {
+        return Err(Error::Durability("truncated row".into()));
+    }
     let mut fields = Vec::with_capacity(n);
     for _ in 0..n {
         fields.push(decode_field(buf)?);
@@ -226,7 +239,8 @@ fn decode_row(buf: &mut impl Buf) -> Result<Row> {
     Ok(Row::new(fields))
 }
 
-fn encode_operation(op: &Operation, buf: &mut BytesMut) {
+/// Encodes an operation (tag byte + operands; recursive for `Multi`).
+pub fn encode_operation(op: &Operation, buf: &mut BytesMut) {
     match op {
         Operation::SetField { field, value } => {
             buf.put_u8(0);
@@ -264,28 +278,43 @@ fn encode_operation(op: &Operation, buf: &mut BytesMut) {
     }
 }
 
-fn decode_operation(buf: &mut impl Buf) -> Result<Operation> {
+/// Decodes an operation from the front of `buf`. Bounds checked like
+/// [`decode_field`].
+pub fn decode_operation(buf: &mut impl Buf) -> Result<Operation> {
     if buf.remaining() < 1 {
         return Err(Error::Durability("truncated operation".into()));
     }
+    let truncated = || Error::Durability("truncated operation".into());
     let tag = buf.get_u8();
     match tag {
         0 => {
+            if buf.remaining() < 4 {
+                return Err(truncated());
+            }
             let field = buf.get_u32_le() as usize;
             let value = decode_field(buf)?;
             Ok(Operation::SetField { field, value })
         }
         1 => {
+            if buf.remaining() < 12 {
+                return Err(truncated());
+            }
             let field = buf.get_u32_le() as usize;
             let delta = buf.get_i64_le();
             Ok(Operation::AddI64 { field, delta })
         }
         2 => {
+            if buf.remaining() < 12 {
+                return Err(truncated());
+            }
             let field = buf.get_u32_le() as usize;
             let delta = buf.get_f64_le();
             Ok(Operation::AddF64 { field, delta })
         }
         3 => {
+            if buf.remaining() < 12 {
+                return Err(truncated());
+            }
             let field = buf.get_u32_le() as usize;
             let max_len = buf.get_u32_le() as usize;
             let len = buf.get_u32_le() as usize;
@@ -304,6 +333,10 @@ fn decode_operation(buf: &mut impl Buf) -> Result<Operation> {
                 return Err(Error::Durability("truncated multi operation".into()));
             }
             let count = buf.get_u32_le() as usize;
+            // Each nested operation is at least one byte; see decode_row.
+            if count > buf.remaining() {
+                return Err(truncated());
+            }
             let mut ops = Vec::with_capacity(count);
             for _ in 0..count {
                 ops.push(decode_operation(buf)?);

@@ -31,6 +31,9 @@ pub mod strategy;
 pub mod wal;
 
 pub use commit_queue::{CommitQueue, DrainMode, EpochDrain};
-pub use entry::{LogEntry, Payload};
+pub use entry::{
+    decode_field, decode_operation, decode_row, encode_field, encode_operation, encode_row,
+    LogEntry, Payload,
+};
 pub use strategy::{build_log_entries, ExecutionPhase};
 pub use wal::{truncate_wal_tail, WalReader, WalWriter};

@@ -1,0 +1,59 @@
+//! One node of a STAR TCP cluster.
+//!
+//! ```text
+//! star-serverd --bootstrap cluster.toml --node 1
+//! ```
+//!
+//! Serves until a `Shutdown` request arrives (e.g. `star-admin shutdown`).
+
+use star_serverd::{Bootstrap, NodeServer};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: star-serverd --bootstrap <file> --node <id>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut bootstrap_path: Option<String> = None;
+    let mut node_id: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bootstrap" => bootstrap_path = args.next(),
+            "--node" => node_id = args.next().and_then(|v| v.parse().ok()),
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let (Some(path), Some(node)) = (bootstrap_path, node_id) else {
+        return usage();
+    };
+    let boot = match Bootstrap::from_file(&path) {
+        Ok(boot) => boot,
+        Err(e) => {
+            eprintln!("star-serverd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match NodeServer::start(&boot, node) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("star-serverd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "star-serverd: node {node} serving on {} ({} node(s), {} partition(s), seed {})",
+        server.local_addr(),
+        boot.config.num_nodes,
+        boot.config.partitions,
+        boot.config.seed
+    );
+    server.wait();
+    println!("star-serverd: node {node} shut down");
+    ExitCode::SUCCESS
+}

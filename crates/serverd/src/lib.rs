@@ -1,0 +1,27 @@
+//! `star-serverd`: the real TCP deployment of the STAR engine.
+//!
+//! Each node of a cluster runs one `star-serverd` process, configured by a
+//! shared bootstrap file ([`bootstrap`]). Nodes replicate committed writes
+//! to each other over a TCP mesh ([`transport`]) that implements the same
+//! [`Transport`](star_net::Transport) seam as the deterministic in-memory
+//! endpoint; the per-transaction execution paths are shared with the
+//! simulated engine (`star_core::exec`), so the deployment and the
+//! simulation can only diverge in the transport — which the transport-parity
+//! harness (`tests/parity.rs`) checks by asserting byte-identical committed
+//! histories, election logs and replica digests between the two.
+//!
+//! The node that receives a client's `Run` request acts as the coordinator
+//! ([`coordinator`]), driving the same two-fences-per-iteration stepped
+//! schedule as the engine's `run_iteration_stepped`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bootstrap;
+pub mod coordinator;
+pub mod node;
+pub mod transport;
+
+pub use bootstrap::Bootstrap;
+pub use node::{replica_digest, NodeServer};
+pub use transport::TcpMesh;

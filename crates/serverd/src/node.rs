@@ -1,0 +1,687 @@
+//! One node of the TCP deployment.
+//!
+//! A [`NodeServer`] is the wire-facing shell around exactly the machinery the
+//! simulated engine uses: the same [`Database`] replica layout, the same
+//! seeded worker states, the same per-transaction execution paths from
+//! `star_core::exec`. The only thing TCP-specific is the shell itself — a
+//! listener, one thread per connection, an inbox of replication batches and
+//! the fence barrier that drains it.
+//!
+//! ## The connection state machine
+//!
+//! Every connection speaks frames. Three frame kinds drive a connection:
+//!
+//! * `Hello` → the node replies `HelloAck` (role is informational);
+//! * `Replication` → the batch is appended to the inbox and the per-sender
+//!   arrival counter bumps; no response (one-way stream);
+//! * `Request` → handled, and a `Response` with the same correlation id is
+//!   written back. `Run` turns the receiving node into the coordinator for a
+//!   whole clustered run (see [`crate::coordinator`]).
+//!
+//! ## The fence barrier
+//!
+//! A `Fence { epoch, expected }` request carries, for every sender `s`, the
+//! cumulative number of batches `s` has shipped to this node. The fence
+//! waits until the arrival counters catch up, applies the inbox in arrival
+//! order (disjoint partitions in the partitioned phase and the Thomas write
+//! rule in the single-master phase make cross-link ordering irrelevant),
+//! finalizes the epoch's history, and advances the epoch — the same group
+//! commit the simulated engine performs, minus failure handling, which the
+//! TCP deployment does not yet attempt.
+
+use crate::bootstrap::Bootstrap;
+use crate::transport::TcpMesh;
+use bytes::{BufMut, BytesMut};
+use star_common::stats::RunCounters;
+use star_common::{ClusterConfig, Epoch, NodeId, PartitionId, Result};
+use star_core::exec::{
+    run_one_master_txn, run_one_partitioned_txn, MasterWorkerState, PartitionWorkerState,
+};
+use star_core::history::HistoryRecorder;
+use star_core::messages::ReplicationBatch;
+use star_core::workload::Workload;
+use star_core::MasterElection;
+use star_proto::{
+    decode_entries, write_message, AdminQuery, Request, Response, WireElection, WireMessage,
+    WirePhase, WireStatus, WireTxn,
+};
+use star_replication::encode_row;
+use star_storage::{Database, DatabaseBuilder};
+use std::collections::BTreeMap;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a peer connection keeps retrying while the target node boots.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a fence waits for in-flight replication before giving up.
+const FENCE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-worker execution state behind one mutex: the stepped phases are
+/// single-threaded per node, exactly like the engine's stepped driver.
+struct EngineState {
+    epoch: Epoch,
+    last_committed: Epoch,
+    partition_workers: BTreeMap<PartitionId, PartitionWorkerState>,
+    master_workers: Vec<MasterWorkerState>,
+}
+
+/// Shared state of one node, owned by the listener and every connection
+/// thread.
+pub(crate) struct NodeInner {
+    pub(crate) node: NodeId,
+    pub(crate) config: ClusterConfig,
+    pub(crate) addrs: Vec<String>,
+    pub(crate) db: Arc<Database>,
+    workload: Arc<dyn Workload>,
+    mesh: TcpMesh,
+    counters: RunCounters,
+    pub(crate) history: Arc<HistoryRecorder>,
+    engine: Mutex<EngineState>,
+    inbox: Mutex<Vec<ReplicationBatch>>,
+    recv_counts: Vec<AtomicU64>,
+    elections: Mutex<Vec<MasterElection>>,
+    shutdown: AtomicBool,
+}
+
+/// A running node: its listener thread plus shared state.
+pub struct NodeServer {
+    inner: Arc<NodeInner>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+    addr: String,
+}
+
+impl std::fmt::Debug for NodeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeServer")
+            .field("node", &self.inner.node)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Builds node `id`'s database replica exactly as the simulated cluster
+/// does: full replicas hold everything, partial replicas hold the partitions
+/// they are primary or secondary for, and every held partition is loaded
+/// from the workload's deterministic initial state.
+fn build_replica(config: &ClusterConfig, workload: &dyn Workload, id: NodeId) -> Arc<Database> {
+    let mut builder = DatabaseBuilder::new(config.partitions);
+    for spec in workload.catalog() {
+        builder = builder.table(spec);
+    }
+    if !config.is_full_replica(id) {
+        let held: Vec<PartitionId> = (0..config.partitions)
+            .filter(|p| config.partition_primary(*p) == id || config.partition_secondary(*p) == id)
+            .collect();
+        builder = builder.holding(held);
+    }
+    let db = Arc::new(builder.build());
+    for p in db.held_partitions() {
+        workload.load_partition(&db, p);
+    }
+    db
+}
+
+/// A commutative digest of a replica: per-record FNV-1a over the canonical
+/// encoding of `(table, partition, key, tid, row)`, combined with wrapping
+/// addition so iteration order does not matter. Two replicas holding the
+/// same partitions digest equal iff they hold identical versions.
+pub fn replica_digest(db: &Database) -> (u64, u64) {
+    let mut record_count = 0u64;
+    let mut acc = 0u64;
+    db.for_each_record(|table, partition, key, record| {
+        let result = record.read();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(table);
+        buf.put_u64_le(partition as u64);
+        buf.put_u64_le(key);
+        buf.put_u64_le(result.tid.raw());
+        encode_row(&result.row, &mut buf);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in buf.as_slice() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        acc = acc.wrapping_add(hash);
+        record_count += 1;
+    });
+    (record_count, acc)
+}
+
+impl NodeServer {
+    /// Binds node `id`'s configured address and starts serving.
+    pub fn start(boot: &Bootstrap, id: NodeId) -> Result<NodeServer> {
+        let addr = boot
+            .addrs
+            .get(id)
+            .ok_or_else(|| star_common::Error::Config(format!("no address for node {id}")))?;
+        let listener = TcpListener::bind(addr.as_str())
+            .map_err(|e| star_common::Error::Config(format!("cannot bind {addr}: {e}")))?;
+        Self::start_on(listener, boot, id)
+    }
+
+    /// Starts serving on an already-bound listener (tests bind ephemeral
+    /// ports first, then pass the real addresses in via `boot.addrs`).
+    pub fn start_on(listener: TcpListener, boot: &Bootstrap, id: NodeId) -> Result<NodeServer> {
+        boot.config.validate().map_err(star_common::Error::Config)?;
+        let workload: Arc<dyn Workload> = Arc::new(boot.ycsb());
+        let db = build_replica(&boot.config, workload.as_ref(), id);
+        let initial_master = (boot.config.full_replicas > 0).then(|| boot.config.master_node());
+        let inner = Arc::new(NodeInner {
+            node: id,
+            config: boot.config.clone(),
+            addrs: boot.addrs.clone(),
+            db,
+            workload,
+            mesh: TcpMesh::new(id, boot.addrs.clone()),
+            counters: RunCounters::new(),
+            history: Arc::new(HistoryRecorder::new()),
+            engine: Mutex::new(EngineState {
+                epoch: 1,
+                last_committed: 0,
+                partition_workers: BTreeMap::new(),
+                master_workers: (0..boot.config.workers_per_node)
+                    .map(|w| MasterWorkerState::new(&boot.config, w))
+                    .collect(),
+            }),
+            inbox: Mutex::new(Vec::new()),
+            recv_counts: (0..boot.config.num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            elections: Mutex::new(vec![MasterElection {
+                epoch: 0,
+                master: initial_master,
+                generation: 0,
+            }]),
+            shutdown: AtomicBool::new(false),
+        });
+        let addr =
+            listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| boot.addrs[id].clone());
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| star_common::Error::Config(format!("listener setup: {e}")))?;
+        let accept_inner = Arc::clone(&inner);
+        let listener_thread = std::thread::Builder::new()
+            .name(format!("star-serverd-{id}"))
+            .spawn(move || accept_loop(listener, accept_inner))
+            .map_err(|e| star_common::Error::Config(format!("spawn listener: {e}")))?;
+        Ok(NodeServer { inner, listener_thread: Some(listener_thread), addr })
+    }
+
+    /// The address the node is actually listening on.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests shutdown; the listener and connection threads exit within
+    /// one poll interval.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested (over the wire or locally).
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the node has been shut down.
+    pub fn wait(&self) {
+        while !self.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<NodeInner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let conn_inner = Arc::clone(&inner);
+                let _ = std::thread::Builder::new()
+                    .name(format!("star-serverd-{}-conn", inner.node))
+                    .spawn(move || connection_loop(stream, conn_inner));
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads one frame from `stream`, buffering partial data in `buf` across
+/// read timeouts so a timeout can never split a frame.
+fn poll_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<WireMessage> {
+    loop {
+        if buf.len() >= star_proto::FRAME_HEADER_LEN {
+            let header = star_proto::decode_frame_header(buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let total = star_proto::FRAME_HEADER_LEN + header.body_len;
+            if buf.len() >= total {
+                let (message, consumed) = WireMessage::decode(buf)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                buf.drain(..consumed);
+                return Ok(message);
+            }
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, inner: Arc<NodeInner>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf: Vec<u8> = Vec::new();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let message = match poll_frame(&mut stream, &mut buf) {
+            Ok(message) => message,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        match message {
+            WireMessage::Hello { .. } => {
+                let ack = WireMessage::HelloAck {
+                    node: inner.node as u32,
+                    num_nodes: inner.config.num_nodes as u32,
+                };
+                if write_message(&mut stream, &ack).is_err() {
+                    break;
+                }
+            }
+            WireMessage::HelloAck { .. } | WireMessage::Response { .. } => {
+                // A server never expects these; drop the connection rather
+                // than guess what the peer is.
+                break;
+            }
+            WireMessage::Replication { from, epoch, entries } => {
+                let Ok(decoded) = decode_entries(&entries) else { break };
+                let from = from as usize;
+                if from >= inner.recv_counts.len() {
+                    break;
+                }
+                {
+                    let mut inbox_guard =
+                        inner.inbox.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    inbox_guard.push(ReplicationBatch { from_node: from, epoch, entries: decoded });
+                }
+                inner.recv_counts[from].fetch_add(1, Ordering::SeqCst);
+            }
+            WireMessage::Request { id, body } => {
+                let response = handle_request(&inner, body);
+                let frame = WireMessage::Response { id, body: response };
+                if write_message(&mut stream, &frame).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<NodeInner>, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Get { table, partition, key } => handle_get(inner, table, partition as usize, key),
+        Request::Run { iterations, partitioned_txns, single_master_txns } => {
+            if inner.node != inner.config.master_node() {
+                return Response::Error(format!(
+                    "node {} is not the coordinator (node {})",
+                    inner.node,
+                    inner.config.master_node()
+                ));
+            }
+            match crate::coordinator::run_cluster(
+                inner,
+                iterations,
+                partitioned_txns,
+                single_master_txns,
+            ) {
+                Ok((committed, epochs)) => Response::RunDone { committed, epochs },
+                Err(message) => Response::Error(message),
+            }
+        }
+        Request::RunPhase { phase, epoch, txns } => handle_run_phase(inner, phase, epoch, txns),
+        Request::Fence { epoch, expected } => handle_fence(inner, epoch, &expected),
+        Request::Admin(query) => handle_admin(inner, query),
+        Request::Shutdown => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            Response::Ok
+        }
+    }
+}
+
+fn handle_get(inner: &NodeInner, table: u32, partition: PartitionId, key: u64) -> Response {
+    if partition >= inner.config.partitions {
+        return Response::Error(format!("no such partition {partition}"));
+    }
+    if !inner.db.holds(partition) {
+        return Response::Error(format!("node {} does not hold partition {partition}", inner.node));
+    }
+    match inner.db.get(table, partition, key) {
+        Ok(record) => {
+            let result = record.read();
+            Response::Record { tid: result.tid.raw(), row: Some(result.row) }
+        }
+        Err(_) => Response::Record { tid: 0, row: None },
+    }
+}
+
+fn handle_run_phase(inner: &NodeInner, phase: WirePhase, epoch: Epoch, txns: u64) -> Response {
+    let mut engine_guard = inner.engine.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if engine_guard.epoch != epoch {
+        return Response::Error(format!(
+            "phase for epoch {epoch} but node {} is at epoch {}",
+            inner.node, engine_guard.epoch
+        ));
+    }
+    let committed = match phase {
+        WirePhase::Partitioned => run_partitioned(inner, &mut engine_guard, epoch, txns),
+        WirePhase::SingleMaster => run_single_master(inner, &mut engine_guard, epoch, txns),
+    };
+    Response::PhaseDone { committed, sent: inner.mesh.sent_counts() }
+}
+
+/// The stepped partitioned phase, restricted to the partitions this node is
+/// primary for — the union across nodes is exactly the engine's stepped
+/// partitioned phase, partition by partition, same seeds, same order.
+fn run_partitioned(
+    inner: &NodeInner,
+    engine_state: &mut EngineState,
+    epoch: Epoch,
+    txns: u64,
+) -> u64 {
+    let config = &inner.config;
+    let mut committed = 0u64;
+    for partition in 0..config.partitions {
+        if config.partition_primary(partition) != inner.node {
+            continue;
+        }
+        let targets: Vec<NodeId> = (0..config.num_nodes)
+            .filter(|&n| n != inner.node && config.node_stores_partition(n, partition))
+            .collect();
+        let worker = engine_state
+            .partition_workers
+            .entry(partition)
+            .or_insert_with(|| PartitionWorkerState::new(config, partition));
+        for _ in 0..txns {
+            if run_one_partitioned_txn(
+                partition,
+                inner.node,
+                &targets,
+                &inner.db,
+                &inner.mesh,
+                inner.workload.as_ref(),
+                &inner.counters,
+                None,
+                Some(&inner.history),
+                epoch,
+                config.replication_strategy,
+                worker,
+            ) {
+                committed += 1;
+            }
+        }
+    }
+    committed
+}
+
+/// The stepped single-master phase; a no-op on every node but the elected
+/// master.
+fn run_single_master(
+    inner: &NodeInner,
+    engine_state: &mut EngineState,
+    epoch: Epoch,
+    txns: u64,
+) -> u64 {
+    let elected = {
+        let elections_guard =
+            inner.elections.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        elections_guard.last().and_then(|e| e.master)
+    };
+    if elected != Some(inner.node) {
+        return 0;
+    }
+    let config = &inner.config;
+    let healthy: Vec<NodeId> = (0..config.num_nodes).filter(|&n| n != inner.node).collect();
+    let mut committed = 0u64;
+    for (worker_id, worker) in engine_state.master_workers.iter_mut().enumerate() {
+        for _ in 0..txns {
+            if run_one_master_txn(
+                worker_id,
+                inner.node,
+                &healthy,
+                config,
+                &inner.db,
+                &inner.mesh,
+                inner.workload.as_ref(),
+                &inner.counters,
+                None,
+                Some(&inner.history),
+                epoch,
+                worker,
+            ) {
+                committed += 1;
+            }
+        }
+    }
+    committed
+}
+
+fn handle_fence(inner: &NodeInner, epoch: Epoch, expected: &[u64]) -> Response {
+    if expected.len() != inner.config.num_nodes {
+        return Response::Error(format!(
+            "fence expects {} sender counts, got {}",
+            inner.config.num_nodes,
+            expected.len()
+        ));
+    }
+    // Barrier: wait until everything the senders shipped before the fence
+    // has arrived. Counters are cumulative, so a stale fence can never block
+    // on traffic that already passed.
+    let deadline = Instant::now() + FENCE_TIMEOUT;
+    loop {
+        let caught_up = (0..inner.config.num_nodes)
+            .all(|s| s == inner.node || inner.recv_counts[s].load(Ordering::SeqCst) >= expected[s]);
+        if caught_up {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Response::Error(format!(
+                "fence for epoch {epoch} timed out waiting for replication"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut engine_guard = inner.engine.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if engine_guard.epoch != epoch {
+        return Response::Error(format!(
+            "fence for epoch {epoch} but node {} is at epoch {}",
+            inner.node, engine_guard.epoch
+        ));
+    }
+    let batches = {
+        let mut inbox_guard = inner.inbox.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        std::mem::take(&mut *inbox_guard)
+    };
+    let mut applied = 0u64;
+    for batch in batches {
+        for entry in batch.entries {
+            if inner.db.holds(entry.partition) {
+                let _ = entry.apply(&inner.db);
+                applied += 1;
+            }
+        }
+    }
+    inner.history.finalize_epoch(epoch, true);
+    engine_guard.last_committed = epoch;
+    engine_guard.epoch = epoch + 1;
+    Response::FenceDone { epoch, applied }
+}
+
+fn handle_admin(inner: &NodeInner, query: AdminQuery) -> Response {
+    match query {
+        AdminQuery::Status => {
+            let (epoch, last_committed) = {
+                let engine_guard =
+                    inner.engine.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                (engine_guard.epoch, engine_guard.last_committed)
+            };
+            let (elected, generation) = {
+                let elections_guard =
+                    inner.elections.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                match elections_guard.last() {
+                    Some(e) => (e.master, e.generation),
+                    None => (None, 0),
+                }
+            };
+            Response::Status(WireStatus {
+                node: inner.node as u32,
+                epoch,
+                last_committed,
+                master: elected.map(|m| m as i64).unwrap_or(-1),
+                generation,
+                committed: inner.counters.snapshot().committed,
+                full_replica: inner.db.is_full_replica(),
+            })
+        }
+        AdminQuery::Elections => {
+            let elections_guard =
+                inner.elections.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            Response::Elections(elections_guard.iter().map(WireElection::from_election).collect())
+        }
+        AdminQuery::History => {
+            let committed = inner.history.committed();
+            Response::History(committed.iter().map(WireTxn::from_committed).collect())
+        }
+        AdminQuery::ReplicaDigest => {
+            let (records, digest) = replica_digest(&inner.db);
+            Response::Digest { records, digest }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::Bootstrap;
+    use star_proto::{read_message, Role};
+
+    fn test_bootstrap(nodes: usize) -> (Vec<TcpListener>, Bootstrap) {
+        let listeners: Vec<TcpListener> =
+            (0..nodes).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+        let addrs: Vec<String> =
+            listeners.iter().map(|l| l.local_addr().expect("addr").to_string()).collect();
+        let text = format!(
+            "[cluster]\nnodes = [{}]\nfull_replicas = 1\nworkers_per_node = 1\n\
+             partitions = 4\nseed = 9\n\n[workload]\nrows_per_partition = 32\n\
+             ops_per_transaction = 4\nread_pct = 80.0\ncross_partition_pct = 10.0\n",
+            addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", ")
+        );
+        (listeners, Bootstrap::parse(&text).expect("bootstrap parses"))
+    }
+
+    fn request(stream: &mut TcpStream, id: u64, body: Request) -> Response {
+        write_message(stream, &WireMessage::Request { id, body }).expect("write");
+        match read_message(stream).expect("read") {
+            WireMessage::Response { id: got, body } => {
+                assert_eq!(got, id);
+                body
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_get_and_shutdown_over_tcp() {
+        let (mut listeners, boot) = test_bootstrap(1);
+        let server = NodeServer::start_on(listeners.remove(0), &boot, 0).expect("start");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+        write_message(&mut stream, &WireMessage::Hello { role: Role::Client, node: 0 })
+            .expect("hello");
+        match read_message(&mut stream).expect("ack") {
+            WireMessage::HelloAck { node, num_nodes } => assert_eq!((node, num_nodes), (0, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert_eq!(request(&mut stream, 1, Request::Ping), Response::Pong);
+
+        // Row 0 of partition 0 was loaded by the workload.
+        let key = star_workloads::ycsb::ycsb_key(0, 0);
+        match request(&mut stream, 2, Request::Get { table: 0, partition: 0, key }) {
+            Response::Record { row: Some(_), .. } => {}
+            other => panic!("expected a loaded row, got {other:?}"),
+        }
+        // A key that was never loaded is absent, not an error.
+        match request(&mut stream, 3, Request::Get { table: 0, partition: 0, key: u64::MAX }) {
+            Response::Record { tid: 0, row: None } => {}
+            other => panic!("expected absent row, got {other:?}"),
+        }
+
+        assert_eq!(request(&mut stream, 4, Request::Shutdown), Response::Ok);
+        server.wait();
+    }
+
+    #[test]
+    fn status_reports_initial_election() {
+        let (mut listeners, boot) = test_bootstrap(1);
+        let server = NodeServer::start_on(listeners.remove(0), &boot, 0).expect("start");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        match request(&mut stream, 1, Request::Admin(AdminQuery::Status)) {
+            Response::Status(status) => {
+                assert_eq!(status.node, 0);
+                assert_eq!(status.epoch, 1);
+                assert_eq!(status.last_committed, 0);
+                assert_eq!(status.master, 0);
+                assert_eq!(status.generation, 0);
+                assert!(status.full_replica);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match request(&mut stream, 2, Request::Admin(AdminQuery::Elections)) {
+            Response::Elections(log) => {
+                assert_eq!(log, vec![WireElection { epoch: 0, master: 0, generation: 0 }]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn replica_digest_is_iteration_order_independent_and_state_sensitive() {
+        let (_listeners, boot) = test_bootstrap(1);
+        let workload: Arc<dyn Workload> = Arc::new(boot.ycsb());
+        let a = build_replica(&boot.config, workload.as_ref(), 0);
+        let b = build_replica(&boot.config, workload.as_ref(), 0);
+        assert_eq!(replica_digest(&a), replica_digest(&b), "identical replicas digest equal");
+        use star_common::{row::row, FieldValue, Tid};
+        b.apply_value_write(
+            0,
+            0,
+            star_workloads::ycsb::ycsb_key(0, 0),
+            row([FieldValue::U64(1)]),
+            Tid::new(1, 1),
+        )
+        .expect("write");
+        assert_ne!(replica_digest(&a).1, replica_digest(&b).1, "a divergent row changes it");
+    }
+}

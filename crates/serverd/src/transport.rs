@@ -1,0 +1,107 @@
+//! The real-network twin of the simulated endpoint: a TCP mesh.
+//!
+//! [`TcpMesh`] implements the same [`Transport`] seam the deterministic
+//! in-memory [`Endpoint`](star_net::Endpoint) does, so the shared
+//! per-transaction execution paths in `star_core::exec` replicate over real
+//! sockets without a single engine-side branch. One lazily-connected,
+//! mutex-guarded stream exists per peer; batches on one link are therefore
+//! FIFO, which is the only ordering the fence protocol needs (operation
+//! entries of one partition all travel one link; value entries commute under
+//! the Thomas write rule).
+
+use crate::node::CONNECT_TIMEOUT;
+use star_core::messages::ReplicationBatch;
+use star_net::{SendError, Transport};
+use star_proto::{replication_frame, write_message};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// TCP connections from one node to every peer, plus cumulative per-peer
+/// batch counters — the sent side of the fence's "wait until everything a
+/// phase shipped has arrived" barrier.
+pub struct TcpMesh {
+    node: usize,
+    addrs: Vec<String>,
+    links: Vec<Mutex<Option<TcpStream>>>,
+    sent: Vec<AtomicU64>,
+}
+
+impl std::fmt::Debug for TcpMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpMesh").field("node", &self.node).field("peers", &self.addrs).finish()
+    }
+}
+
+impl TcpMesh {
+    /// A mesh for `node`, whose peers listen on `addrs` (`addrs[i]` = node
+    /// `i`). No connections are opened until the first send to each peer.
+    pub fn new(node: usize, addrs: Vec<String>) -> Self {
+        let links = addrs.iter().map(|_| Mutex::new(None)).collect();
+        let sent = addrs.iter().map(|_| AtomicU64::new(0)).collect();
+        TcpMesh { node, addrs, links, sent }
+    }
+
+    /// Cumulative replication batches sent to each peer since construction.
+    /// Reported in `PhaseDone` so the coordinator can tell each receiver how
+    /// many batches its next fence must wait for.
+    pub fn sent_counts(&self) -> Vec<u64> {
+        self.sent.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Connects to `to`, retrying while the peer is still booting.
+    fn connect(&self, to: usize) -> Result<TcpStream, SendError> {
+        let addr = self.addrs.get(to).ok_or(SendError::NoSuchNode(to))?;
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(_) => return Err(SendError::Disconnected(to)),
+            }
+        }
+    }
+}
+
+impl Transport<ReplicationBatch> for TcpMesh {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn send(&self, to: usize, payload: ReplicationBatch) -> Result<(), SendError> {
+        if to >= self.addrs.len() {
+            return Err(SendError::NoSuchNode(to));
+        }
+        let frame = replication_frame(payload.from_node, payload.epoch, &payload.entries);
+        let mut link_guard = match self.links[to].lock() {
+            Ok(guard) => guard,
+            Err(_) => return Err(SendError::Disconnected(to)),
+        };
+        if link_guard.is_none() {
+            *link_guard = Some(self.connect(to)?);
+        }
+        let Some(stream) = link_guard.as_mut() else {
+            return Err(SendError::Disconnected(to));
+        };
+        if write_message(stream, &frame).is_err() {
+            // One reconnect attempt: the peer may have restarted.
+            *link_guard = Some(self.connect(to)?);
+            let Some(stream) = link_guard.as_mut() else {
+                return Err(SendError::Disconnected(to));
+            };
+            write_message(stream, &frame).map_err(|_| SendError::Disconnected(to))?;
+        }
+        self.sent[to].fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+}

@@ -1,0 +1,182 @@
+//! Bootstrap-file parsing coverage: valid and invalid node lists, duplicate
+//! node ids, missing full-replica counts, grammar errors, and the
+//! `ClusterConfig::to_builder()` round trip.
+
+use star_serverd::Bootstrap;
+
+const VALID: &str = r#"
+    [cluster]
+    nodes = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+    full_replicas = 2
+    workers_per_node = 2
+    partitions = 9
+    seed = 1234
+
+    [workload]
+    rows_per_partition = 128
+    ops_per_transaction = 8
+    read_pct = 75.0
+    cross_partition_pct = 15.0
+"#;
+
+/// Parses `text`, expecting failure, and returns the error message.
+fn parse_err(text: &str) -> String {
+    match Bootstrap::parse(text) {
+        Ok(boot) => panic!("expected parse error, got {boot:?}"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn valid_file_builds_the_expected_config() {
+    let boot = Bootstrap::parse(VALID).expect("valid file parses");
+    assert_eq!(boot.addrs, vec!["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]);
+    assert_eq!(boot.config.num_nodes, 3);
+    assert_eq!(boot.config.full_replicas, 2);
+    assert_eq!(boot.config.workers_per_node, 2);
+    assert_eq!(boot.config.partitions, 9);
+    assert_eq!(boot.config.seed, 1234);
+    assert_eq!(boot.workload.partitions, 9, "workload inherits the cluster partition count");
+    assert_eq!(boot.workload.rows_per_partition, 128);
+    assert_eq!(boot.workload.ops_per_transaction, 8);
+    assert!((boot.workload.read_fraction - 0.75).abs() < 1e-9);
+    assert!((boot.workload.cross_partition_fraction - 0.15).abs() < 1e-9);
+}
+
+#[test]
+fn optional_keys_fall_back_to_builder_defaults() {
+    let boot = Bootstrap::parse(
+        "[cluster]\nnodes = [\"127.0.0.1:7101\", \"127.0.0.1:7102\"]\nfull_replicas = 1\n",
+    )
+    .expect("minimal file parses");
+    assert_eq!(boot.config.num_nodes, 2);
+    // Everything unspecified comes from ClusterConfig::builder(), so the
+    // file can never produce a config the engine would not.
+    let defaults = star_common::ClusterConfig::builder()
+        .nodes(2)
+        .full_replicas(1)
+        .network_latency(std::time::Duration::ZERO)
+        .build()
+        .expect("builder defaults");
+    assert_eq!(boot.config, defaults);
+}
+
+#[test]
+fn empty_node_list_is_rejected() {
+    let text = "[cluster]\nnodes = []\nfull_replicas = 1\n";
+    assert!(parse_err(text).contains("nodes must be non-empty"), "{}", parse_err(text));
+}
+
+#[test]
+fn non_array_node_list_is_rejected() {
+    let text = "[cluster]\nnodes = 3\nfull_replicas = 1\n";
+    assert!(parse_err(text).contains("must be an array"), "{}", parse_err(text));
+}
+
+#[test]
+fn unquoted_node_list_items_are_rejected() {
+    let text = "[cluster]\nnodes = [127.0.0.1:7101]\nfull_replicas = 1\n";
+    assert!(parse_err(text).contains("quoted strings"), "{}", parse_err(text));
+}
+
+#[test]
+fn missing_node_list_is_rejected() {
+    let text = "[cluster]\nfull_replicas = 1\n";
+    assert!(parse_err(text).contains("missing [cluster] nodes"), "{}", parse_err(text));
+}
+
+#[test]
+fn duplicate_node_addresses_are_rejected() {
+    let text = "[cluster]\nnodes = [\"127.0.0.1:7101\", \"127.0.0.1:7101\"]\nfull_replicas = 1\n";
+    let err = parse_err(text);
+    assert!(err.contains("duplicate node address"), "{err}");
+    assert!(err.contains("127.0.0.1:7101"), "{err}");
+}
+
+#[test]
+fn node_address_without_port_is_rejected() {
+    let text = "[cluster]\nnodes = [\"localhost\"]\nfull_replicas = 1\n";
+    assert!(parse_err(text).contains("has no port"), "{}", parse_err(text));
+}
+
+#[test]
+fn missing_full_replicas_is_rejected() {
+    let text = "[cluster]\nnodes = [\"127.0.0.1:7101\"]\n";
+    assert!(parse_err(text).contains("missing [cluster] full_replicas"), "{}", parse_err(text));
+}
+
+#[test]
+fn full_replica_count_is_checked_by_the_builder() {
+    // More full replicas than nodes: the bootstrap parser itself accepts the
+    // file, but ClusterConfig::builder() must refuse the topology.
+    let text = "[cluster]\nnodes = [\"127.0.0.1:7101\", \"127.0.0.1:7102\"]\nfull_replicas = 3\n";
+    assert!(Bootstrap::parse(text).is_err());
+}
+
+#[test]
+fn missing_cluster_section_is_rejected() {
+    let text = "[workload]\nread_pct = 50\n";
+    assert!(parse_err(text).contains("missing [cluster] section"), "{}", parse_err(text));
+}
+
+#[test]
+fn unknown_sections_and_keys_are_rejected() {
+    let base = "[cluster]\nnodes = [\"127.0.0.1:7101\"]\nfull_replicas = 1\n";
+    assert!(parse_err(&format!("{base}[storage]\npath = 1\n")).contains("unknown section"));
+    assert!(parse_err(&format!("{base}threads = 4\n")).contains("unknown [cluster] key"));
+    assert!(
+        parse_err(&format!("{base}[workload]\nzipf = 0.5\n")).contains("unknown [workload] key")
+    );
+}
+
+#[test]
+fn percentages_must_stay_in_range() {
+    let base = "[cluster]\nnodes = [\"127.0.0.1:7101\"]\nfull_replicas = 1\n[workload]\n";
+    assert!(parse_err(&format!("{base}read_pct = 101\n")).contains("between 0 and 100"));
+    assert!(parse_err(&format!("{base}cross_partition_pct = -0.5\n")).contains("between 0 and 100"));
+}
+
+#[test]
+fn grammar_errors_carry_line_numbers() {
+    assert!(parse_err("[cluster]\n[cluster]\n").contains("line 2: duplicate section"));
+    assert!(parse_err("[cluster]\nseed = 1\nseed = 2\n").contains("line 3: duplicate key"));
+    assert!(parse_err("seed = 1\n").contains("line 1: key before any [section]"));
+    assert!(parse_err("[cluster]\nnot a pair\n").contains("line 2: expected `key = value`"));
+    assert!(parse_err("[cluster]\nseed = what\n").contains("line 2: cannot parse value"));
+}
+
+#[test]
+fn comments_and_whitespace_are_ignored() {
+    let text = "  # header comment\n\n[cluster]  # trailing\n  nodes = [\"127.0.0.1:7101\"]  # one node\nfull_replicas = 1\n";
+    let boot = Bootstrap::parse(text).expect("commented file parses");
+    assert_eq!(boot.addrs, vec!["127.0.0.1:7101"]);
+}
+
+#[test]
+fn config_round_trips_through_to_builder() {
+    let boot = Bootstrap::parse(VALID).expect("valid file parses");
+    let rebuilt = boot.config.to_builder().build().expect("to_builder() output rebuilds");
+    assert_eq!(rebuilt, boot.config);
+}
+
+#[test]
+fn render_round_trips_through_parse() {
+    let boot = Bootstrap::parse(VALID).expect("valid file parses");
+    let rendered = boot.render();
+    assert_eq!(Bootstrap::parse(&rendered).expect("rendered text parses"), boot);
+}
+
+#[test]
+fn from_file_round_trips_and_reports_missing_files() {
+    let dir = std::env::temp_dir().join(format!("star-bootstrap-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("cluster.toml");
+    std::fs::write(&path, VALID).expect("write bootstrap");
+    let from_file = Bootstrap::from_file(&path).expect("file parses");
+    assert_eq!(from_file, Bootstrap::parse(VALID).unwrap());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    let missing = Bootstrap::from_file(dir.join("nope.toml"));
+    assert!(missing.is_err());
+    assert!(missing.unwrap_err().to_string().contains("cannot read bootstrap file"));
+}

@@ -26,7 +26,7 @@ pub fn ycsb_key(partition: PartitionId, offset: u64) -> u64 {
 }
 
 /// Configuration of the YCSB workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YcsbConfig {
     /// Number of partitions.
     pub partitions: usize,

@@ -108,9 +108,15 @@ lock-witness:
     cargo test -q -p star-chaos --features lock-witness --test lock_witness
     cargo test -q -p parking_lot --features lock-witness
 
+# Boot a real 3-node localhost cluster, drive the seeded YCSB client over
+# TCP, inspect it with star-admin, and run the transport-parity suite
+# (wire == simulation, byte for byte). Server logs land in the log dir.
+server-smoke logdir="target/server-smoke":
+    ./scripts/server_smoke.sh {{logdir}}
+
 # Regenerate the paper's figures (quick scale).
 figures:
     cargo run --release -p star-bench --bin figures -- --quick all
 
 # Everything CI checks, locally.
-ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus
+ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus server-smoke

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Boots a real 3-node localhost star-serverd cluster, drives the seeded YCSB
+# client end-to-end, inspects it with star-admin, shuts it down cleanly, and
+# then runs the transport-parity suite (wire == simulation, byte for byte).
+#
+# Usage: scripts/server_smoke.sh [log-dir]
+#
+# Logs land in the log dir (default target/server-smoke) and are left in
+# place on failure so CI can upload them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LOG_DIR="${1:-target/server-smoke}"
+# Derive a port base from the PID so parallel runs on one machine don't
+# collide; three consecutive ports are used.
+PORT_BASE=$((20000 + $$ % 20000))
+BOOTSTRAP="$LOG_DIR/cluster.toml"
+
+mkdir -p "$LOG_DIR"
+rm -f "$LOG_DIR"/node-*.log
+
+cat > "$BOOTSTRAP" <<EOF
+[cluster]
+nodes = ["127.0.0.1:$PORT_BASE", "127.0.0.1:$((PORT_BASE + 1))", "127.0.0.1:$((PORT_BASE + 2))"]
+full_replicas = 1
+workers_per_node = 1
+partitions = 6
+seed = 42
+
+[workload]
+rows_per_partition = 100
+ops_per_transaction = 4
+read_pct = 80.0
+cross_partition_pct = 10.0
+EOF
+
+echo "== server-smoke: building binaries"
+cargo build --release -p star-serverd -p star-client
+
+SERVERD=target/release/star-serverd
+CLIENT=target/release/star-client
+ADMIN=target/release/star-admin
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+echo "== server-smoke: booting 3 nodes (ports $PORT_BASE-$((PORT_BASE + 2)), logs in $LOG_DIR)"
+for node in 0 1 2; do
+    "$SERVERD" --bootstrap "$BOOTSTRAP" --node "$node" > "$LOG_DIR/node-$node.log" 2>&1 &
+    PIDS+=($!)
+done
+
+echo "== server-smoke: driving seeded YCSB through the wire"
+"$CLIENT" --bootstrap "$BOOTSTRAP" --iterations 3 --partitioned-txns 50 --single-master-txns 20
+
+echo "== server-smoke: inspecting the live cluster"
+"$ADMIN" --bootstrap "$BOOTSTRAP" status
+"$ADMIN" --bootstrap "$BOOTSTRAP" elections
+"$ADMIN" --bootstrap "$BOOTSTRAP" digest
+
+echo "== server-smoke: shutting the cluster down"
+"$ADMIN" --bootstrap "$BOOTSTRAP" shutdown
+for pid in "${PIDS[@]}"; do
+    wait "$pid"
+done
+PIDS=()
+
+echo "== server-smoke: transport-parity suite (wire == simulation)"
+cargo test --release -p star-serverd --test parity
+
+echo "== server-smoke: OK"
