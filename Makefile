@@ -22,10 +22,10 @@ bench:
 
 # Refresh the committed BENCH_*.json baselines with CI's exact configuration.
 bench-baseline:
-	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --threads-sweep
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --threads-sweep --zipf-sweep
 
 bench-smoke:
-	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --check --threads-sweep
+	cargo run --release -p star-bench --bin star-bench -- --quick --seed $(SEED) --check --threads-sweep --zipf-sweep
 
 bench-contention:
 	cargo run --release -p star-bench --bin star-bench -- --contention-only

@@ -63,10 +63,11 @@ pub struct Calvin {
     store: Arc<Database>,
     /// Optional replica of the store, brought up to date at the end of each
     /// batch through the fault-injectable [`ReplicaLink`]. Calvin proper
-    /// replicates *inputs*; the backup here materialises the replica group's
-    /// applied state so the chaos harness can compare it against the
-    /// sequential oracle under replication faults. Attached on demand so
-    /// benchmark runs pay nothing for it.
+    /// replicates *inputs* and the second replica group re-executes them; the
+    /// backup here materialises that group's applied state, both for the
+    /// chaos harness (replica comparison under faults) and for the benchmark
+    /// suite, which attaches it so Calvin-2 pays its replica group's apply
+    /// work like every other engine in the comparison.
     backup: Option<Arc<Database>>,
     link: Arc<ReplicaLink>,
     counters: Arc<RunCounters>,

@@ -16,10 +16,15 @@
 //! `--check` compares the fresh sweep against the `BENCH_*.json` committed in
 //! `--out-dir` *before* overwriting them, and exits non-zero when any
 //! engine/workload/cross-partition point lost more throughput than
-//! `--max-regression` allows (default 25%).
+//! `--max-regression` allows (default 25%). With `--threads-sweep` it also
+//! fails when STAR's throughput drops non-monotonically as worker threads
+//! grow (beyond a small noise tolerance), baseline or not. `--zipf-sweep`
+//! adds the hot-key contention lane (`BENCH_ycsb_zipf.json`), sweeping the
+//! YCSB Zipfian skew from uniform to θ = 0.99.
 
 use star_bench::suite::{
-    check_against_baseline, contention_microbench, parse_baseline, BenchPoint, BenchSuite,
+    check_against_baseline, check_thread_monotonicity, contention_microbench, parse_baseline,
+    BenchPoint, BenchSuite, MONOTONICITY_TOLERANCE,
 };
 use star_bench::Scale;
 use std::path::{Path, PathBuf};
@@ -35,14 +40,15 @@ struct Options {
     skip_contention: bool,
     threads: usize,
     threads_sweep: bool,
+    zipf_sweep: bool,
     profile: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: star-bench [--quick] [--seed N] [--out-dir DIR] [--check] \
-         [--max-regression FRACTION] [--threads N] [--threads-sweep] [--profile] \
-         [--contention-only] [--skip-contention]"
+         [--max-regression FRACTION] [--threads N] [--threads-sweep] [--zipf-sweep] \
+         [--profile] [--contention-only] [--skip-contention]"
     );
     std::process::exit(2);
 }
@@ -58,6 +64,7 @@ fn parse_options() -> Options {
         skip_contention: false,
         threads: 8,
         threads_sweep: false,
+        zipf_sweep: false,
         profile: false,
     };
     let mut args = std::env::args().skip(1);
@@ -101,6 +108,7 @@ fn parse_options() -> Options {
             "--contention-only" => options.contention_only = true,
             "--skip-contention" => options.skip_contention = true,
             "--threads-sweep" => options.threads_sweep = true,
+            "--zipf-sweep" => options.zipf_sweep = true,
             "--profile" => options.profile = true,
             "--help" | "-h" => usage(),
             other => {
@@ -228,6 +236,7 @@ fn main() {
         println!("  wrote {} ({} points)\n", path.display(), points.len());
     }
 
+    let mut monotonicity_violations = Vec::new();
     if options.threads_sweep {
         let path = options.out_dir.join("BENCH_threads.json");
         // The thread-scaling lane gates like the main sweeps: against its own
@@ -241,6 +250,11 @@ fn main() {
         if let Some(baseline) = baseline {
             failures.extend(check_against_baseline(&points, &baseline, options.max_regression));
         }
+        // The structural gate on this PR's headline fix: STAR throughput must
+        // not collapse as worker threads grow, regardless of any baseline.
+        if options.check {
+            monotonicity_violations = check_thread_monotonicity(&points, MONOTONICITY_TOLERANCE);
+        }
         std::fs::write(&path, BenchSuite::to_json(&points)).unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -248,6 +262,31 @@ fn main() {
         println!("  wrote {} ({} points)\n", path.display(), points.len());
     }
 
+    if options.zipf_sweep {
+        let path = options.out_dir.join("BENCH_ycsb_zipf.json");
+        // The hot-key contention lane gates exactly like the thread lane.
+        let baseline = options
+            .check
+            .then(|| std::fs::read_to_string(&path).ok().and_then(|t| parse_baseline(&t).ok()))
+            .flatten();
+        let points = suite.zipf_scaling();
+        if let Some(baseline) = baseline {
+            failures.extend(check_against_baseline(&points, &baseline, options.max_regression));
+        }
+        std::fs::write(&path, BenchSuite::to_json(&points)).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("  wrote {} ({} points)\n", path.display(), points.len());
+    }
+
+    if !monotonicity_violations.is_empty() {
+        eprintln!("thread-scaling monotonicity check failed:");
+        for violation in &monotonicity_violations {
+            eprintln!("  {violation}");
+        }
+        std::process::exit(1);
+    }
     if !failures.is_empty() {
         eprintln!("throughput regressions beyond {:.0}% detected:", options.max_regression * 100.0);
         for regression in &failures {

@@ -22,9 +22,21 @@ use std::time::{Duration, Instant};
 /// dominated by the single-master phase.
 pub const SWEEP_CROSS_PCTS: [f64; 4] = [0.0, 10.0, 50.0, 90.0];
 
-/// Worker-thread counts of the thread-scaling sweep (STAR only, fixed 10%
+/// Worker-thread counts of the thread-scaling sweep (every engine, fixed 10%
 /// cross-partition mix).
 pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Zipfian skew exponents of the hot-key contention lane: uniform, moderate,
+/// heavy, and YCSB's default 0.99.
+pub const ZIPF_SWEEP: [f64; 4] = [0.0, 0.7, 0.9, 0.99];
+
+/// Relative slack allowed between consecutive STAR thread-sweep points before
+/// `--check` calls the scaling non-monotonic: throughput at `t`-threads may
+/// sit up to this fraction below the previous thread count's and still pass
+/// (run-to-run noise, especially on small CI machines).
+/// 10% absorbs single-point scheduler luck on one-core CI runners while
+/// still flagging the seed repository's 29% t2→t4 collapse by a wide margin.
+pub const MONOTONICITY_TOLERANCE: f64 = 0.10;
 
 /// One canonical benchmark data point, the record schema of `BENCH_*.json`.
 ///
@@ -57,12 +69,17 @@ pub struct BenchPoint {
     pub replication_flush_us_per_txn: f64,
     /// WAL flush time per committed transaction, µs.
     pub wal_fsync_us_per_txn: f64,
+    /// How the write-ahead log ran for this point: `"off"` (the bench
+    /// clusters keep `disk_logging` disabled, so `wal_fsync_us_per_txn` is
+    /// structurally zero, not a broken clock) or `"group-commit-fsync"`
+    /// when a configuration enables disk logging.
+    pub wal_mode: String,
     /// Lock acquisition / OCC validation time per committed transaction, µs.
     pub lock_or_validate_us_per_txn: f64,
 }
 
 impl BenchPoint {
-    fn from_report(workload: &str, pct: f64, report: &RunReport) -> Self {
+    fn from_report(workload: &str, pct: f64, wal_mode: &str, report: &RunReport) -> Self {
         let committed = report.counters.committed.max(1) as f64;
         let breakdown = report.breakdown();
         BenchPoint {
@@ -77,6 +94,7 @@ impl BenchPoint {
             fence_wait_us_per_txn: breakdown.fence_wait_us as f64 / committed,
             replication_flush_us_per_txn: breakdown.replication_flush_us as f64 / committed,
             wal_fsync_us_per_txn: breakdown.wal_fsync_us as f64 / committed,
+            wal_mode: wal_mode.to_string(),
             lock_or_validate_us_per_txn: breakdown.lock_or_validate_us as f64 / committed,
         }
     }
@@ -129,6 +147,15 @@ impl BenchSuite {
     }
 
     fn ycsb(&self, partitions: usize, cross_pct: f64) -> Arc<YcsbWorkload> {
+        self.ycsb_with_skew(partitions, cross_pct, 0.0)
+    }
+
+    fn ycsb_with_skew(
+        &self,
+        partitions: usize,
+        cross_pct: f64,
+        zipf_theta: f64,
+    ) -> Arc<YcsbWorkload> {
         let rows = match self.scale {
             Scale::Quick => 500,
             Scale::Full => 5_000,
@@ -137,8 +164,19 @@ impl BenchSuite {
             partitions,
             rows_per_partition: rows,
             cross_partition_fraction: cross_pct / 100.0,
+            zipf_theta,
             ..Default::default()
         }))
+    }
+
+    /// The WAL mode of this suite's cluster configurations (none of them
+    /// enable disk logging, and the label records that explicitly).
+    fn wal_mode(&self) -> &'static str {
+        if self.cluster(4).disk_logging {
+            "group-commit-fsync"
+        } else {
+            "off"
+        }
     }
 
     fn tpcc(&self, warehouses: usize, cross_pct: f64) -> Arc<TpccWorkload> {
@@ -175,26 +213,37 @@ impl BenchSuite {
                 report.counters.replication_bytes as f64 / report.counters.committed.max(1) as f64,
             ),
         });
-        BenchPoint::from_report(workload, pct, report)
+        BenchPoint::from_report(workload, pct, self.wal_mode(), report)
     }
 
     /// Builds one engine behind the unified [`Engine`] trait. Everything the
     /// suite does afterwards — running, reporting, recording — goes through
     /// the trait object; no per-engine glue survives past this constructor.
     fn build_engine(&self, engine: EngineKind, workload: Arc<dyn Workload>) -> Box<dyn Engine> {
-        let config = self.cluster(4);
+        self.build_engine_with(engine, self.cluster(4), workload)
+    }
+
+    /// [`build_engine`](Self::build_engine) with an explicit STAR-side
+    /// cluster configuration, for lanes that vary it (the thread sweep).
+    fn build_engine_with(
+        &self,
+        engine: EngineKind,
+        config: ClusterConfig,
+        workload: Arc<dyn Workload>,
+    ) -> Box<dyn Engine> {
         match engine {
             EngineKind::Star => {
                 Box::new(StarEngine::new(config, workload).expect("STAR construction failed"))
             }
             EngineKind::PbOcc => {
                 // PB. OCC runs one primary + one backup; it ignores the
-                // partition layout but keeps the partition count so the
-                // workload generates the same key space.
+                // partition layout but keeps the partition count (same key
+                // space) and worker count (fair thread sweep).
                 let pb_cluster = self
                     .cluster(2)
                     .to_builder()
                     .partitions(config.partitions)
+                    .workers_per_node(config.workers_per_node)
                     .build()
                     .expect("PB. OCC cluster configuration is valid");
                 Box::new(
@@ -210,10 +259,20 @@ impl BenchSuite {
                 DistS2pl::new(BaselineConfig::new(config), workload)
                     .expect("Dist. S2PL construction failed"),
             ),
-            EngineKind::Calvin => Box::new(
-                Calvin::new(BaselineConfig::new(config), CalvinConfig::default(), workload)
-                    .expect("Calvin construction failed"),
-            ),
+            EngineKind::Calvin => {
+                let mut calvin =
+                    Calvin::new(BaselineConfig::new(config), CalvinConfig::default(), workload)
+                        .expect("Calvin construction failed");
+                // Calvin-2 means two replica groups (paper Section 7.2: every
+                // system runs at replication factor 2). The second group
+                // re-executes each sequenced batch on its own copy; in this
+                // single-process harness that work shares the same cores, so
+                // the bench charges Calvin the batch-boundary replica apply —
+                // cheaper than the re-execution real replicas perform, and
+                // the same group-commit cost every other engine already pays.
+                calvin.attach_backup();
+                Box::new(calvin)
+            }
         }
     }
 
@@ -252,13 +311,20 @@ impl BenchSuite {
         out
     }
 
-    /// The thread-scaling lane: STAR at a fixed 10% cross-partition mix,
-    /// swept across [`THREAD_SWEEP`] worker threads per node. Points are
-    /// labelled `"<workload>-t<n>"` so they never collide with the
+    /// The thread-scaling lane: every engine at a fixed 10% cross-partition
+    /// mix, swept across [`THREAD_SWEEP`] worker threads per node. Points
+    /// are labelled `"<workload>-t<n>"` so they never collide with the
     /// cross-partition sweep in the regression gate.
     pub fn thread_scaling(&mut self, workload_name: &str) -> Vec<BenchPoint> {
         let pct = 10.0;
         let window = self.window();
+        let engines = [
+            EngineKind::Star,
+            EngineKind::PbOcc,
+            EngineKind::DistOcc,
+            EngineKind::DistS2pl,
+            EngineKind::Calvin,
+        ];
         println!("{workload_name} thread-scaling sweep (seed {}):", self.seed);
         let mut out = Vec::new();
         for threads in THREAD_SWEEP {
@@ -269,12 +335,42 @@ impl BenchSuite {
                 .workers_per_node(threads)
                 .build()
                 .expect("thread-sweep cluster configuration is valid");
-            let workload = self.workload_for(workload_name, partitions, pct);
-            let mut engine: Box<dyn Engine> =
-                Box::new(StarEngine::new(config, workload).expect("STAR construction failed"));
-            let report = engine.run_for(window);
             let label = format!("{workload_name}-t{threads}");
-            out.push(self.record(&label, pct, &report));
+            let workload = self.workload_for(workload_name, partitions, pct);
+            for engine in engines {
+                let report = self
+                    .build_engine_with(engine, config.clone(), Arc::clone(&workload))
+                    .run_for(window);
+                out.push(self.record(&label, pct, &report));
+            }
+        }
+        out
+    }
+
+    /// The hot-key contention lane: every engine at a fixed 10%
+    /// cross-partition mix, swept across the [`ZIPF_SWEEP`] Zipfian skew
+    /// exponents. Points are labelled `"ycsb-zipf<theta>"`; θ = 0 is the
+    /// uniform distribution the main sweep uses, 0.99 is YCSB's default
+    /// hot-key skew.
+    pub fn zipf_scaling(&mut self) -> Vec<BenchPoint> {
+        let pct = 10.0;
+        let engines = [
+            EngineKind::Star,
+            EngineKind::PbOcc,
+            EngineKind::DistOcc,
+            EngineKind::DistS2pl,
+            EngineKind::Calvin,
+        ];
+        println!("ycsb zipf contention sweep (seed {}):", self.seed);
+        let mut out = Vec::new();
+        for theta in ZIPF_SWEEP {
+            let partitions = self.cluster(4).partitions;
+            let workload: Arc<dyn Workload> = self.ycsb_with_skew(partitions, pct, theta);
+            let label = format!("ycsb-zipf{theta:.2}");
+            for engine in engines {
+                let report = self.run_engine(engine, Arc::clone(&workload));
+                out.push(self.record(&label, pct, &report));
+            }
         }
         out
     }
@@ -593,6 +689,11 @@ pub fn parse_baseline(json: &str) -> std::result::Result<Vec<BenchPoint>, String
             let slice = |name: &str| field(fields, name).and_then(as_f64).unwrap_or(0.0);
             let breakdown_version =
                 field(fields, "breakdown_version").and_then(as_f64).unwrap_or(0.0) as u32;
+            let wal_mode = match field(fields, "wal_mode") {
+                Some(serde_json::Value::String(s)) => s.clone(),
+                // Baselines predating the field never ran with a WAL.
+                _ => "unrecorded".to_string(),
+            };
             Ok(BenchPoint {
                 engine,
                 workload,
@@ -605,6 +706,7 @@ pub fn parse_baseline(json: &str) -> std::result::Result<Vec<BenchPoint>, String
                 fence_wait_us_per_txn: slice("fence_wait_us_per_txn"),
                 replication_flush_us_per_txn: slice("replication_flush_us_per_txn"),
                 wal_fsync_us_per_txn: slice("wal_fsync_us_per_txn"),
+                wal_mode,
                 lock_or_validate_us_per_txn: slice("lock_or_validate_us_per_txn"),
             })
         })
@@ -667,6 +769,42 @@ pub fn check_against_baseline(
     regressions
 }
 
+/// Checks the STAR points of a thread-scaling sweep for monotone scaling:
+/// for each consecutive pair of thread counts, throughput must not drop by
+/// more than `tolerance` (a fraction — [`MONOTONICITY_TOLERANCE`] absorbs
+/// run-to-run noise). Returns one human-readable violation per offending
+/// pair; an empty vector means the scaling curve is monotone (within
+/// tolerance). Points of other engines and other lanes are ignored.
+pub fn check_thread_monotonicity(points: &[BenchPoint], tolerance: f64) -> Vec<String> {
+    // Collect (thread count, throughput) for STAR points labelled
+    // "<workload>-t<n>" by the thread-scaling lane.
+    let mut curve: Vec<(usize, f64, &str)> = points
+        .iter()
+        .filter(|p| p.engine == "STAR")
+        .filter_map(|p| {
+            let (_, suffix) = p.workload.rsplit_once("-t")?;
+            let threads: usize = suffix.parse().ok()?;
+            Some((threads, p.committed_txns_per_sec, p.workload.as_str()))
+        })
+        .collect();
+    curve.sort_by_key(|(threads, ..)| *threads);
+    let mut violations = Vec::new();
+    for pair in curve.windows(2) {
+        let (prev_t, prev_tput, _) = pair[0];
+        let (next_t, next_tput, label) = pair[1];
+        if next_tput < prev_tput * (1.0 - tolerance) {
+            violations.push(format!(
+                "STAR thread scaling is not monotone: {label} {next_tput:.0} txns/sec is \
+                 {:.1}% below t{prev_t} {prev_tput:.0} (tolerance {:.0}%)",
+                100.0 * (prev_tput - next_tput) / prev_tput.max(1.0),
+                tolerance * 100.0,
+            ));
+        }
+        let _ = next_t;
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,8 +822,43 @@ mod tests {
             fence_wait_us_per_txn: 200.0,
             replication_flush_us_per_txn: 150.0,
             wal_fsync_us_per_txn: 0.0,
+            wal_mode: "off".into(),
             lock_or_validate_us_per_txn: 50.0,
         }
+    }
+
+    #[test]
+    fn wal_mode_roundtrips_and_defaults_for_old_baselines() {
+        let points = vec![point("STAR", "ycsb", 10.0, 1000.0)];
+        let json = BenchSuite::to_json(&points);
+        assert!(json.contains("\"wal_mode\": \"off\""));
+        assert_eq!(parse_baseline(&json).unwrap()[0].wal_mode, "off");
+        // A baseline predating the field parses with an explicit marker.
+        let old = r#"[{"engine": "STAR", "workload": "ycsb",
+            "cross_partition_pct": 10.0, "committed_txns_per_sec": 1000.0}]"#;
+        assert_eq!(parse_baseline(old).unwrap()[0].wal_mode, "unrecorded");
+    }
+
+    #[test]
+    fn thread_monotonicity_check_flags_only_real_collapses() {
+        let curve = |t1: f64, t2: f64, t4: f64| {
+            vec![
+                point("STAR", "ycsb-t1", 10.0, t1),
+                point("STAR", "ycsb-t2", 10.0, t2),
+                point("STAR", "ycsb-t4", 10.0, t4),
+                // Other engines in the lane never trip the STAR gate.
+                point("Calvin", "ycsb-t4", 10.0, 1.0),
+                // Cross-partition sweep points are not part of the curve.
+                point("STAR", "ycsb", 10.0, 1e9),
+            ]
+        };
+        // Monotone: fine. Flat within tolerance: fine.
+        assert!(check_thread_monotonicity(&curve(100.0, 110.0, 120.0), 0.05).is_empty());
+        assert!(check_thread_monotonicity(&curve(100.0, 98.0, 96.0), 0.05).is_empty());
+        // The seed repo's collapse shape (t2 46.7k -> t4 33.1k) fires.
+        let violations = check_thread_monotonicity(&curve(41.9e3, 46.7e3, 33.1e3), 0.05);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("ycsb-t4"), "{}", violations[0]);
     }
 
     #[test]

@@ -431,6 +431,9 @@ pub fn committed_entries() -> Vec<(&'static str, &'static str, &'static str, Cha
             .full_replicas(1)
             .workers_per_node(1)
             .partitions(4)
+            // Factor 3 pins the redundant partial-partial backups these
+            // schedules were shrunk against (`crate::runner::canonical_config`).
+            .replication_factor(3)
             .iteration(Duration::from_millis(5))
             .network_latency(Duration::from_micros(20))
             .seed(seed)
@@ -489,6 +492,9 @@ pub fn committed_entries() -> Vec<(&'static str, &'static str, &'static str, Cha
         .full_replicas(2)
         .workers_per_node(1)
         .partitions(4)
+        // Factor 4 = two fulls + primary + partial backup, matching the
+        // layout this schedule was recorded against (`crate::synth`).
+        .replication_factor(4)
         .iteration(Duration::from_millis(5))
         .network_latency(Duration::from_micros(20))
         .seed(7)

@@ -390,6 +390,10 @@ mod tests {
             .full_replicas(1)
             .workers_per_node(1)
             .partitions(4)
+            // Factor 3 gives every partition a partial-partial backup
+            // (`p0:{1} p1:{1,2} p2:{2,3} p3:{1,3}`), so nodes 2 and 3 are
+            // redundant holders whose loss is Case 1.
+            .replication_factor(3)
             .iteration(Duration::from_millis(5))
             .network_latency(Duration::from_micros(20))
             .seed(seed)

@@ -77,7 +77,9 @@ impl ScenarioKind {
 }
 
 /// The canonical chaos cluster: 4 nodes, 1 full replica (node 0), 4
-/// partitions, one worker per node. With this layout the partial holders
+/// partitions, one worker per node, replication factor 3 (every partition
+/// keeps a partial-partial backup besides the full copy — the redundancy
+/// the Figure-7 families lean on). With this layout the partial holders
 /// are `p0:{1} p1:{1,2} p2:{2,3} p3:{1,3}`, so node 1 is the sole partial
 /// holder of partition 0 (its loss is Case 3) while nodes 2 and 3 are
 /// redundant (their loss is Case 1). Shared by the guided family
@@ -88,6 +90,7 @@ pub fn canonical_config(seed: u64) -> ClusterConfig {
         .full_replicas(1)
         .workers_per_node(1)
         .partitions(4)
+        .replication_factor(3)
         .iteration(Duration::from_millis(5))
         .network_latency(Duration::from_micros(20))
         .seed(seed)

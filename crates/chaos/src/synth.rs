@@ -268,6 +268,9 @@ fn reelection_config(seed: u64) -> ClusterConfig {
         .full_replicas(2)
         .workers_per_node(1)
         .partitions(4)
+        // Factor 4 = two fulls + primary + one partial backup, so every
+        // partial node (including node 4) holds at least one partition.
+        .replication_factor(4)
         .iteration(Duration::from_millis(5))
         .network_latency(Duration::from_micros(20))
         .seed(seed)
@@ -483,15 +486,19 @@ fn walk_plan(seed: u64, variant: u64, options: &SynthOptions) -> ChaosPlan {
                 continue;
             }
             if !force && rng.gen_bool(0.3) {
-                let source = predicted_recovery_source(&state.config, &state.crashed, node)
-                    .expect("recovery_feasible guaranteed a source");
+                // A node that holds no partitions (possible when there are
+                // fewer partitions than nodes) recovers without a copy
+                // stream, so there is no source to crash.
+                let source = predicted_recovery_source(&state.config, &state.crashed, node);
                 // Pick the most interesting interruption that keeps the
                 // safety envelope: a SourceCrash must preserve partition
                 // coverage (and spare the doomed nodes in total-loss mode);
                 // a LinkCut needs a later iteration to heal in.
-                let source_crash_ok =
-                    !(total_loss && source <= 1) && state.covers_all_partitions_without(source);
-                let link_cut_ok = iteration + 1 < iterations
+                let source_crash_ok = source.is_some_and(|source| {
+                    !(total_loss && source <= 1) && state.covers_all_partitions_without(source)
+                });
+                let link_cut_ok = source.is_some()
+                    && iteration + 1 < iterations
                     && !(total_loss && iteration + 1 >= doom_iteration && doom_iteration > 0);
                 let fault = match rng.gen_range(0..3) {
                     0 if source_crash_ok => RecoveryFault::SourceCrash,
@@ -503,8 +510,8 @@ fn walk_plan(seed: u64, variant: u64, options: &SynthOptions) -> ChaosPlan {
                     InjectionPoint::IterationEnd,
                     FaultOp::RecoverInterrupted(node, fault),
                 );
-                match fault {
-                    RecoveryFault::SourceCrash => {
+                match (fault, source) {
+                    (RecoveryFault::SourceCrash, Some(source)) => {
                         // The source dies serving the copy; detection is at
                         // the next iteration's first fence, dooming its
                         // first epoch.
@@ -517,14 +524,14 @@ fn walk_plan(seed: u64, variant: u64, options: &SynthOptions) -> ChaosPlan {
                         // yet and would happily copy from the dead node.
                         break;
                     }
-                    RecoveryFault::LinkCut => {
+                    (RecoveryFault::LinkCut, Some(source)) => {
                         schedule.push(
                             iteration + 1,
                             InjectionPoint::PartitionedStart,
                             FaultOp::HealLink(source, node),
                         );
                     }
-                    RecoveryFault::TargetCrash => {}
+                    _ => {}
                 }
                 continue;
             }

@@ -266,33 +266,36 @@ impl ClusterConfig {
         partition % self.num_nodes
     }
 
-    /// The node that holds the backup (secondary) copy of a partition. The
-    /// paper hashes primary and secondary to two different nodes and requires
-    /// that the `k` partial replicas *together* contain at least one full
-    /// copy of the database; the layout here guarantees that by always
-    /// placing the secondary of a partition mastered on a full-replica node
-    /// onto a partial-replica node (full-replica nodes already hold every
-    /// partition, so a second full copy there would be wasted).
-    pub fn partition_secondary(&self, partition: usize) -> usize {
+    /// The partial-replica node holding the backup (secondary) copy of a
+    /// partition, if the partition needs one.
+    ///
+    /// The paper requires that the `k` partial replicas *together* contain at
+    /// least one full copy of the database, so a partition mastered on a
+    /// full-replica node always gets a partial secondary. A partition
+    /// mastered on a partial node is already stored at every full replica;
+    /// it gets an extra partial secondary only when `replication_factor`
+    /// asks for more copies than primary + full replicas provide. (An
+    /// unconditional extra secondary here used to give most partitions three
+    /// copies in the default two-replica configuration — every partitioned
+    /// commit paid one redundant replica apply beyond the paper's layout.)
+    pub fn partition_secondary(&self, partition: usize) -> Option<usize> {
         let primary = self.partition_primary(partition);
         let k = self.partial_replicas();
         if k == 0 {
-            // Every node is a full replica; any other node works.
-            return (primary + 1) % self.num_nodes;
+            // Every node is a full replica; every copy already exists.
+            return None;
         }
         if primary < self.full_replicas {
             // Primary on a full replica: the secondary must be a partial
             // replica so that the partial replicas cover this partition.
-            self.full_replicas + (partition % k)
-        } else if k == 1 {
-            // Only one partial node, which is already the primary: fall back
-            // to a full replica (coverage is provided by the primary).
-            (primary + 1) % self.num_nodes
-        } else {
-            // Primary on a partial replica: the next partial replica.
-            let offset = primary - self.full_replicas;
-            self.full_replicas + ((offset + 1) % k)
+            return Some(self.full_replicas + (partition % k));
         }
+        // Primary on a partial replica: the full replicas already back it up.
+        if 1 + self.full_replicas >= self.replication_factor || k == 1 {
+            return None;
+        }
+        let offset = primary - self.full_replicas;
+        Some(self.full_replicas + ((offset + 1) % k))
     }
 
     /// The designated master node for the single-master phase: the first
@@ -315,7 +318,7 @@ impl ClusterConfig {
     pub fn node_stores_partition(&self, node: usize, partition: usize) -> bool {
         self.is_full_replica(node)
             || self.partition_primary(partition) == node
-            || self.partition_secondary(partition) == node
+            || self.partition_secondary(partition) == Some(node)
     }
 
     /// Validates the configuration, returning a human-readable reason if it
@@ -377,7 +380,14 @@ mod tests {
         assert_eq!(c.partition_primary(0), 0);
         assert_eq!(c.partition_primary(1), 1);
         assert_eq!(c.partition_primary(5), 1);
-        assert_ne!(c.partition_primary(3), c.partition_secondary(3));
+        // Partition 0 is mastered on the full replica, so its secondary must
+        // sit on a partial node; partition 3's primary is a partial node
+        // already backed by the full replica, so no secondary is needed at
+        // the default replication factor of 2.
+        assert_eq!(c.partition_secondary(0), Some(1));
+        assert_eq!(c.partition_secondary(3), None);
+        let c3 = ClusterConfig { replication_factor: 3, ..ClusterConfig::with_nodes(4) };
+        assert_eq!(c3.partition_secondary(3), Some(1));
         let mine = c.partitions_of(2);
         assert!(mine.iter().all(|p| c.partition_primary(*p) == 2));
     }

@@ -163,6 +163,46 @@ mod tests {
     }
 
     #[test]
+    fn zipf_is_seed_stable() {
+        // The benchmark lanes lean on byte-identical key streams per seed:
+        // two samplers built from the same parameters, driven by RNGs with
+        // the same seed, must agree draw for draw (and a different seed must
+        // diverge somewhere).
+        let draw = |seed: u64| -> Vec<u64> {
+            let z = Zipf::new(4096, 0.99);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..4096).map(|_| z.sample(&mut rng)).collect()
+        };
+        let a = draw(42);
+        let b = draw(42);
+        assert_eq!(a, b, "same seed must reproduce the exact sample sequence");
+        let bytes_a: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bytes_b: Vec<u8> = b.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(bytes_a, bytes_b);
+        assert_ne!(a, draw(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn zipf_rank_one_frequency_matches_theory() {
+        // Under the Gray et al. construction the hottest key (rank 1) is
+        // drawn with probability exactly 1/zeta(n, theta). At YCSB's default
+        // theta = 0.99 over 1000 keys that is ~13%; the empirical frequency
+        // over a large sample must land within a few percent of it.
+        let n = 1000;
+        let theta = 0.99;
+        let z = Zipf::new(n, theta);
+        let expected = 1.0 / Zipf::zeta(n, theta);
+        let mut rng = StdRng::seed_from_u64(99);
+        let total = 200_000;
+        let hits = (0..total).filter(|_| z.sample(&mut rng) == 0).count();
+        let observed = hits as f64 / total as f64;
+        assert!(
+            (observed - expected).abs() < 0.1 * expected,
+            "rank-1 frequency {observed:.4} deviates from theoretical {expected:.4}"
+        );
+    }
+
+    #[test]
     fn nurand_respects_range() {
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..10_000 {

@@ -71,7 +71,8 @@ impl StarCluster {
             if !config.is_full_replica(id) {
                 let held: Vec<PartitionId> = (0..config.partitions)
                     .filter(|p| {
-                        config.partition_primary(*p) == id || config.partition_secondary(*p) == id
+                        config.partition_primary(*p) == id
+                            || config.partition_secondary(*p) == Some(id)
                     })
                     .collect();
                 builder = builder.holding(held);
@@ -158,13 +159,21 @@ mod tests {
         let config = ClusterConfig { partitions: 8, ..ClusterConfig::with_nodes(4) };
         let wl = KvWorkload::new(8);
         let cluster = StarCluster::build(&config, &wl).unwrap();
-        // Partition 1 is primary on node 1, secondary on node 2; node 0 is a
-        // full replica. From node 1, targets are {0, 2}.
+        // Partition 1 is primary on partial node 1; at the default
+        // replication factor of 2 its only other copy is the full replica.
         let targets = cluster.replica_targets(1, 1);
-        assert_eq!(targets, vec![0, 2]);
-        // From the master (node 0), targets for partition 1 are {1, 2}.
+        assert_eq!(targets, vec![0]);
+        // From the master (node 0), the same partition's target is node 1.
         let targets = cluster.replica_targets(0, 1);
-        assert_eq!(targets, vec![1, 2]);
+        assert_eq!(targets, vec![1]);
+        // Partition 0 is mastered *on* the full replica, so it must get a
+        // partial secondary — the partial replicas together hold a full copy.
+        let targets = cluster.replica_targets(0, 0);
+        assert_eq!(targets, vec![1]);
+        // A replication factor of 3 brings back the partial-partial backup.
+        let config = config.to_builder().replication_factor(3).build().unwrap();
+        let cluster = StarCluster::build(&config, &wl).unwrap();
+        assert_eq!(cluster.replica_targets(1, 1), vec![0, 2]);
     }
 
     #[test]

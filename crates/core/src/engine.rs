@@ -25,6 +25,7 @@
 use crate::cluster::StarCluster;
 use crate::exec::{
     run_one_master_txn, run_one_partitioned_txn, MasterWorkerState, PartitionWorkerState,
+    ReplicationStage,
 };
 use crate::failure::FailureCase;
 use crate::history::HistoryRecorder;
@@ -33,7 +34,7 @@ use crate::workload::Workload;
 use parking_lot::Mutex;
 use star_common::stats::{LatencyHistogram, RunCounters, RunReport};
 use star_common::{ClusterConfig, Epoch, Error, NodeId, PartitionId, ReplicationMode, Result};
-use star_replication::{CommitQueue, DrainMode, EpochDrain, LogEntry, WalWriter};
+use star_replication::{CommitQueue, DrainMode, EncodedEntry, EpochDrain, WalWriter};
 use star_storage::Database;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -611,10 +612,15 @@ impl StarEngine {
                 let counters = Arc::clone(counters);
                 let wal = wal.as_ref().map(|w| Arc::clone(&w[primary]));
                 let history = history.clone();
+                let num_nodes = config.num_nodes;
                 handles.push(scope.spawn(move || {
                     let mut committed = 0u64;
                     let mut attempts = 0u64;
                     let mut samples = Vec::new();
+                    // Each worker stages its replication traffic in its own
+                    // buffers and merges at the end of the phase: no shared
+                    // lock, no per-transaction fan-out.
+                    let mut stage = ReplicationStage::new(primary, epoch, num_nodes);
                     // Always attempt at least one transaction per phase so a
                     // heavily loaded host cannot starve a worker out of an
                     // entire (very short) phase.
@@ -633,13 +639,16 @@ impl StarEngine {
                             epoch,
                             strategy,
                             state,
+                            Some(&mut stage),
                         ) {
                             committed += 1;
                             if committed % LATENCY_SAMPLE == 0 {
                                 samples.push(Instant::now());
                             }
                         }
+                        stage.flush_if_full(endpoint.as_ref(), &counters);
                     }
+                    stage.flush(endpoint.as_ref(), &counters);
                     (committed, samples)
                 }));
             }
@@ -691,6 +700,9 @@ impl StarEngine {
                     let mut committed = 0u64;
                     let mut attempts = 0u64;
                     let mut samples = Vec::new();
+                    // Per-worker staging, merged at phase end (see the
+                    // partitioned phase).
+                    let mut stage = ReplicationStage::new(master, epoch, config.num_nodes);
                     while attempts == 0 || Instant::now() < deadline {
                         attempts += 1;
                         if run_one_master_txn(
@@ -706,13 +718,16 @@ impl StarEngine {
                             history.as_deref(),
                             epoch,
                             state,
+                            Some(&mut stage),
                         ) {
                             committed += 1;
                             if committed % LATENCY_SAMPLE == 0 {
                                 samples.push(Instant::now());
                             }
                         }
+                        stage.flush_if_full(endpoint.as_ref(), &counters);
                     }
+                    stage.flush(endpoint.as_ref(), &counters);
                     (committed, samples)
                 }));
             }
@@ -787,6 +802,7 @@ impl StarEngine {
                     epoch,
                     strategy,
                     state,
+                    None,
                 ) {
                     total_committed += 1;
                 }
@@ -837,6 +853,7 @@ impl StarEngine {
                     history.as_deref(),
                     epoch,
                     state,
+                    None,
                 ) {
                     total_committed += 1;
                 }
@@ -934,12 +951,12 @@ impl StarEngine {
         let master = self.current_master();
         // star-lint: allow(determinism::instant-now) -- apply-time telemetry for the replication-flush latency slice only
         let apply_start = Instant::now();
-        let mut deferred: Vec<(Arc<Database>, Vec<LogEntry>)> = Vec::new();
+        let mut deferred: Vec<(Arc<Database>, Vec<EncodedEntry>)> = Vec::new();
         for (n, node) in self.cluster.nodes().iter().enumerate() {
             if self.failed[n] {
                 continue;
             }
-            let mut deferred_entries: Vec<LogEntry> = Vec::new();
+            let mut deferred_entries: Vec<EncodedEntry> = Vec::new();
             for envelope in node.endpoint.drain() {
                 if self.failed[envelope.from] {
                     continue;
@@ -948,14 +965,14 @@ impl StarEngine {
                     continue;
                 }
                 for entry in envelope.payload.entries {
-                    if !node.db.holds(entry.partition) {
+                    if !node.db.holds(entry.partition()) {
                         continue;
                     }
                     let read_by_next_phase = match next {
                         NextPhase::Unknown => true,
                         NextPhase::SingleMaster => master == Some(n),
                         NextPhase::Partitioned => {
-                            self.effective_primary(entry.partition) == Some(n)
+                            self.effective_primary(entry.partition()) == Some(n)
                         }
                     };
                     if read_by_next_phase {
@@ -1311,6 +1328,10 @@ mod tests {
             full_replicas: 1,
             workers_per_node: 2,
             partitions: 4,
+            // Factor 3 keeps a partial-partial backup per partition, so the
+            // failure-case tests below can lose one partial without losing
+            // partial coverage.
+            replication_factor: 3,
             iteration: Duration::from_millis(5),
             network_latency: Duration::from_micros(10),
             ..ClusterConfig::default()

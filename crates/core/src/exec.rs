@@ -29,9 +29,92 @@ use star_common::{
 };
 use star_net::{Message as _, Transport};
 use star_occ::{commit_partitioned, commit_single_master, TxnCtx, WriteEntry};
-use star_replication::{build_log_entries, ExecutionPhase, LogEntry, Payload, WalWriter};
+use star_replication::{
+    build_log_entries, EncodedEntry, ExecutionPhase, LogEntry, Payload, WalWriter,
+};
 use star_storage::Database;
 use std::time::Instant;
+
+/// Per-worker staging of replication traffic.
+///
+/// Committed entries accumulate in thread-local per-target buffers and are
+/// flushed as one merged batch per target, so each worker pays the transport
+/// fan-out cost (channel enqueue, fault-plane roll, stats update) once per
+/// flush instead of once per transaction — the contention point behind the
+/// 2→4 thread throughput collapse. Only the *timed* threaded phases stage;
+/// the stepped deterministic drivers and the TCP deployment keep
+/// per-transaction batches, preserving the chaos corpus's
+/// message-granularity determinism (per-send fault rolls, highest-TID
+/// corrupt targeting).
+///
+/// Entries for one partition stay in commit stream order within a worker's
+/// buffers, and partitioned-phase partitions are single-writer, so operation
+/// replication's in-order apply requirement is untouched.
+#[derive(Debug)]
+pub struct ReplicationStage {
+    from_node: NodeId,
+    epoch: Epoch,
+    per_target: Vec<Vec<EncodedEntry>>,
+}
+
+/// A staged target buffer flushes once it holds this many entries, bounding
+/// staged memory and the size of any one fence-drained batch.
+pub const STAGE_FLUSH_ENTRIES: usize = 1024;
+
+impl ReplicationStage {
+    /// An empty stage for a worker on `from_node` executing `epoch`.
+    pub fn new(from_node: NodeId, epoch: Epoch, num_nodes: usize) -> Self {
+        ReplicationStage { from_node, epoch, per_target: vec![Vec::new(); num_nodes] }
+    }
+
+    fn push(&mut self, target: NodeId, entry: EncodedEntry) {
+        if let Some(buffer) = self.per_target.get_mut(target) {
+            buffer.push(entry);
+        }
+    }
+
+    /// Flushes every target buffer that grew past [`STAGE_FLUSH_ENTRIES`].
+    /// Workers call this once per transaction; the common case is a length
+    /// check per target and nothing else.
+    pub fn flush_if_full(
+        &mut self,
+        transport: &dyn Transport<ReplicationBatch>,
+        counters: &RunCounters,
+    ) {
+        for target in 0..self.per_target.len() {
+            if self.per_target[target].len() >= STAGE_FLUSH_ENTRIES {
+                self.flush_target(target, transport, counters);
+            }
+        }
+    }
+
+    /// Flushes everything still staged. Must run before the worker exits its
+    /// phase loop: the fence drains endpoints after the phase joins, and the
+    /// fence's contract is that every entry the phase produced has been sent.
+    pub fn flush(&mut self, transport: &dyn Transport<ReplicationBatch>, counters: &RunCounters) {
+        for target in 0..self.per_target.len() {
+            self.flush_target(target, transport, counters);
+        }
+    }
+
+    fn flush_target(
+        &mut self,
+        target: NodeId,
+        transport: &dyn Transport<ReplicationBatch>,
+        counters: &RunCounters,
+    ) {
+        if self.per_target[target].is_empty() {
+            return;
+        }
+        let batch = ReplicationBatch {
+            from_node: self.from_node,
+            epoch: self.epoch,
+            entries: std::mem::take(&mut self.per_target[target]),
+        };
+        counters.add_replication_bytes(batch.wire_size() as u64);
+        let _ = transport.send(target, batch);
+    }
+}
 
 /// Per-partition worker state that survives across iterations.
 pub struct PartitionWorkerState {
@@ -107,6 +190,7 @@ pub fn run_one_partitioned_txn(
     epoch: Epoch,
     strategy: ReplicationStrategy,
     state: &mut PartitionWorkerState,
+    stage: Option<&mut ReplicationStage>,
 ) -> bool {
     let proc = workload.single_partition_transaction(&mut state.rng, partition);
     let mut ctx = TxnCtx::new_single_threaded(db);
@@ -140,10 +224,23 @@ pub fn run_one_partitioned_txn(
     let entries =
         build_log_entries(&output.write_set, output.tid, strategy, ExecutionPhase::Partitioned);
     if !entries.is_empty() {
-        let batch = ReplicationBatch { from_node: primary, epoch, entries };
-        for &target in targets {
-            counters.add_replication_bytes(batch.wire_size() as u64);
-            let _ = transport.send(target, batch.clone());
+        // Encode once; every replica target shares the same buffers.
+        let encoded = EncodedEntry::encode_all(entries);
+        match stage {
+            Some(stage) => {
+                for &target in targets {
+                    for entry in &encoded {
+                        stage.push(target, entry.clone());
+                    }
+                }
+            }
+            None => {
+                let batch = ReplicationBatch { from_node: primary, epoch, entries: encoded };
+                for &target in targets {
+                    counters.add_replication_bytes(batch.wire_size() as u64);
+                    let _ = transport.send(target, batch.clone());
+                }
+            }
         }
     }
     if let Some(wal) = wal {
@@ -173,6 +270,7 @@ pub fn run_one_master_txn(
     history: Option<&HistoryRecorder>,
     epoch: Epoch,
     state: &mut MasterWorkerState,
+    stage: Option<&mut ReplicationStage>,
 ) -> bool {
     use rand::Rng;
     let home = (state.rng.gen::<usize>() ^ worker_id) % config.partitions;
@@ -220,18 +318,34 @@ pub fn run_one_master_txn(
         config.replication_strategy,
         ExecutionPhase::SingleMaster,
     );
-    for &target in healthy {
-        let relevant: Vec<LogEntry> = entries
-            .iter()
-            .filter(|e| config.node_stores_partition(target, e.partition))
-            .cloned()
-            .collect();
-        if relevant.is_empty() {
-            continue;
+    // Encode once; per-target relevance filtering routes on the mirrored
+    // partition header, so no payload is ever cloned or re-encoded.
+    let encoded = EncodedEntry::encode_all(entries);
+    match stage {
+        Some(stage) => {
+            for &target in healthy {
+                for entry in &encoded {
+                    if config.node_stores_partition(target, entry.partition()) {
+                        stage.push(target, entry.clone());
+                    }
+                }
+            }
         }
-        let batch = ReplicationBatch { from_node: master, epoch, entries: relevant };
-        counters.add_replication_bytes(batch.wire_size() as u64);
-        let _ = transport.send(target, batch);
+        None => {
+            for &target in healthy {
+                let relevant: Vec<EncodedEntry> = encoded
+                    .iter()
+                    .filter(|e| config.node_stores_partition(target, e.partition()))
+                    .cloned()
+                    .collect();
+                if relevant.is_empty() {
+                    continue;
+                }
+                let batch = ReplicationBatch { from_node: master, epoch, entries: relevant };
+                counters.add_replication_bytes(batch.wire_size() as u64);
+                let _ = transport.send(target, batch);
+            }
+        }
     }
     if config.replication_mode == ReplicationMode::Sync && !healthy.is_empty() {
         // Synchronous replication: the write locks are held for a round trip

@@ -1,24 +1,42 @@
 //! Messages exchanged between nodes of the simulated STAR cluster.
 
 use star_net::Message;
-use star_replication::{LogEntry, Payload};
+use star_replication::{EncodedEntry, LogEntry};
 
 /// A batch of replicated writes shipped from the node that committed them to
 /// a node holding a secondary copy of the affected partitions.
+///
+/// Entries travel in their canonical encoded form ([`EncodedEntry`]): the
+/// producer encodes each write exactly once, and fanning the batch out to
+/// several replicas is a refcount bump per entry instead of a deep row
+/// clone. Receivers route on the mirrored header fields and decode a payload
+/// only at apply time.
 #[derive(Debug, Clone)]
 pub struct ReplicationBatch {
     /// Node that produced (mastered) the writes.
     pub from_node: usize,
     /// Epoch the writes belong to.
     pub epoch: u32,
-    /// The writes themselves.
-    pub entries: Vec<LogEntry>,
+    /// The writes themselves, in commit stream order.
+    pub entries: Vec<EncodedEntry>,
+}
+
+impl ReplicationBatch {
+    /// Builds a batch by encoding freshly committed `entries` once.
+    pub fn from_entries(from_node: usize, epoch: u32, entries: Vec<LogEntry>) -> Self {
+        ReplicationBatch { from_node, epoch, entries: EncodedEntry::encode_all(entries) }
+    }
+
+    /// Decodes every entry back into its in-memory form (tests, inspection).
+    pub fn decode_entries(&self) -> star_common::Result<Vec<LogEntry>> {
+        self.entries.iter().map(EncodedEntry::decode).collect()
+    }
 }
 
 impl Message for ReplicationBatch {
     fn wire_size(&self) -> usize {
-        // from_node + epoch header, then the entries.
-        8 + self.entries.iter().map(LogEntry::wire_size).sum::<usize>()
+        // from_node + epoch header, then the encoded entries.
+        8 + self.entries.iter().map(EncodedEntry::wire_size).sum::<usize>()
     }
 
     /// Byzantine corruption of the replication stream: one entry's payload
@@ -31,10 +49,7 @@ impl Message for ReplicationBatch {
             return false;
         }
         let index = (salt as usize) % self.entries.len();
-        match &mut self.entries[index].payload {
-            Payload::Value(row) => row.corrupt(salt),
-            Payload::Operation(op) => op.corrupt(salt),
-        }
+        self.entries[index].corrupt_payload(salt)
     }
 }
 
@@ -54,12 +69,9 @@ mod tests {
             tid: Tid::new(1, 1),
             payload: Payload::Value(row([FieldValue::U64(1)])),
         };
-        let batch = ReplicationBatch {
-            from_node: 0,
-            epoch: 1,
-            entries: vec![entry.clone(), entry.clone()],
-        };
-        assert_eq!(batch.wire_size(), 8 + 2 * entry.wire_size());
+        let batch = ReplicationBatch::from_entries(0, 1, vec![entry.clone(), entry.clone()]);
+        assert_eq!(batch.wire_size(), 8 + 2 * entry.encode_to_bytes().len());
+        assert_eq!(batch.decode_entries().unwrap(), vec![entry.clone(), entry]);
     }
 
     #[test]
@@ -71,27 +83,29 @@ mod tests {
             tid: Tid::new(1, 1),
             payload: Payload::Value(row([FieldValue::U64(v)])),
         };
-        let pristine =
-            ReplicationBatch { from_node: 0, epoch: 1, entries: vec![entry(10), entry(20)] };
+        let pristine = ReplicationBatch::from_entries(0, 1, vec![entry(10), entry(20)]);
         let mut corrupted = pristine.clone();
         assert!(corrupted.corrupt(0x0101));
         let changed: Vec<bool> = pristine
-            .entries
+            .decode_entries()
+            .unwrap()
             .iter()
-            .zip(&corrupted.entries)
+            .zip(corrupted.decode_entries().unwrap())
             .map(|(a, b)| a.payload != b.payload)
             .collect();
         assert_eq!(changed.iter().filter(|c| **c).count(), 1, "exactly one entry must change");
         // TIDs and addressing are untouched: the corruption is in the data,
         // so the replica applies it silently.
-        for (a, b) in pristine.entries.iter().zip(&corrupted.entries) {
+        for (a, b) in
+            pristine.decode_entries().unwrap().iter().zip(corrupted.decode_entries().unwrap())
+        {
             assert_eq!((a.table, a.partition, a.key, a.tid), (b.table, b.partition, b.key, b.tid));
         }
         // Determinism: the same salt flips the same bit.
         let mut again = pristine.clone();
         assert!(again.corrupt(0x0101));
-        assert_eq!(again.entries[0].payload, corrupted.entries[0].payload);
-        assert_eq!(again.entries[1].payload, corrupted.entries[1].payload);
+        assert_eq!(again.entries[0], corrupted.entries[0]);
+        assert_eq!(again.entries[1], corrupted.entries[1]);
     }
 
     #[test]
@@ -103,10 +117,10 @@ mod tests {
             tid: Tid::new(1, 1),
             payload: Payload::Operation(star_common::Operation::AddI64 { field: 0, delta: 1 }),
         };
-        let mut batch = ReplicationBatch { from_node: 1, epoch: 2, entries: vec![op_entry] };
+        let mut batch = ReplicationBatch::from_entries(1, 2, vec![op_entry]);
         assert!(batch.corrupt(7));
         let Payload::Operation(star_common::Operation::AddI64 { delta, .. }) =
-            batch.entries[0].payload
+            batch.decode_entries().unwrap()[0].payload
         else {
             panic!("payload kind must be preserved");
         };

@@ -32,5 +32,6 @@ pub use frame::{
 pub use io::{read_message, write_message};
 pub use message::{
     decode_entries, encode_elections, encode_entries, encode_history, replication_frame,
-    AdminQuery, Request, Response, Role, WireElection, WireMessage, WirePhase, WireStatus, WireTxn,
+    replication_frame_encoded, AdminQuery, Request, Response, Role, WireElection, WireMessage,
+    WirePhase, WireStatus, WireTxn,
 };

@@ -874,6 +874,21 @@ pub fn replication_frame(from: NodeId, epoch: Epoch, entries: &[LogEntry]) -> Wi
     WireMessage::Replication { from: from as u32, epoch, entries: encode_entries(entries) }
 }
 
+/// A replication frame from entries already in their encoded form: the
+/// per-entry bytes the engine produced at commit time are concatenated into
+/// the block — nothing is re-serialized on the way to the socket.
+pub fn replication_frame_encoded(
+    from: NodeId,
+    epoch: Epoch,
+    entries: &[star_replication::EncodedEntry],
+) -> WireMessage {
+    WireMessage::Replication {
+        from: from as u32,
+        epoch,
+        entries: star_replication::encode_entry_block(entries),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use star_common::{Error, FieldValue, Key, Operation, PartitionId, Result, Row, TableId, Tid};
 use star_storage::Database;
+use std::sync::Arc;
 
 /// What a log entry carries for the written record.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +132,157 @@ impl LogEntry {
         };
         Ok(LogEntry { table, partition, key, tid, payload })
     }
+}
+
+/// A log entry in its canonical encoded form, shared by reference count.
+///
+/// Replication fan-out used to deep-clone `LogEntry` rows once per target
+/// (a `Row` is a vector of field values, several of which own heap buffers,
+/// so one YCSB write cost ~a dozen allocations per replica). The encoded
+/// form is produced once at commit time; every further hop — the per-target
+/// batch, the fence drain, the deferred commit-queue apply, the TCP frame —
+/// is a refcount bump on the same buffer. The partition and TID are mirrored
+/// out of the 25-byte header so routing, `holds()` filtering and fence
+/// next-phase decisions never decode the payload.
+///
+/// The decoded form rides along behind the same refcount: the committing
+/// worker already holds the `LogEntry`, and the wire receive path decodes
+/// once anyway to validate entry boundaries, so every subsequent apply — the
+/// fence's synchronous pass and each replica's deferred drain — is
+/// allocation-free instead of re-parsing the payload per replica. The bytes
+/// stay the entry's identity (equality, corruption, the wire) and the cache
+/// is rebuilt whenever the bytes change.
+#[derive(Debug, Clone)]
+pub struct EncodedEntry {
+    partition: PartitionId,
+    tid: Tid,
+    bytes: Bytes,
+    decoded: Arc<LogEntry>,
+}
+
+impl PartialEq for EncodedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        // The encoded bytes are the entry's identity; the decoded cache is
+        // derived from them.
+        self.partition == other.partition && self.tid == other.tid && self.bytes == other.bytes
+    }
+}
+
+impl EncodedEntry {
+    /// Encodes `entry` once into its shareable form.
+    pub fn from_entry(entry: &LogEntry) -> Self {
+        Self::from_owned(entry.clone())
+    }
+
+    /// Encodes an owned `entry`: the entry moves behind the decoded-payload
+    /// cache, so no row payload is cloned.
+    pub fn from_owned(entry: LogEntry) -> Self {
+        let bytes = entry.encode_to_bytes();
+        EncodedEntry { partition: entry.partition, tid: entry.tid, bytes, decoded: Arc::new(entry) }
+    }
+
+    /// Encodes a freshly committed write set's entries in stream order,
+    /// consuming them — the commit path hands its write set over instead of
+    /// paying one payload clone per written row.
+    pub fn encode_all(entries: Vec<LogEntry>) -> Vec<EncodedEntry> {
+        entries.into_iter().map(Self::from_owned).collect()
+    }
+
+    /// Partition of the written record (mirrored from the header).
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// TID of the transaction that produced the write (mirrored from the
+    /// header; embeds the epoch).
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The encoded entry bytes (header + payload).
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// On-wire size of the entry: exactly the encoded length.
+    pub fn wire_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The decoded [`LogEntry`], straight from the refcounted cache.
+    pub fn decode(&self) -> Result<LogEntry> {
+        Ok((*self.decoded).clone())
+    }
+
+    /// Applies the entry to a replica database — no decoding, no allocation
+    /// beyond what [`LogEntry::apply`] itself does.
+    pub fn apply(&self, db: &Database) -> Result<Row> {
+        self.decoded.apply(db)
+    }
+
+    /// Byzantine corruption: deterministically bit-flips the entry's payload
+    /// (decode → same mutation the decoded form used → re-encode), leaving
+    /// the addressing header intact. Returns whether anything changed.
+    pub fn corrupt_payload(&mut self, salt: u64) -> bool {
+        let mut entry = (*self.decoded).clone();
+        let changed = match &mut entry.payload {
+            Payload::Value(row) => row.corrupt(salt),
+            Payload::Operation(op) => op.corrupt(salt),
+        };
+        if changed {
+            self.bytes = entry.encode_to_bytes();
+            self.decoded = Arc::new(entry);
+        }
+        changed
+    }
+}
+
+/// Serializes a batch of already-encoded entries as the canonical
+/// count-prefixed block (the same layout `star-proto` ships on the wire):
+/// `u32le` entry count followed by each entry's encoded bytes. One copy into
+/// the contiguous block is the only byte-level work fan-out ever performs.
+pub fn encode_entry_block(entries: &[EncodedEntry]) -> Bytes {
+    let total = 4 + entries.iter().map(EncodedEntry::wire_size).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u32_le(entries.len() as u32);
+    for entry in entries {
+        buf.put_slice(entry.as_bytes());
+    }
+    buf.freeze()
+}
+
+/// Splits a count-prefixed entry block back into per-entry [`EncodedEntry`]
+/// values without copying payload bytes: each entry is a sub-slice of the
+/// received block, validated (and its header mirrored) by one decode pass.
+pub fn split_entry_block(block: &Bytes) -> Result<Vec<EncodedEntry>> {
+    let mut cur: &[u8] = block;
+    if cur.remaining() < 4 {
+        return Err(Error::Durability("truncated entry block".into()));
+    }
+    let count = cur.get_u32_le() as usize;
+    // Each entry's header alone is 25 bytes; a larger count is truncation.
+    if count > cur.remaining() / 25 + 1 {
+        return Err(Error::Durability("truncated entry block".into()));
+    }
+    let mut offset = 4usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let before = cur.remaining();
+        let entry = LogEntry::decode(&mut cur)?;
+        let consumed = before - cur.remaining();
+        entries.push(EncodedEntry {
+            partition: entry.partition,
+            tid: entry.tid,
+            bytes: block.slice(offset..offset + consumed),
+            // The boundary-validation decode doubles as the apply-time cache.
+            decoded: Arc::new(entry),
+        });
+        offset += consumed;
+    }
+    if cur.remaining() != 0 {
+        return Err(Error::Durability("trailing bytes after entry block".into()));
+    }
+    Ok(entries)
 }
 
 /// Encodes one field value (tag byte + payload, little-endian). Part of the
@@ -499,6 +651,84 @@ mod tests {
         };
         entry.apply(&d).unwrap();
         assert_eq!(d.get(0, 1, 777).unwrap().read().row, sample_row());
+    }
+
+    #[test]
+    fn encoded_entry_mirrors_header_and_round_trips() {
+        let entry = LogEntry {
+            table: 3,
+            partition: 1,
+            key: 42,
+            tid: Tid::new(2, 7),
+            payload: Payload::Value(sample_row()),
+        };
+        let encoded = EncodedEntry::from_entry(&entry);
+        assert_eq!(encoded.partition(), 1);
+        assert_eq!(encoded.tid(), Tid::new(2, 7));
+        assert_eq!(encoded.wire_size(), entry.encode_to_bytes().len());
+        assert_eq!(encoded.decode().unwrap(), entry);
+    }
+
+    #[test]
+    fn encoded_entry_apply_matches_decoded_apply() {
+        let a = db();
+        let b = db();
+        let entry = LogEntry {
+            table: 0,
+            partition: 0,
+            key: 1,
+            tid: Tid::new(1, 9),
+            payload: Payload::Operation(Operation::AddI64 { field: 1, delta: 4 }),
+        };
+        let direct = entry.apply(&a).unwrap();
+        let via_encoded = EncodedEntry::from_entry(&entry).apply(&b).unwrap();
+        assert_eq!(direct, via_encoded);
+        assert_eq!(a.get(0, 0, 1).unwrap().read().row, b.get(0, 0, 1).unwrap().read().row);
+    }
+
+    #[test]
+    fn corrupt_payload_is_deterministic_and_keeps_addressing() {
+        let entry = LogEntry {
+            table: 0,
+            partition: 2,
+            key: 5,
+            tid: Tid::new(1, 3),
+            payload: Payload::Value(sample_row()),
+        };
+        let pristine = EncodedEntry::from_entry(&entry);
+        let mut a = pristine.clone();
+        let mut b = pristine.clone();
+        assert!(a.corrupt_payload(0xBEEF));
+        assert!(b.corrupt_payload(0xBEEF));
+        assert_eq!(a, b, "same salt must flip the same bit");
+        assert_ne!(a.decode().unwrap().payload, entry.payload);
+        let decoded = a.decode().unwrap();
+        assert_eq!(
+            (decoded.table, decoded.partition, decoded.key, decoded.tid),
+            (entry.table, entry.partition, entry.key, entry.tid)
+        );
+    }
+
+    #[test]
+    fn entry_block_splits_back_into_zero_copy_slices() {
+        let entries: Vec<LogEntry> = (0..4)
+            .map(|i| LogEntry {
+                table: 0,
+                partition: i as PartitionId,
+                key: i,
+                tid: Tid::new(1, i),
+                payload: Payload::Value(sample_row()),
+            })
+            .collect();
+        let encoded = EncodedEntry::encode_all(entries.clone());
+        let block = encode_entry_block(&encoded);
+        let split = split_entry_block(&block).unwrap();
+        assert_eq!(split, encoded);
+        for (s, original) in split.iter().zip(&entries) {
+            assert_eq!(&s.decode().unwrap(), original);
+        }
+        assert!(split_entry_block(&Bytes::new()).is_err());
+        assert!(split_entry_block(&block.slice(0..block.len() - 1)).is_err());
     }
 
     #[test]

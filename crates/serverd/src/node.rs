@@ -42,8 +42,8 @@ use star_core::messages::ReplicationBatch;
 use star_core::workload::Workload;
 use star_core::MasterElection;
 use star_proto::{
-    decode_entries, write_message, AdminQuery, Request, Response, WireElection, WireMessage,
-    WirePhase, WireStatus, WireTxn,
+    write_message, AdminQuery, Request, Response, WireElection, WireMessage, WirePhase, WireStatus,
+    WireTxn,
 };
 use star_replication::encode_row;
 use star_storage::{Database, DatabaseBuilder};
@@ -114,7 +114,9 @@ fn build_replica(config: &ClusterConfig, workload: &dyn Workload, id: NodeId) ->
     }
     if !config.is_full_replica(id) {
         let held: Vec<PartitionId> = (0..config.partitions)
-            .filter(|p| config.partition_primary(*p) == id || config.partition_secondary(*p) == id)
+            .filter(|p| {
+                config.partition_primary(*p) == id || config.partition_secondary(*p) == Some(id)
+            })
             .collect();
         builder = builder.holding(held);
     }
@@ -313,7 +315,9 @@ fn connection_loop(mut stream: TcpStream, inner: Arc<NodeInner>) {
                 break;
             }
             WireMessage::Replication { from, epoch, entries } => {
-                let Ok(decoded) = decode_entries(&entries) else { break };
+                // Split the received block into zero-copy per-entry slices;
+                // decoding a payload happens once, at fence apply time.
+                let Ok(split) = star_replication::split_entry_block(&entries) else { break };
                 let from = from as usize;
                 if from >= inner.recv_counts.len() {
                     break;
@@ -321,7 +325,7 @@ fn connection_loop(mut stream: TcpStream, inner: Arc<NodeInner>) {
                 {
                     let mut inbox_guard =
                         inner.inbox.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                    inbox_guard.push(ReplicationBatch { from_node: from, epoch, entries: decoded });
+                    inbox_guard.push(ReplicationBatch { from_node: from, epoch, entries: split });
                 }
                 inner.recv_counts[from].fetch_add(1, Ordering::SeqCst);
             }
@@ -435,6 +439,7 @@ fn run_partitioned(
                 epoch,
                 config.replication_strategy,
                 worker,
+                None,
             ) {
                 committed += 1;
             }
@@ -477,6 +482,7 @@ fn run_single_master(
                 Some(&inner.history),
                 epoch,
                 worker,
+                None,
             ) {
                 committed += 1;
             }
@@ -525,7 +531,7 @@ fn handle_fence(inner: &NodeInner, epoch: Epoch, expected: &[u64]) -> Response {
     let mut applied = 0u64;
     for batch in batches {
         for entry in batch.entries {
-            if inner.db.holds(entry.partition) {
+            if inner.db.holds(entry.partition()) {
                 let _ = entry.apply(&inner.db);
                 applied += 1;
             }

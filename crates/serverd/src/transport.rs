@@ -12,7 +12,7 @@
 use crate::node::CONNECT_TIMEOUT;
 use star_core::messages::ReplicationBatch;
 use star_net::{SendError, Transport};
-use star_proto::{replication_frame, write_message};
+use star_proto::{replication_frame_encoded, write_message};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -82,7 +82,9 @@ impl Transport<ReplicationBatch> for TcpMesh {
         if to >= self.addrs.len() {
             return Err(SendError::NoSuchNode(to));
         }
-        let frame = replication_frame(payload.from_node, payload.epoch, &payload.entries);
+        // The entries are already in their canonical encoded form; the frame
+        // is a concatenation, not a re-serialization.
+        let frame = replication_frame_encoded(payload.from_node, payload.epoch, &payload.entries);
         let mut link_guard = match self.links[to].lock() {
             Ok(guard) => guard,
             Err(_) => return Err(SendError::Disconnected(to)),

@@ -8,6 +8,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// transaction.
 const LOCK_BIT: u64 = 1 << 63;
 
+/// Spins before a waiter starts yielding its scheduler quantum.
+const SPIN_LIMIT: u32 = 64;
+
+/// Bounded spin-wait: the lock holder is usually mid-install for a few dozen
+/// cycles, so the first iterations use the CPU spin hint; past [`SPIN_LIMIT`]
+/// the waiter yields instead. Without the yield, an oversubscribed host (more
+/// workers than cores) burns a full scheduler slice spinning on a lock whose
+/// holder has been preempted — which inverts thread scaling.
+#[inline]
+fn spin_backoff(spins: &mut u32) {
+    if *spins < SPIN_LIMIT {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
 /// Decoded view of a record's meta word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecordMeta {
@@ -89,10 +107,11 @@ impl Record {
     /// re-reads the meta word after copying the data and retries if a
     /// concurrent writer was active.
     pub fn read(&self) -> ReadResult {
+        let mut spins = 0;
         loop {
             let before = self.meta.load(Ordering::Acquire);
             if before & LOCK_BIT != 0 {
-                std::hint::spin_loop();
+                spin_backoff(&mut spins);
                 continue;
             }
             let row = self.data.read().clone();
@@ -124,8 +143,9 @@ impl Record {
     /// phase commit path after sorting the write set in a global order, which
     /// rules out deadlock.
     pub fn lock(&self) {
+        let mut spins = 0;
         while !self.try_lock() {
-            std::hint::spin_loop();
+            spin_backoff(&mut spins);
         }
     }
 
@@ -178,10 +198,11 @@ impl Record {
     /// of order; because conflicting TIDs are assigned in serial-equivalent
     /// order, dropping stale writes is correct (Section 3).
     pub fn apply_value_thomas(&self, row: Row, tid: Tid) -> bool {
+        let mut spins = 0;
         loop {
             let cur = self.meta.load(Ordering::Acquire);
             if cur & LOCK_BIT != 0 {
-                std::hint::spin_loop();
+                spin_backoff(&mut spins);
                 continue;
             }
             let cur_tid = Tid::from_raw(cur);

@@ -29,13 +29,13 @@ bench seed="42":
 # CI's bench-smoke job measures (--quick --seed 42). Run a few times and keep
 # the lowest numbers if the machine is noisy.
 bench-baseline seed="42":
-    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --threads-sweep
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --threads-sweep --zipf-sweep
 
 # The quick CI smoke variant, including the regression gate against the
 # committed baselines (throughput plus the per-slice latency-source gate)
 # and the STAR thread-scaling lane (BENCH_threads.json).
 bench-smoke seed="42":
-    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --check --threads-sweep
+    cargo run --release -p star-bench --bin star-bench -- --quick --seed {{seed}} --check --threads-sweep --zipf-sweep
 
 # Index-contention microbenchmark only (sharded vs pre-shard index).
 bench-contention:

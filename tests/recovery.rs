@@ -16,6 +16,10 @@ fn cluster(nodes: usize, full: usize) -> ClusterConfig {
         .full_replicas(full)
         .partitions(nodes * 2)
         .workers_per_node(2)
+        // Every partition keeps a partial backup beyond the full copies, so
+        // the Figure-7 scenarios can lose a single partial replica without
+        // also losing partial coverage.
+        .replication_factor(full + 2)
         .iteration(Duration::from_millis(5))
         .network_latency(Duration::from_micros(20))
         .build()
