@@ -2,7 +2,7 @@
 
 SEED ?= 42
 
-.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention profile chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke server-smoke figures ci
+.PHONY: build test lint star-lint star-lint-baseline lock-witness bench bench-baseline bench-smoke bench-contention profile chaos chaos-synth chaos-guided chaos-corpus chaos-nightly chaos-smoke server-smoke wire-chaos figures ci
 
 build:
 	cargo build --release
@@ -80,7 +80,14 @@ lock-witness:
 server-smoke:
 	./scripts/server_smoke.sh
 
+# Chaos over the wire: corpus replay + seeded socket-fault sweep +
+# SIGKILL/restart/recover cycle against real TCP clusters behind the
+# fault-injecting proxy mesh, byte-compared to the simulation twin.
+wire-chaos:
+	cargo build --release -p star-serverd
+	cargo run --release -p star-wire-chaos --bin star-wire-chaos -- --replay-corpus --sweep --seeds 4 --kill-recover --serverd target/release/star-serverd
+
 figures:
 	cargo run --release -p star-bench --bin figures -- --quick all
 
-ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus server-smoke
+ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus server-smoke wire-chaos

@@ -131,6 +131,25 @@ impl PartitionWorkerState {
             rng: StdRng::seed_from_u64(config.rng_seed_base() ^ 0x5747_u64 ^ (partition as u64)),
         }
     }
+
+    /// Advances this worker's RNG past `attempts` transaction generations
+    /// without executing anything, by generating and discarding the same
+    /// procedures [`run_one_partitioned_txn`] would have drawn.
+    ///
+    /// A node taking over a partition mid-run (primary failover, or a
+    /// restarted process rejoining) must resume the partition's transaction
+    /// stream exactly where the previous executor left it. Each attempt —
+    /// committed or aborted — consumes exactly one workload generation, so
+    /// replaying the generations is a faithful fast-forward. The TID
+    /// generator needs no transfer: failover only happens across an epoch
+    /// fence, the epoch always advances, and TIDs are epoch-major, so a
+    /// fresh generator's `Tid::new(epoch, 1)` matches what a carried-over
+    /// generator would produce.
+    pub fn fast_forward(&mut self, workload: &dyn Workload, partition: PartitionId, attempts: u64) {
+        for _ in 0..attempts {
+            let _ = workload.single_partition_transaction(&mut self.rng, partition);
+        }
+    }
 }
 
 /// Per-master-worker state that survives across iterations.
@@ -146,6 +165,27 @@ impl MasterWorkerState {
         MasterWorkerState {
             tid_gen: TidGenerator::new(),
             rng: StdRng::seed_from_u64(config.rng_seed_base() ^ 0xCA11_u64 ^ (worker as u64)),
+        }
+    }
+
+    /// Advances this master worker's RNG past `attempts` transaction
+    /// generations without executing anything — the single-master twin of
+    /// [`PartitionWorkerState::fast_forward`], used when a re-elected master
+    /// must resume worker `worker_id`'s cross-partition stream where the
+    /// previous master's worker left it. Each attempt draws one home
+    /// partition and one workload generation, exactly as
+    /// [`run_one_master_txn`] does.
+    pub fn fast_forward(
+        &mut self,
+        workload: &dyn Workload,
+        worker_id: usize,
+        partitions: usize,
+        attempts: u64,
+    ) {
+        use rand::Rng;
+        for _ in 0..attempts {
+            let home = (self.rng.gen::<usize>() ^ worker_id) % partitions;
+            let _ = workload.cross_partition_transaction(&mut self.rng, home);
         }
     }
 }
@@ -362,7 +402,10 @@ pub fn run_one_master_txn(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::KvWorkload;
     use rand::RngCore;
+    use star_net::SendError;
+    use star_storage::DatabaseBuilder;
 
     fn config() -> ClusterConfig {
         ClusterConfig::builder()
@@ -372,6 +415,121 @@ mod tests {
             .seed(7)
             .build()
             .expect("valid test config")
+    }
+
+    /// A transport that accepts and discards everything, for driving the
+    /// execution paths without a cluster.
+    struct NullTransport;
+
+    impl Transport<ReplicationBatch> for NullTransport {
+        fn node(&self) -> usize {
+            0
+        }
+
+        fn num_nodes(&self) -> usize {
+            1
+        }
+
+        fn send(&self, _to: usize, _payload: ReplicationBatch) -> Result<(), SendError> {
+            Ok(())
+        }
+    }
+
+    fn kv_db(workload: &KvWorkload) -> Database {
+        let mut builder = DatabaseBuilder::new(workload.partitions);
+        for spec in workload.catalog() {
+            builder = builder.table(spec);
+        }
+        let db = builder.build();
+        for p in 0..workload.partitions {
+            workload.load_partition(&db, p);
+        }
+        db
+    }
+
+    #[test]
+    fn partition_fast_forward_matches_really_executed_attempts() {
+        let config = config();
+        let workload =
+            KvWorkload { partitions: 2, rows_per_partition: 16, cross_partition_fraction: 0.3 };
+        let db = kv_db(&workload);
+        let counters = RunCounters::new();
+
+        // One worker really executes `n` attempts; its twin only
+        // fast-forwards. Their RNG streams must be in lockstep afterwards.
+        let n = 7u64;
+        let mut executed = PartitionWorkerState::new(&config, 0);
+        for _ in 0..n {
+            run_one_partitioned_txn(
+                0,
+                0,
+                &[],
+                &db,
+                &NullTransport,
+                &workload,
+                &counters,
+                None,
+                None,
+                1,
+                ReplicationStrategy::Operation,
+                &mut executed,
+                None,
+            );
+        }
+        let mut forwarded = PartitionWorkerState::new(&config, 0);
+        forwarded.fast_forward(&workload, 0, n);
+        assert_eq!(executed.rng.next_u64(), forwarded.rng.next_u64());
+    }
+
+    #[test]
+    fn master_fast_forward_matches_really_executed_attempts() {
+        let config = config();
+        let workload =
+            KvWorkload { partitions: 2, rows_per_partition: 16, cross_partition_fraction: 0.3 };
+        let db = kv_db(&workload);
+        let counters = RunCounters::new();
+
+        let n = 7u64;
+        let mut executed = MasterWorkerState::new(&config, 1);
+        for _ in 0..n {
+            run_one_master_txn(
+                1,
+                0,
+                &[],
+                &config,
+                &db,
+                &NullTransport,
+                &workload,
+                &counters,
+                None,
+                None,
+                1,
+                &mut executed,
+                None,
+            );
+        }
+        let mut forwarded = MasterWorkerState::new(&config, 1);
+        forwarded.fast_forward(&workload, 1, config.partitions, n);
+        assert_eq!(executed.rng.next_u64(), forwarded.rng.next_u64());
+    }
+
+    #[test]
+    fn fresh_tid_generator_matches_carried_one_across_an_epoch_boundary() {
+        // The fast-forward contract deliberately skips the TID generator:
+        // failover always lands past an epoch fence, and TIDs are
+        // epoch-major, so a fresh generator's first TID in the new epoch
+        // equals what the old generator would have produced.
+        let mut carried = TidGenerator::new();
+        for _ in 0..5 {
+            carried.generate(3, Tid::ZERO);
+        }
+        let mut fresh = TidGenerator::new();
+        assert_eq!(carried.generate(4, Tid::ZERO), fresh.generate(4, Tid::ZERO));
+        // And with an observed record TID from the older epoch in play the
+        // epoch-major ordering still lets the fresh generator win.
+        let observed = Tid::new(3, 900);
+        let mut fresh2 = TidGenerator::new();
+        assert_eq!(Tid::new(5, 1), fresh2.generate(5, observed));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "STAR"
-//! 4       2     protocol version, little-endian (currently 1)
+//! 4       2     protocol version, little-endian (currently 2)
 //! 6       1     frame kind (which [`crate::WireMessage`] variant follows)
 //! 7       1     flags (reserved, must be 0)
 //! 8       4     body length, little-endian
@@ -21,8 +21,10 @@ use bytes::{Buf, BufMut, BytesMut};
 /// The four magic bytes opening every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"STAR";
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The protocol version this build speaks. Version 2 added the
+/// failure-aware phase/fence fields and the recovery frames
+/// (`FetchPartition` / `InstallRecords` / `Rejoin`).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Size of the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 12;

@@ -13,6 +13,8 @@
 //!   body length`) every message rides behind;
 //! * [`message`] — the message bodies: handshakes, correlation-id-tagged
 //!   requests/responses, and zero-copy replication batches;
+//! * [`stream`] — [`FrameBuffer`], incremental frame reassembly for
+//!   non-blocking readers (server connection loops, the wire-chaos proxy);
 //! * [`error`] — typed [`DecodeError`]s. Decoding arbitrary bytes never
 //!   panics; `star-lint` keeps this crate's `src/` in panic-freedom scope.
 
@@ -23,6 +25,7 @@ pub mod error;
 pub mod frame;
 pub mod io;
 pub mod message;
+pub mod stream;
 
 pub use error::DecodeError;
 pub use frame::{
@@ -33,5 +36,6 @@ pub use io::{read_message, write_message};
 pub use message::{
     decode_entries, encode_elections, encode_entries, encode_history, replication_frame,
     replication_frame_encoded, AdminQuery, Request, Response, Role, WireElection, WireMessage,
-    WirePhase, WireStatus, WireTxn,
+    WirePhase, WireRecord, WireStatus, WireTxn,
 };
+pub use stream::FrameBuffer;

@@ -67,6 +67,16 @@ fn take_count(cur: &mut &[u8], min_element_size: usize) -> Result<usize, DecodeE
     Ok(n)
 }
 
+/// Reads a count-prefixed list of node ids (`u32`s).
+fn take_node_ids(cur: &mut &[u8]) -> Result<Vec<u32>, DecodeError> {
+    let n = take_count(cur, 4)?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        nodes.push(take_u32(cur)?);
+    }
+    Ok(nodes)
+}
+
 fn take_string(cur: &mut &[u8]) -> Result<String, DecodeError> {
     let len = take_u32(cur)? as usize;
     if cur.remaining() < len {
@@ -347,6 +357,61 @@ impl WireTxn {
     }
 }
 
+/// One replica record in canonical wire form, as moved by the recovery
+/// frames ([`Request::FetchPartition`] / [`Request::InstallRecords`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRecord {
+    /// Table of the record.
+    pub table: u32,
+    /// Partition of the record.
+    pub partition: u32,
+    /// Primary key.
+    pub key: u64,
+    /// TID of the record's current version (raw form).
+    pub tid: u64,
+    /// The row.
+    pub row: Row,
+}
+
+impl WireRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.table);
+        buf.put_u32_le(self.partition);
+        buf.put_u64_le(self.key);
+        buf.put_u64_le(self.tid);
+        encode_row(&self.row, buf);
+    }
+
+    fn decode(cur: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(WireRecord {
+            table: take_u32(cur)?,
+            partition: take_u32(cur)?,
+            key: take_u64(cur)?,
+            tid: take_u64(cur)?,
+            row: take_wire_row(cur)?,
+        })
+    }
+}
+
+/// A record header is 24 bytes plus at least one row byte.
+const WIRE_RECORD_MIN: usize = 25;
+
+fn take_records(cur: &mut &[u8]) -> Result<Vec<WireRecord>, DecodeError> {
+    let n = take_count(cur, WIRE_RECORD_MIN)?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(WireRecord::decode(cur)?);
+    }
+    Ok(records)
+}
+
+fn put_records(records: &[WireRecord], buf: &mut BytesMut) {
+    buf.put_u32_le(records.len() as u32);
+    for record in records {
+        record.encode(buf);
+    }
+}
+
 /// Serializes a committed history into its canonical byte form. The parity
 /// harness compares these buffers directly: byte equality is the test.
 pub fn encode_history(txns: &[CommittedTxn]) -> Bytes {
@@ -430,6 +495,19 @@ pub enum Request {
         epoch: Epoch,
         /// Transaction attempts per local worker.
         txns: u64,
+        /// Cumulative transaction-attempt counts each executor must have
+        /// consumed *before* this phase: per partition for a partitioned
+        /// phase, per master worker for a single-master phase. A node whose
+        /// local worker lags a baseline (it just took over the partition, or
+        /// it restarted) fast-forwards the worker's RNG to the baseline
+        /// before executing, so the transaction stream continues exactly
+        /// where the previous executor left it. Empty means "no baselines"
+        /// (the healthy steady state, where local counters already match).
+        baselines: Vec<u64>,
+        /// Node ids the coordinator currently considers failed; the phase
+        /// routes around them (effective primaries, healthy replica-target
+        /// and master-broadcast sets).
+        failed: Vec<u32>,
     },
     /// Intra-cluster: replication fence closing `epoch`. `expected[s]` is the
     /// cumulative number of replication batches node `s` has sent this node;
@@ -439,6 +517,43 @@ pub enum Request {
         epoch: Epoch,
         /// Per-sender cumulative batch counts to wait for.
         expected: Vec<u64>,
+        /// Node ids the coordinator considers failed as of this fence. A
+        /// node id appearing here for the first time makes the fence revert
+        /// the in-flight epoch (the crash discarded it cluster-wide), drop
+        /// that sender's queued batches, and re-run the deterministic
+        /// master election — the wire form of the simulator's fence-time
+        /// failure detection.
+        failed: Vec<u32>,
+    },
+    /// Supervisor: read every record of one locally held partition, in
+    /// canonical order — the source half of a recovery catch-up copy.
+    FetchPartition {
+        /// Partition to read.
+        partition: u32,
+    },
+    /// Supervisor: install records into the local replica under the Thomas
+    /// write rule (apply-if-newer) — the target half of a recovery copy.
+    InstallRecords {
+        /// Records to install.
+        records: Vec<WireRecord>,
+    },
+    /// Supervisor: adopt cluster state after a process restart, so the
+    /// rejoining node agrees with the survivors about the epoch, the
+    /// failure picture, the election log and the cumulative replication
+    /// counters its fresh counters must be rebased onto.
+    Rejoin {
+        /// The cluster's current epoch.
+        epoch: Epoch,
+        /// The last epoch whose fence completed.
+        last_committed: Epoch,
+        /// Node ids still considered failed.
+        failed: Vec<u32>,
+        /// The full election log as of the rejoin.
+        elections: Vec<WireElection>,
+        /// Per-sender cumulative replication-batch counts already delivered
+        /// to this node's address before the restart; the node's receive
+        /// counters restart from these values.
+        recv_base: Vec<u64>,
     },
     /// Admin inspection.
     Admin(AdminQuery),
@@ -462,18 +577,30 @@ impl Request {
                 buf.put_u64_le(*partitioned_txns);
                 buf.put_u64_le(*single_master_txns);
             }
-            Request::RunPhase { phase, epoch, txns } => {
+            Request::RunPhase { phase, epoch, txns, baselines, failed } => {
                 buf.put_u8(3);
                 buf.put_u8(phase.to_u8());
                 buf.put_u32_le(*epoch);
                 buf.put_u64_le(*txns);
+                buf.put_u32_le(baselines.len() as u32);
+                for &baseline in baselines {
+                    buf.put_u64_le(baseline);
+                }
+                buf.put_u32_le(failed.len() as u32);
+                for &node in failed {
+                    buf.put_u32_le(node);
+                }
             }
-            Request::Fence { epoch, expected } => {
+            Request::Fence { epoch, expected, failed } => {
                 buf.put_u8(4);
                 buf.put_u32_le(*epoch);
                 buf.put_u32_le(expected.len() as u32);
                 for &count in expected {
                     buf.put_u64_le(count);
+                }
+                buf.put_u32_le(failed.len() as u32);
+                for &node in failed {
+                    buf.put_u32_le(node);
                 }
             }
             Request::Admin(query) => {
@@ -481,6 +608,31 @@ impl Request {
                 buf.put_u8(query.to_u8());
             }
             Request::Shutdown => buf.put_u8(6),
+            Request::FetchPartition { partition } => {
+                buf.put_u8(7);
+                buf.put_u32_le(*partition);
+            }
+            Request::InstallRecords { records } => {
+                buf.put_u8(8);
+                put_records(records, buf);
+            }
+            Request::Rejoin { epoch, last_committed, failed, elections, recv_base } => {
+                buf.put_u8(9);
+                buf.put_u32_le(*epoch);
+                buf.put_u32_le(*last_committed);
+                buf.put_u32_le(failed.len() as u32);
+                for &node in failed {
+                    buf.put_u32_le(node);
+                }
+                buf.put_u32_le(elections.len() as u32);
+                for e in elections {
+                    e.encode(buf);
+                }
+                buf.put_u32_le(recv_base.len() as u32);
+                for &count in recv_base {
+                    buf.put_u64_le(count);
+                }
+            }
         }
     }
 
@@ -497,11 +649,18 @@ impl Request {
                 partitioned_txns: take_u64(cur)?,
                 single_master_txns: take_u64(cur)?,
             }),
-            3 => Ok(Request::RunPhase {
-                phase: WirePhase::from_u8(take_u8(cur)?)?,
-                epoch: take_u32(cur)?,
-                txns: take_u64(cur)?,
-            }),
+            3 => {
+                let phase = WirePhase::from_u8(take_u8(cur)?)?;
+                let epoch = take_u32(cur)?;
+                let txns = take_u64(cur)?;
+                let n = take_count(cur, 8)?;
+                let mut baselines = Vec::with_capacity(n);
+                for _ in 0..n {
+                    baselines.push(take_u64(cur)?);
+                }
+                let failed = take_node_ids(cur)?;
+                Ok(Request::RunPhase { phase, epoch, txns, baselines, failed })
+            }
             4 => {
                 let epoch = take_u32(cur)?;
                 let n = take_count(cur, 8)?;
@@ -509,10 +668,29 @@ impl Request {
                 for _ in 0..n {
                     expected.push(take_u64(cur)?);
                 }
-                Ok(Request::Fence { epoch, expected })
+                let failed = take_node_ids(cur)?;
+                Ok(Request::Fence { epoch, expected, failed })
             }
             5 => Ok(Request::Admin(AdminQuery::from_u8(take_u8(cur)?)?)),
             6 => Ok(Request::Shutdown),
+            7 => Ok(Request::FetchPartition { partition: take_u32(cur)? }),
+            8 => Ok(Request::InstallRecords { records: take_records(cur)? }),
+            9 => {
+                let epoch = take_u32(cur)?;
+                let last_committed = take_u32(cur)?;
+                let failed = take_node_ids(cur)?;
+                let n = take_count(cur, 20)?;
+                let mut elections = Vec::with_capacity(n);
+                for _ in 0..n {
+                    elections.push(WireElection::decode(cur)?);
+                }
+                let n = take_count(cur, 8)?;
+                let mut recv_base = Vec::with_capacity(n);
+                for _ in 0..n {
+                    recv_base.push(take_u64(cur)?);
+                }
+                Ok(Request::Rejoin { epoch, last_committed, failed, elections, recv_base })
+            }
             tag => Err(DecodeError::UnknownTag { context: "request", tag }),
         }
     }
@@ -588,6 +766,14 @@ pub enum Response {
         /// Commutative FNV digest over the replica's records.
         digest: u64,
     },
+    /// Answer to [`Request::FetchPartition`]: the partition's records.
+    Records(Vec<WireRecord>),
+    /// Answer to [`Request::InstallRecords`].
+    InstallDone {
+        /// Records whose install actually replaced the local version (the
+        /// Thomas write rule skips records the replica already has newer).
+        installed: u64,
+    },
 }
 
 impl Response {
@@ -657,6 +843,14 @@ impl Response {
                 buf.put_u64_le(*records);
                 buf.put_u64_le(*digest);
             }
+            Response::Records(records) => {
+                buf.put_u8(11);
+                put_records(records, buf);
+            }
+            Response::InstallDone { installed } => {
+                buf.put_u8(12);
+                buf.put_u64_le(*installed);
+            }
         }
     }
 
@@ -711,6 +905,8 @@ impl Response {
                 Ok(Response::History(txns))
             }
             10 => Ok(Response::Digest { records: take_u64(cur)?, digest: take_u64(cur)? }),
+            11 => Ok(Response::Records(take_records(cur)?)),
+            12 => Ok(Response::InstallDone { installed: take_u64(cur)? }),
             tag => Err(DecodeError::UnknownTag { context: "response", tag }),
         }
     }
@@ -914,8 +1110,42 @@ mod tests {
             Request::Ping,
             Request::Get { table: 1, partition: 3, key: 42 },
             Request::Run { iterations: 4, partitioned_txns: 100, single_master_txns: 50 },
-            Request::RunPhase { phase: WirePhase::SingleMaster, epoch: 7, txns: 25 },
-            Request::Fence { epoch: 7, expected: vec![0, 3, 9] },
+            Request::RunPhase {
+                phase: WirePhase::SingleMaster,
+                epoch: 7,
+                txns: 25,
+                baselines: vec![],
+                failed: vec![],
+            },
+            Request::RunPhase {
+                phase: WirePhase::Partitioned,
+                epoch: 9,
+                txns: 12,
+                baselines: vec![100, 0, 88, 12],
+                failed: vec![2],
+            },
+            Request::Fence { epoch: 7, expected: vec![0, 3, 9], failed: vec![] },
+            Request::Fence { epoch: 8, expected: vec![1, 0, 0], failed: vec![1, 2] },
+            Request::FetchPartition { partition: 3 },
+            Request::InstallRecords {
+                records: vec![WireRecord {
+                    table: 0,
+                    partition: 1,
+                    key: 42,
+                    tid: Tid::new(4, 7).raw(),
+                    row: Row::new(vec![FieldValue::U64(5)]),
+                }],
+            },
+            Request::Rejoin {
+                epoch: 11,
+                last_committed: 10,
+                failed: vec![0],
+                elections: vec![
+                    WireElection { epoch: 0, master: 0, generation: 0 },
+                    WireElection { epoch: 6, master: 1, generation: 1 },
+                ],
+                recv_base: vec![4, 0, 17],
+            },
             Request::Admin(AdminQuery::ReplicaDigest),
             Request::Shutdown,
         ] {
@@ -957,6 +1187,17 @@ mod tests {
                 writes: vec![(0, 1, 7, row.clone())],
             }]),
             Response::Digest { records: 40, digest: 0xdead_beef },
+            Response::Records(vec![
+                WireRecord {
+                    table: 0,
+                    partition: 2,
+                    key: 7,
+                    tid: Tid::new(3, 1).raw(),
+                    row: row.clone(),
+                },
+                WireRecord { table: 1, partition: 0, key: 0, tid: 0, row: Row::new(vec![]) },
+            ]),
+            Response::InstallDone { installed: 96 },
         ] {
             round_trip(WireMessage::Response { id: 7, body });
         }

@@ -11,9 +11,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use star_common::{FieldValue, Operation, Row, Tid};
 use star_proto::{
-    decode_entries, decode_frame_header, encode_frame_header, AdminQuery, DecodeError, Request,
-    Response, Role, WireElection, WireMessage, WirePhase, WireStatus, WireTxn, FRAME_HEADER_LEN,
-    MAX_BODY_LEN,
+    decode_entries, decode_frame_header, encode_frame_header, AdminQuery, DecodeError, FrameBuffer,
+    Request, Response, Role, WireElection, WireMessage, WirePhase, WireRecord, WireStatus, WireTxn,
+    FRAME_HEADER_LEN, MAX_BODY_LEN,
 };
 use star_replication::{LogEntry, Payload};
 
@@ -117,8 +117,23 @@ fn gen_wire_txn(rng: &mut StdRng) -> WireTxn {
     }
 }
 
+fn gen_node_ids(rng: &mut StdRng) -> Vec<u32> {
+    let n = rng.gen_range(0..4usize);
+    (0..n).map(|_| rng.gen_range(0..8u32)).collect()
+}
+
+fn gen_wire_record(rng: &mut StdRng) -> WireRecord {
+    WireRecord {
+        table: rng.gen_range(0..4u32),
+        partition: rng.gen_range(0..8u32),
+        key: rng.gen_range(0..1_000_000u64),
+        tid: rng.gen_range(0..u64::MAX),
+        row: gen_row(rng),
+    }
+}
+
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..7u8) {
+    match rng.gen_range(0..10u8) {
         0 => Request::Ping,
         1 => Request::Get {
             table: rng.gen_range(0..4u32),
@@ -130,16 +145,26 @@ fn gen_request(rng: &mut StdRng) -> Request {
             partitioned_txns: rng.gen_range(0..10_000u64),
             single_master_txns: rng.gen_range(0..10_000u64),
         },
-        3 => Request::RunPhase {
-            phase: if rng.gen_bool(0.5) { WirePhase::Partitioned } else { WirePhase::SingleMaster },
-            epoch: rng.gen_range(0..1000u32),
-            txns: rng.gen_range(0..10_000u64),
-        },
+        3 => {
+            let n = rng.gen_range(0..5usize);
+            Request::RunPhase {
+                phase: if rng.gen_bool(0.5) {
+                    WirePhase::Partitioned
+                } else {
+                    WirePhase::SingleMaster
+                },
+                epoch: rng.gen_range(0..1000u32),
+                txns: rng.gen_range(0..10_000u64),
+                baselines: (0..n).map(|_| rng.gen_range(0..100_000u64)).collect(),
+                failed: gen_node_ids(rng),
+            }
+        }
         4 => {
             let n = rng.gen_range(0..5usize);
             Request::Fence {
                 epoch: rng.gen_range(0..1000u32),
                 expected: (0..n).map(|_| rng.gen_range(0..100u64)).collect(),
+                failed: gen_node_ids(rng),
             }
         }
         5 => Request::Admin(match rng.gen_range(0..4u8) {
@@ -148,12 +173,34 @@ fn gen_request(rng: &mut StdRng) -> Request {
             2 => AdminQuery::History,
             _ => AdminQuery::ReplicaDigest,
         }),
+        6 => Request::FetchPartition { partition: rng.gen_range(0..8u32) },
+        7 => {
+            let n = rng.gen_range(0..4usize);
+            Request::InstallRecords { records: (0..n).map(|_| gen_wire_record(rng)).collect() }
+        }
+        8 => {
+            let n = rng.gen_range(0..4usize);
+            let m = rng.gen_range(0..5usize);
+            Request::Rejoin {
+                epoch: rng.gen_range(0..1000u32),
+                last_committed: rng.gen_range(0..1000u32),
+                failed: gen_node_ids(rng),
+                elections: (0..n)
+                    .map(|_| WireElection {
+                        epoch: rng.gen_range(0..1000u32),
+                        master: rng.gen_range(-1..8i64),
+                        generation: rng.gen_range(0..100u64),
+                    })
+                    .collect(),
+                recv_base: (0..m).map(|_| rng.gen_range(0..100u64)).collect(),
+            }
+        }
         _ => Request::Shutdown,
     }
 }
 
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..11u8) {
+    match rng.gen_range(0..13u8) {
         0 => Response::Ok,
         1 => Response::Error(gen_string(rng)),
         2 => Response::Pong,
@@ -201,10 +248,15 @@ fn gen_response(rng: &mut StdRng) -> Response {
             let n = rng.gen_range(0..3usize);
             Response::History((0..n).map(|_| gen_wire_txn(rng)).collect())
         }
-        _ => Response::Digest {
+        10 => Response::Digest {
             records: rng.gen_range(0..u64::MAX),
             digest: rng.gen_range(0..u64::MAX),
         },
+        11 => {
+            let n = rng.gen_range(0..4usize);
+            Response::Records((0..n).map(|_| gen_wire_record(rng)).collect())
+        }
+        _ => Response::InstallDone { installed: rng.gen_range(0..10_000u64) },
     }
 }
 
@@ -382,6 +434,46 @@ fn oversized_lengths_are_typed() {
     }
 }
 
+/// Byte-dribble lane: every generated frame fed one byte at a time through
+/// the buffered incremental reader decodes to exactly the all-at-once result,
+/// with no message surfacing early and no panic at any intermediate length.
+#[test]
+fn byte_dribble_matches_whole_frame_decode() {
+    let mut rng = StdRng::seed_from_u64(0xD81B);
+    for case in 0..300 {
+        let msg = gen_message(&mut rng);
+        let frame = msg.encode();
+        let mut fb = FrameBuffer::new();
+        for (i, byte) in frame.iter().enumerate() {
+            fb.push(std::slice::from_ref(byte));
+            let got = fb.next_message().unwrap_or_else(|e| panic!("case {case} byte {i}: {e}"));
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "case {case}: message surfaced at byte {i}");
+            } else {
+                assert_eq!(got, Some(msg.clone()), "case {case}");
+            }
+        }
+        assert!(!fb.has_partial(), "case {case}: bytes left over");
+    }
+}
+
+/// Mid-frame EOF through the incremental reader: any strict prefix of a
+/// valid frame leaves the buffer waiting (a partial frame), never panicking
+/// and never yielding a message.
+#[test]
+fn dribbled_prefixes_never_yield_or_panic() {
+    let mut rng = StdRng::seed_from_u64(0xE0F);
+    for case in 0..120 {
+        let frame = gen_message(&mut rng).encode();
+        let cut = rng.gen_range(0..frame.len());
+        let mut fb = FrameBuffer::new();
+        fb.push(&frame[..cut]);
+        let got = fb.next_message().unwrap_or_else(|e| panic!("case {case} cut {cut}: {e}"));
+        assert!(got.is_none(), "case {case}: message from a strict prefix");
+        assert_eq!(fb.has_partial(), cut > 0, "case {case}");
+    }
+}
+
 /// Unknown frame kinds and unknown body tags map to their own variants, so a
 /// newer peer can be told apart from a corrupt one.
 #[test]
@@ -391,7 +483,7 @@ fn unknown_kinds_and_tags_are_typed() {
         encode_frame_header(kind, 0, &mut buf);
         assert_eq!(WireMessage::decode(buf.as_slice()), Err(DecodeError::UnknownKind(kind)));
     }
-    for tag in [7u8, 100, 255] {
+    for tag in [10u8, 100, 255] {
         let mut body = BytesMut::new();
         body.put_u64_le(1);
         body.put_u8(tag);

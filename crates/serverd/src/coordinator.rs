@@ -123,10 +123,14 @@ pub(crate) fn run_cluster(
 
     for _ in 0..iterations {
         // Partitioned phase, all nodes in parallel.
+        // Empty baselines and failure set: the healthy steady-state path —
+        // nodes skip fast-forwarding and route by configured primaries.
         let phase_results = broadcast(&conns, |_node| Request::RunPhase {
             phase: WirePhase::Partitioned,
             epoch,
             txns: partitioned_txns,
+            baselines: Vec::new(),
+            failed: Vec::new(),
         })?;
         for (node, response) in phase_results.into_iter().enumerate() {
             let (committed, sent) = expect_phase_done(response)?;
@@ -146,6 +150,8 @@ pub(crate) fn run_cluster(
                     phase: WirePhase::SingleMaster,
                     epoch,
                     txns: single_master_txns,
+                    baselines: Vec::new(),
+                    failed: Vec::new(),
                 },
             )?;
             let (committed, sent) = expect_phase_done(response)?;
@@ -196,6 +202,7 @@ fn fence_all(conns: &[Mutex<CtrlConn>], last_sent: &[Vec<u64>], epoch: u32) -> R
     let responses = broadcast(conns, |receiver| Request::Fence {
         epoch,
         expected: last_sent.iter().map(|sent_by_s| sent_by_s[receiver]).collect(),
+        failed: Vec::new(),
     })?;
     for (node, response) in responses.into_iter().enumerate() {
         match response {

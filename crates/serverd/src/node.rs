@@ -20,19 +20,34 @@
 //!
 //! ## The fence barrier
 //!
-//! A `Fence { epoch, expected }` request carries, for every sender `s`, the
-//! cumulative number of batches `s` has shipped to this node. The fence
-//! waits until the arrival counters catch up, applies the inbox in arrival
-//! order (disjoint partitions in the partitioned phase and the Thomas write
-//! rule in the single-master phase make cross-link ordering irrelevant),
-//! finalizes the epoch's history, and advances the epoch — the same group
-//! commit the simulated engine performs, minus failure handling, which the
-//! TCP deployment does not yet attempt.
+//! A `Fence { epoch, expected, failed }` request carries, for every sender
+//! `s`, the cumulative number of batches `s` has shipped to this node, plus
+//! the coordinator's current failure picture. The fence waits until the
+//! arrival counters catch up, and then mirrors the simulated engine's
+//! fence exactly: a *newly* failed node makes it revert the in-flight epoch
+//! (the crash discarded it cluster-wide) and drop that epoch's queued
+//! batches, the deterministic master election re-runs (lowest-id healthy
+//! full replica), surviving batches are applied in arrival order (disjoint
+//! partitions in the partitioned phase and the Thomas write rule in the
+//! single-master phase make cross-link ordering irrelevant), the epoch's
+//! history is finalized as committed or reverted, and the epoch advances.
+//!
+//! ## Failover and restart
+//!
+//! `RunPhase` carries per-executor transaction-attempt baselines: a node
+//! taking over a partition (or a restarted master) fast-forwards the
+//! worker's seeded RNG to the baseline, so the transaction stream continues
+//! exactly where the previous executor left it — the wire form of the
+//! engine's engine-global worker state. The supervisor drives recovery with
+//! `FetchPartition` / `InstallRecords` (a Thomas-rule catch-up copy between
+//! replicas) and `Rejoin` (epoch, failure set, election log and replication
+//! counter rebase for a freshly restarted process).
 
 use crate::bootstrap::Bootstrap;
 use crate::transport::TcpMesh;
 use bytes::{BufMut, BytesMut};
 use star_common::stats::RunCounters;
+use star_common::Tid;
 use star_common::{ClusterConfig, Epoch, NodeId, PartitionId, Result};
 use star_core::exec::{
     run_one_master_txn, run_one_partitioned_txn, MasterWorkerState, PartitionWorkerState,
@@ -42,8 +57,8 @@ use star_core::messages::ReplicationBatch;
 use star_core::workload::Workload;
 use star_core::MasterElection;
 use star_proto::{
-    write_message, AdminQuery, Request, Response, WireElection, WireMessage, WirePhase, WireStatus,
-    WireTxn,
+    write_message, AdminQuery, FrameBuffer, Request, Response, WireElection, WireMessage,
+    WirePhase, WireRecord, WireStatus, WireTxn,
 };
 use star_replication::encode_row;
 use star_storage::{Database, DatabaseBuilder};
@@ -67,6 +82,14 @@ struct EngineState {
     last_committed: Epoch,
     partition_workers: BTreeMap<PartitionId, PartitionWorkerState>,
     master_workers: Vec<MasterWorkerState>,
+    /// The node's view of which peers are failed, as told by fences.
+    failed: Vec<bool>,
+    /// Cumulative transaction attempts this node's partition workers have
+    /// actually executed (== RNG generations consumed). Compared against the
+    /// supervisor's cluster-wide baselines to fast-forward on takeover.
+    partition_attempts: BTreeMap<PartitionId, u64>,
+    /// Same, per master worker.
+    master_attempts: Vec<u64>,
 }
 
 /// Shared state of one node, owned by the listener and every connection
@@ -168,29 +191,51 @@ impl NodeServer {
     /// Starts serving on an already-bound listener (tests bind ephemeral
     /// ports first, then pass the real addresses in via `boot.addrs`).
     pub fn start_on(listener: TcpListener, boot: &Bootstrap, id: NodeId) -> Result<NodeServer> {
-        boot.config.validate().map_err(star_common::Error::Config)?;
-        let workload: Arc<dyn Workload> = Arc::new(boot.ycsb());
-        let db = build_replica(&boot.config, workload.as_ref(), id);
-        let initial_master = (boot.config.full_replicas > 0).then(|| boot.config.master_node());
+        Self::start_with(
+            listener,
+            boot.config.clone(),
+            boot.addrs.clone(),
+            Arc::new(boot.ycsb()),
+            id,
+        )
+    }
+
+    /// Starts serving with an explicit config, address book and workload —
+    /// the general constructor the wire-chaos harness uses to replay corpus
+    /// plans whose cluster shapes the bootstrap grammar cannot express.
+    pub fn start_with(
+        listener: TcpListener,
+        config: ClusterConfig,
+        addrs: Vec<String>,
+        workload: Arc<dyn Workload>,
+        id: NodeId,
+    ) -> Result<NodeServer> {
+        config.validate().map_err(star_common::Error::Config)?;
+        let db = build_replica(&config, workload.as_ref(), id);
+        let initial_master = (config.full_replicas > 0).then(|| config.master_node());
+        let fallback_addr = addrs.get(id).cloned().unwrap_or_default();
         let inner = Arc::new(NodeInner {
             node: id,
-            config: boot.config.clone(),
-            addrs: boot.addrs.clone(),
+            config: config.clone(),
+            addrs: addrs.clone(),
             db,
             workload,
-            mesh: TcpMesh::new(id, boot.addrs.clone()),
+            mesh: TcpMesh::new(id, addrs),
             counters: RunCounters::new(),
             history: Arc::new(HistoryRecorder::new()),
             engine: Mutex::new(EngineState {
                 epoch: 1,
                 last_committed: 0,
                 partition_workers: BTreeMap::new(),
-                master_workers: (0..boot.config.workers_per_node)
-                    .map(|w| MasterWorkerState::new(&boot.config, w))
+                master_workers: (0..config.workers_per_node)
+                    .map(|w| MasterWorkerState::new(&config, w))
                     .collect(),
+                failed: vec![false; config.num_nodes],
+                partition_attempts: BTreeMap::new(),
+                master_attempts: vec![0; config.workers_per_node],
             }),
             inbox: Mutex::new(Vec::new()),
-            recv_counts: (0..boot.config.num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            recv_counts: (0..config.num_nodes).map(|_| AtomicU64::new(0)).collect(),
             elections: Mutex::new(vec![MasterElection {
                 epoch: 0,
                 master: initial_master,
@@ -198,8 +243,7 @@ impl NodeServer {
             }]),
             shutdown: AtomicBool::new(false),
         });
-        let addr =
-            listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| boot.addrs[id].clone());
+        let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(fallback_addr);
         listener
             .set_nonblocking(true)
             .map_err(|e| star_common::Error::Config(format!("listener setup: {e}")))?;
@@ -264,23 +308,17 @@ fn accept_loop(listener: TcpListener, inner: Arc<NodeInner>) {
 
 /// Reads one frame from `stream`, buffering partial data in `buf` across
 /// read timeouts so a timeout can never split a frame.
-fn poll_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<WireMessage> {
+fn poll_frame(stream: &mut TcpStream, buf: &mut FrameBuffer) -> io::Result<WireMessage> {
     loop {
-        if buf.len() >= star_proto::FRAME_HEADER_LEN {
-            let header = star_proto::decode_frame_header(buf)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            let total = star_proto::FRAME_HEADER_LEN + header.body_len;
-            if buf.len() >= total {
-                let (message, consumed) = WireMessage::decode(buf)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                buf.drain(..consumed);
-                return Ok(message);
-            }
+        if let Some(message) =
+            buf.next_message().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        {
+            return Ok(message);
         }
         let mut chunk = [0u8; 64 * 1024];
         match stream.read(&mut chunk) {
             Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => buf.push(&chunk[..n]),
             Err(e) => return Err(e),
         }
     }
@@ -288,7 +326,7 @@ fn poll_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<WireMessa
 
 fn connection_loop(mut stream: TcpStream, inner: Arc<NodeInner>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut buf: Vec<u8> = Vec::new();
+    let mut buf = FrameBuffer::new();
     while !inner.shutdown.load(Ordering::SeqCst) {
         let message = match poll_frame(&mut stream, &mut buf) {
             Ok(message) => message,
@@ -362,8 +400,19 @@ fn handle_request(inner: &Arc<NodeInner>, request: Request) -> Response {
                 Err(message) => Response::Error(message),
             }
         }
-        Request::RunPhase { phase, epoch, txns } => handle_run_phase(inner, phase, epoch, txns),
-        Request::Fence { epoch, expected } => handle_fence(inner, epoch, &expected),
+        Request::RunPhase { phase, epoch, txns, baselines, failed } => {
+            handle_run_phase(inner, phase, epoch, txns, &baselines, &failed)
+        }
+        Request::Fence { epoch, expected, failed } => {
+            handle_fence(inner, epoch, &expected, &failed)
+        }
+        Request::FetchPartition { partition } => {
+            handle_fetch_partition(inner, partition as PartitionId)
+        }
+        Request::InstallRecords { records } => handle_install_records(inner, records),
+        Request::Rejoin { epoch, last_committed, failed, elections, recv_base } => {
+            handle_rejoin(inner, epoch, last_committed, &failed, elections, &recv_base)
+        }
         Request::Admin(query) => handle_admin(inner, query),
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::SeqCst);
@@ -388,7 +437,40 @@ fn handle_get(inner: &NodeInner, table: u32, partition: PartitionId, key: u64) -
     }
 }
 
-fn handle_run_phase(inner: &NodeInner, phase: WirePhase, epoch: Epoch, txns: u64) -> Response {
+/// Expands the wire's failed-node-id list into per-node flags.
+fn failed_flags(num_nodes: usize, failed_ids: &[u32]) -> Vec<bool> {
+    let mut flags = vec![false; num_nodes];
+    for &id in failed_ids {
+        if let Some(flag) = flags.get_mut(id as usize) {
+            *flag = true;
+        }
+    }
+    flags
+}
+
+/// The engine's failover routing: the configured primary while it is
+/// healthy, otherwise the lowest-id healthy replica holding the partition.
+fn effective_primary(
+    config: &ClusterConfig,
+    failed: &[bool],
+    partition: PartitionId,
+) -> Option<NodeId> {
+    let primary = config.partition_primary(partition);
+    if failed.get(primary) == Some(&false) {
+        return Some(primary);
+    }
+    (0..config.num_nodes)
+        .find(|&n| failed.get(n) == Some(&false) && config.node_stores_partition(n, partition))
+}
+
+fn handle_run_phase(
+    inner: &NodeInner,
+    phase: WirePhase,
+    epoch: Epoch,
+    txns: u64,
+    baselines: &[u64],
+    failed_ids: &[u32],
+) -> Response {
     let mut engine_guard = inner.engine.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     if engine_guard.epoch != epoch {
         return Response::Error(format!(
@@ -396,35 +478,54 @@ fn handle_run_phase(inner: &NodeInner, phase: WirePhase, epoch: Epoch, txns: u64
             inner.node, engine_guard.epoch
         ));
     }
+    let failed = failed_flags(inner.config.num_nodes, failed_ids);
     let committed = match phase {
-        WirePhase::Partitioned => run_partitioned(inner, &mut engine_guard, epoch, txns),
-        WirePhase::SingleMaster => run_single_master(inner, &mut engine_guard, epoch, txns),
+        WirePhase::Partitioned => {
+            run_partitioned(inner, &mut engine_guard, epoch, txns, baselines, &failed)
+        }
+        WirePhase::SingleMaster => {
+            run_single_master(inner, &mut engine_guard, epoch, txns, baselines, &failed)
+        }
     };
     Response::PhaseDone { committed, sent: inner.mesh.sent_counts() }
 }
 
 /// The stepped partitioned phase, restricted to the partitions this node is
-/// primary for — the union across nodes is exactly the engine's stepped
-/// partitioned phase, partition by partition, same seeds, same order.
+/// the *effective* primary for — the union across healthy nodes is exactly
+/// the engine's stepped partitioned phase, partition by partition, same
+/// seeds, same order. On takeover the worker's RNG is fast-forwarded to the
+/// supervisor-supplied cluster-wide attempt baseline, so the stream
+/// continues where the crashed primary left it.
 fn run_partitioned(
     inner: &NodeInner,
     engine_state: &mut EngineState,
     epoch: Epoch,
     txns: u64,
+    baselines: &[u64],
+    failed: &[bool],
 ) -> u64 {
     let config = &inner.config;
+    let EngineState { partition_workers, partition_attempts, .. } = engine_state;
     let mut committed = 0u64;
     for partition in 0..config.partitions {
-        if config.partition_primary(partition) != inner.node {
+        if effective_primary(config, failed, partition) != Some(inner.node) {
             continue;
         }
         let targets: Vec<NodeId> = (0..config.num_nodes)
-            .filter(|&n| n != inner.node && config.node_stores_partition(n, partition))
+            .filter(|&n| {
+                n != inner.node && !failed[n] && config.node_stores_partition(n, partition)
+            })
             .collect();
-        let worker = engine_state
-            .partition_workers
+        let worker = partition_workers
             .entry(partition)
             .or_insert_with(|| PartitionWorkerState::new(config, partition));
+        let attempts = partition_attempts.entry(partition).or_insert(0);
+        if let Some(&baseline) = baselines.get(partition) {
+            if *attempts < baseline {
+                worker.fast_forward(inner.workload.as_ref(), partition, baseline - *attempts);
+                *attempts = baseline;
+            }
+        }
         for _ in 0..txns {
             if run_one_partitioned_txn(
                 partition,
@@ -444,17 +545,21 @@ fn run_partitioned(
                 committed += 1;
             }
         }
+        *attempts += txns;
     }
     committed
 }
 
 /// The stepped single-master phase; a no-op on every node but the elected
-/// master.
+/// master. A newly elected (or restarted) master fast-forwards each worker
+/// to its baseline before executing, continuing the dead master's streams.
 fn run_single_master(
     inner: &NodeInner,
     engine_state: &mut EngineState,
     epoch: Epoch,
     txns: u64,
+    baselines: &[u64],
+    failed: &[bool],
 ) -> u64 {
     let elected = {
         let elections_guard =
@@ -465,9 +570,23 @@ fn run_single_master(
         return 0;
     }
     let config = &inner.config;
-    let healthy: Vec<NodeId> = (0..config.num_nodes).filter(|&n| n != inner.node).collect();
+    let EngineState { master_workers, master_attempts, .. } = engine_state;
+    let healthy: Vec<NodeId> =
+        (0..config.num_nodes).filter(|&n| n != inner.node && !failed[n]).collect();
     let mut committed = 0u64;
-    for (worker_id, worker) in engine_state.master_workers.iter_mut().enumerate() {
+    for (worker_id, worker) in master_workers.iter_mut().enumerate() {
+        let attempts = &mut master_attempts[worker_id];
+        if let Some(&baseline) = baselines.get(worker_id) {
+            if *attempts < baseline {
+                worker.fast_forward(
+                    inner.workload.as_ref(),
+                    worker_id,
+                    config.partitions,
+                    baseline - *attempts,
+                );
+                *attempts = baseline;
+            }
+        }
         for _ in 0..txns {
             if run_one_master_txn(
                 worker_id,
@@ -487,11 +606,12 @@ fn run_single_master(
                 committed += 1;
             }
         }
+        *attempts += txns;
     }
     committed
 }
 
-fn handle_fence(inner: &NodeInner, epoch: Epoch, expected: &[u64]) -> Response {
+fn handle_fence(inner: &NodeInner, epoch: Epoch, expected: &[u64], failed_ids: &[u32]) -> Response {
     if expected.len() != inner.config.num_nodes {
         return Response::Error(format!(
             "fence expects {} sender counts, got {}",
@@ -524,12 +644,49 @@ fn handle_fence(inner: &NodeInner, epoch: Epoch, expected: &[u64]) -> Response {
             inner.node, engine_guard.epoch
         ));
     }
+    let failed = failed_flags(inner.config.num_nodes, failed_ids);
+    // A node that newly appears in the failure picture crashed inside this
+    // epoch: the cluster discards the in-flight epoch, exactly like the
+    // engine's replication fence.
+    let reverting = (0..inner.config.num_nodes).any(|n| failed[n] && !engine_guard.failed[n]);
+    if reverting {
+        inner.db.revert_to_epoch(engine_guard.last_committed);
+    }
+    engine_guard.failed = failed.clone();
+
+    // Deterministic master election: lowest-id healthy full replica wins; a
+    // new log entry appears only when the winner actually changes.
+    {
+        let winner = (0..inner.config.full_replicas).find(|&n| !failed[n]);
+        let mut elections_guard =
+            inner.elections.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (last_master, last_generation) = match elections_guard.last() {
+            Some(e) => (e.master, e.generation),
+            None => (None, 0),
+        };
+        if winner != last_master {
+            elections_guard.push(MasterElection {
+                epoch,
+                master: winner,
+                generation: last_generation + 1,
+            });
+        }
+    }
+
     let batches = {
         let mut inbox_guard = inner.inbox.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         std::mem::take(&mut *inbox_guard)
     };
     let mut applied = 0u64;
     for batch in batches {
+        // Skip traffic from failed senders, and — when reverting — anything
+        // shipped inside the epoch being discarded.
+        if failed[batch.from_node] {
+            continue;
+        }
+        if reverting && batch.epoch > engine_guard.last_committed {
+            continue;
+        }
         for entry in batch.entries {
             if inner.db.holds(entry.partition()) {
                 let _ = entry.apply(&inner.db);
@@ -537,10 +694,110 @@ fn handle_fence(inner: &NodeInner, epoch: Epoch, expected: &[u64]) -> Response {
             }
         }
     }
-    inner.history.finalize_epoch(epoch, true);
+    inner.history.finalize_epoch(epoch, !reverting);
+    // The engine advances `last_committed` even past a reverted epoch — the
+    // revert already discarded its records, and the next epoch builds on the
+    // surviving state. Matched here so digests and rebases line up.
     engine_guard.last_committed = epoch;
     engine_guard.epoch = epoch + 1;
     Response::FenceDone { epoch, applied }
+}
+
+/// Serves one held partition's records for a supervisor-mediated catch-up
+/// copy — the wire form of the engine's memory-to-memory recovery source.
+fn handle_fetch_partition(inner: &NodeInner, partition: PartitionId) -> Response {
+    if partition >= inner.config.partitions {
+        return Response::Error(format!("no such partition {partition}"));
+    }
+    if !inner.db.holds(partition) {
+        return Response::Error(format!("node {} does not hold partition {partition}", inner.node));
+    }
+    let mut records = Vec::new();
+    inner.db.for_each_record(|table, p, key, record| {
+        if p != partition {
+            return;
+        }
+        let result = record.read();
+        records.push(WireRecord {
+            table,
+            partition: p as u32,
+            key,
+            tid: result.tid.raw(),
+            row: result.row,
+        });
+    });
+    Response::Records(records)
+}
+
+/// Installs copied records under the Thomas write rule — the recovery
+/// target's half of the catch-up copy. A freshly restarted process holds the
+/// workload's initial state, so a full copy from a healthy peer lands it in
+/// exactly the state the engine's revert-then-copy recovery produces.
+fn handle_install_records(inner: &NodeInner, records: Vec<WireRecord>) -> Response {
+    let mut installed = 0u64;
+    for record in records {
+        let partition = record.partition as PartitionId;
+        if partition >= inner.config.partitions || !inner.db.holds(partition) {
+            return Response::Error(format!(
+                "node {} cannot install into partition {partition}",
+                inner.node
+            ));
+        }
+        let fresher = inner
+            .db
+            .apply_value_write(
+                record.table,
+                partition,
+                record.key,
+                record.row,
+                Tid::from_raw(record.tid),
+            )
+            .unwrap_or(false);
+        if fresher {
+            installed += 1;
+        }
+    }
+    Response::InstallDone { installed }
+}
+
+/// Rebases a freshly restarted node onto the cluster's current epoch,
+/// failure picture, election log and replication counters, completing a
+/// supervisor-driven restart.
+fn handle_rejoin(
+    inner: &NodeInner,
+    epoch: Epoch,
+    last_committed: Epoch,
+    failed_ids: &[u32],
+    elections: Vec<WireElection>,
+    recv_base: &[u64],
+) -> Response {
+    if recv_base.len() != inner.config.num_nodes {
+        return Response::Error(format!(
+            "rejoin expects {} receive counters, got {}",
+            inner.config.num_nodes,
+            recv_base.len()
+        ));
+    }
+    if elections.is_empty() {
+        return Response::Error("rejoin needs a non-empty election log".to_string());
+    }
+    {
+        let mut engine_guard = inner.engine.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        engine_guard.epoch = epoch;
+        engine_guard.last_committed = last_committed;
+        engine_guard.failed = failed_flags(inner.config.num_nodes, failed_ids);
+    }
+    {
+        let mut elections_guard =
+            inner.elections.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        *elections_guard = elections.into_iter().map(WireElection::to_election).collect();
+    }
+    for (sender, &count) in recv_base.iter().enumerate() {
+        inner.recv_counts[sender].store(count, Ordering::SeqCst);
+    }
+    let mut inbox_guard = inner.inbox.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    inbox_guard.clear();
+    Response::Ok
 }
 
 fn handle_admin(inner: &NodeInner, query: AdminQuery) -> Response {

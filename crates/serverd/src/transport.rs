@@ -16,7 +16,7 @@ use star_proto::{replication_frame_encoded, write_message};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// TCP connections from one node to every peer, plus cumulative per-peer
 /// batch counters — the sent side of the fence's "wait until everything a
@@ -26,6 +26,7 @@ pub struct TcpMesh {
     addrs: Vec<String>,
     links: Vec<Mutex<Option<TcpStream>>>,
     sent: Vec<AtomicU64>,
+    connect_timeout: Duration,
 }
 
 impl std::fmt::Debug for TcpMesh {
@@ -40,7 +41,16 @@ impl TcpMesh {
     pub fn new(node: usize, addrs: Vec<String>) -> Self {
         let links = addrs.iter().map(|_| Mutex::new(None)).collect();
         let sent = addrs.iter().map(|_| AtomicU64::new(0)).collect();
-        TcpMesh { node, addrs, links, sent }
+        TcpMesh { node, addrs, links, sent, connect_timeout: CONNECT_TIMEOUT }
+    }
+
+    /// Overrides how long (re)connects keep retrying before the mesh gives
+    /// up with a typed [`SendError::Disconnected`]. Tests exercising the
+    /// retry-exhausted path use a short timeout instead of the boot-friendly
+    /// default.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
     }
 
     /// Cumulative replication batches sent to each peer since construction.
@@ -53,7 +63,7 @@ impl TcpMesh {
     /// Connects to `to`, retrying while the peer is still booting.
     fn connect(&self, to: usize) -> Result<TcpStream, SendError> {
         let addr = self.addrs.get(to).ok_or(SendError::NoSuchNode(to))?;
-        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        let deadline = Instant::now() + self.connect_timeout;
         loop {
             match TcpStream::connect(addr) {
                 Ok(stream) => {

@@ -1,0 +1,33 @@
+//! Chaos over the wire against *real* `star-serverd` processes.
+//!
+//! The wire chaos supervisor spawns this crate's release of the server
+//! binary behind fault-injecting proxies, SIGKILLs nodes mid-plan,
+//! restarts them, drives catch-up recovery and re-election over TCP, and
+//! compares the surviving cluster byte-for-byte against the stepped
+//! simulation twin. This is the deployment-shaped end of the chaos
+//! harness: no shared memory, no in-process shortcuts — process death is
+//! `kill -9`.
+
+use star_wire_chaos::plans::kill_recover_plan;
+use star_wire_chaos::replay_plan_with_processes;
+use std::path::Path;
+
+/// A non-coordinator partial node is SIGKILLed mid-epoch and caught back
+/// up; then the master process itself is killed (no full replica remains,
+/// so the election mirror goes to `None`), recovered, and
+/// deterministically re-elected. Histories, election logs and replica
+/// digests must all match the simulation twin, and the merged history must
+/// be serializable.
+#[test]
+fn sigkilled_processes_recover_and_reelect_over_real_tcp() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_star-serverd"));
+    let plan = kill_recover_plan(9);
+    let report = replay_plan_with_processes(&plan, binary)
+        .expect("process-cluster replay runs to completion");
+    assert!(report.committed > 0, "the killed-and-recovered cluster committed nothing");
+    assert!(
+        report.passed(),
+        "real-process kill/recover cycle diverged from the twin: {:?}",
+        report.violations
+    );
+}

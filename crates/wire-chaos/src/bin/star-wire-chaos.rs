@@ -1,0 +1,112 @@
+//! Wire chaos driver: replays fault schedules against a real TCP STAR
+//! cluster behind fault-injecting proxies and diffs the result against the
+//! in-memory simulation twin.
+//!
+//! Modes (combine freely; at least one is required):
+//!
+//! ```text
+//! star-wire-chaos --replay-corpus          # committed corpus entries, over the wire
+//! star-wire-chaos --sweep --seeds 8        # seeded duplicate/delay/reorder sweep
+//! star-wire-chaos --kill-recover           # kill/restart/re-election cycle
+//! star-wire-chaos --kill-recover --serverd target/release/star-serverd
+//! ```
+//!
+//! Without `--serverd`, clusters are in-process `NodeServer`s; with it, the
+//! kill/recover cycle spawns real `star-serverd` processes and kills them
+//! with SIGKILL. Exits non-zero if any replay fails.
+
+use star_wire_chaos::plans::{kill_recover_plan, sweep_plan};
+use star_wire_chaos::{replay_plan_in_process, replay_plan_with_processes, WireReport};
+use std::path::PathBuf;
+
+fn main() {
+    let mut replay_corpus = false;
+    let mut sweep = false;
+    let mut kill_recover = false;
+    let mut seeds: u64 = 4;
+    let mut serverd: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--replay-corpus" => replay_corpus = true,
+            "--sweep" => sweep = true,
+            "--kill-recover" => kill_recover = true,
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => die("--seeds needs a number"),
+            },
+            "--serverd" => match args.next() {
+                Some(path) => serverd = Some(PathBuf::from(path)),
+                None => die("--serverd needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: star-wire-chaos [--replay-corpus] [--sweep [--seeds N]] \
+                     [--kill-recover [--serverd PATH]]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !replay_corpus && !sweep && !kill_recover {
+        die("pick at least one of --replay-corpus, --sweep, --kill-recover");
+    }
+
+    let mut failures = 0usize;
+    if replay_corpus {
+        for (name, _description, category, plan) in star_chaos::corpus::committed_entries() {
+            let outcome = replay_plan_in_process(&plan);
+            failures += note(&format!("corpus/{category}/{name}"), outcome);
+        }
+    }
+    if sweep {
+        for seed in 0..seeds {
+            let outcome = replay_plan_in_process(&sweep_plan(seed));
+            failures += note(&format!("sweep/seed-{seed}"), outcome);
+        }
+    }
+    if kill_recover {
+        let plan = kill_recover_plan(9);
+        let outcome = match &serverd {
+            None => replay_plan_in_process(&plan),
+            Some(binary) => replay_plan_with_processes(&plan, binary),
+        };
+        let label =
+            if serverd.is_some() { "kill-recover/serverd" } else { "kill-recover/in-process" };
+        failures += note(label, outcome);
+    }
+
+    if failures > 0 {
+        eprintln!("star-wire-chaos: {failures} replay(s) failed");
+        std::process::exit(1);
+    }
+    println!("star-wire-chaos: all replays passed");
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("star-wire-chaos: {message}");
+    std::process::exit(2);
+}
+
+/// Prints one replay outcome; returns 1 if it failed.
+fn note(label: &str, outcome: Result<WireReport, String>) -> usize {
+    match outcome {
+        Ok(report) if report.passed() => {
+            println!("PASS {label} seed={} committed={}", report.seed, report.committed);
+            0
+        }
+        Ok(report) => {
+            println!("FAIL {label} seed={} committed={}", report.seed, report.committed);
+            for violation in &report.violations {
+                println!("  - {violation}");
+            }
+            1
+        }
+        Err(e) => {
+            println!("ERROR {label}: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Synchronous control-plane connections from the chaos supervisor to one
+//! node — the same request/response framing `star-serverd`'s coordinator
+//! uses, with boot-friendly connect retries (a just-restarted node may not
+//! be listening yet).
+
+use star_proto::{read_message, write_message, Request, Response, Role, WireMessage};
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long connects retry before giving up (covers process restarts).
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long one request may block. Fences legitimately wait for in-flight
+/// replication, so this is generous.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One supervisor connection to one node.
+pub struct Conn {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Conn {
+    /// Connects and handshakes, retrying while the peer boots.
+    pub fn connect(addr: &str) -> io::Result<Conn> {
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+        let mut conn = Conn { stream, next_id: 0 };
+        write_message(&mut conn.stream, &WireMessage::Hello { role: Role::Admin, node: 0 })?;
+        match read_message(&mut conn.stream)? {
+            WireMessage::HelloAck { .. } => Ok(conn),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected HelloAck, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, body: Request) -> io::Result<Response> {
+        self.next_id += 1;
+        let id = self.next_id;
+        write_message(&mut self.stream, &WireMessage::Request { id, body })?;
+        loop {
+            match read_message(&mut self.stream)? {
+                WireMessage::Response { id: got, body } if got == id => return Ok(body),
+                WireMessage::Response { .. } => continue,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected Response, got {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Schedule lowering: simulator fault schedules → wire-executable ones.
+//!
+//! The simulator's `Crash` is *network isolation*: the crashed node keeps
+//! executing the remainder of the in-flight epoch (consuming its workload
+//! RNG exactly like a healthy node) while its messages are swallowed, and
+//! the next fence detects the failure and reverts the epoch. A SIGKILLed
+//! process cannot keep executing, so a mid-phase kill cannot reproduce the
+//! simulator's trajectory.
+//!
+//! The equivalence that makes lowering exact: everything the doomed node
+//! does between the crash op and the detecting fence is discarded by the
+//! epoch revert on every surviving replica, and the node's own pending
+//! history dies with the epoch. Moving the kill to the *fence boundary*
+//! therefore changes nothing observable — provided the simulation twin
+//! runs the same moved schedule, which is why the runner executes both
+//! sides from the lowered form:
+//!
+//! * `Crash` at `PartitionedStart` / `MidPartitioned` /
+//!   `BeforeFirstFence` → `BeforeFirstFence` (the first fence detects it);
+//! * `Crash` at `SingleMasterStart` / `MidSingleMaster` /
+//!   `BeforeSecondFence` → `BeforeSecondFence`;
+//! * `Crash` at `IterationEnd` → `BeforeFirstFence` of the *next*
+//!   iteration (the op fires after both fences; the next fence is one
+//!   iteration later);
+//! * every other supported op keeps its point (`Recover*` and link ops
+//!   are fence-aligned or order-insensitive already);
+//! * `Checkpoint` / `TruncateWal` are disk-simulation ops with no wire
+//!   equivalent — lowering them is a typed error, not a silent drop.
+//!
+//! One documented caveat: between a lowered kill and its fence the wire
+//! node's outbound frames still roll the per-link fault RNG, while the
+//! simulator swallows the isolated node's sends without rolling. With
+//! probabilistic link faults active on those links during a doomed epoch
+//! the fault streams would diverge; schedules therefore keep kill/recover
+//! ops and probabilistic fault sweeps in separate plans (the committed
+//! corpus already does).
+
+use star_chaos::{FaultOp, FaultSchedule, InjectionPoint};
+
+/// Compiles `schedule` to its wire-executable form (see module docs).
+/// Fails on ops that cannot be expressed over the wire.
+pub fn lower_schedule(schedule: &FaultSchedule) -> Result<FaultSchedule, String> {
+    use InjectionPoint::*;
+    let mut lowered = FaultSchedule::new();
+    for scheduled in schedule.ops() {
+        match &scheduled.op {
+            FaultOp::Checkpoint | FaultOp::TruncateWal(..) => {
+                return Err(format!(
+                    "schedule op {:?} at iteration {} has no wire equivalent (disk-simulation \
+                     only); run it through the simulator harness instead",
+                    scheduled.op, scheduled.iteration
+                ));
+            }
+            FaultOp::Crash(node) => {
+                let (iteration, point) = match scheduled.point {
+                    PartitionedStart | MidPartitioned | BeforeFirstFence => {
+                        (scheduled.iteration, BeforeFirstFence)
+                    }
+                    SingleMasterStart | MidSingleMaster | BeforeSecondFence => {
+                        (scheduled.iteration, BeforeSecondFence)
+                    }
+                    IterationEnd => (scheduled.iteration + 1, BeforeFirstFence),
+                };
+                lowered.push(iteration, point, FaultOp::Crash(*node));
+            }
+            other => lowered.push(scheduled.iteration, scheduled.point, other.clone()),
+        }
+    }
+    Ok(lowered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_core::RecoveryFault;
+
+    fn crash_at(point: InjectionPoint) -> FaultSchedule {
+        FaultSchedule::new().at(2, point, FaultOp::Crash(1))
+    }
+
+    fn lowered_single(point: InjectionPoint) -> (usize, InjectionPoint) {
+        let lowered = lower_schedule(&crash_at(point)).unwrap();
+        let op = &lowered.ops()[0];
+        assert_eq!(op.op, FaultOp::Crash(1));
+        (op.iteration, op.point)
+    }
+
+    #[test]
+    fn crashes_lower_to_the_detecting_fence() {
+        use InjectionPoint::*;
+        assert_eq!(lowered_single(PartitionedStart), (2, BeforeFirstFence));
+        assert_eq!(lowered_single(MidPartitioned), (2, BeforeFirstFence));
+        assert_eq!(lowered_single(BeforeFirstFence), (2, BeforeFirstFence));
+        assert_eq!(lowered_single(SingleMasterStart), (2, BeforeSecondFence));
+        assert_eq!(lowered_single(MidSingleMaster), (2, BeforeSecondFence));
+        assert_eq!(lowered_single(BeforeSecondFence), (2, BeforeSecondFence));
+        // After both fences: the next detecting fence is one iteration out.
+        assert_eq!(lowered_single(IterationEnd), (3, BeforeFirstFence));
+    }
+
+    #[test]
+    fn non_crash_ops_keep_their_point_and_order() {
+        let schedule = FaultSchedule::new()
+            .at(0, InjectionPoint::PartitionedStart, FaultOp::CutLink(0, 1))
+            .at(1, InjectionPoint::MidPartitioned, FaultOp::Crash(2))
+            .at(
+                1,
+                InjectionPoint::IterationEnd,
+                FaultOp::RecoverInterrupted(2, RecoveryFault::SourceCrash),
+            )
+            .at(3, InjectionPoint::IterationEnd, FaultOp::Recover(2));
+        let lowered = lower_schedule(&schedule).unwrap();
+        let ops = lowered.ops();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0].op, FaultOp::CutLink(0, 1));
+        assert_eq!(ops[0].point, InjectionPoint::PartitionedStart);
+        assert_eq!(ops[1].point, InjectionPoint::BeforeFirstFence);
+        assert_eq!(ops[2].op, FaultOp::RecoverInterrupted(2, RecoveryFault::SourceCrash));
+        assert_eq!(ops[2].point, InjectionPoint::IterationEnd);
+        assert_eq!(ops[3].op, FaultOp::Recover(2));
+        assert_eq!(ops[3].point, InjectionPoint::IterationEnd);
+    }
+
+    #[test]
+    fn disk_simulation_ops_are_a_typed_error() {
+        let checkpoint =
+            FaultSchedule::new().at(0, InjectionPoint::IterationEnd, FaultOp::Checkpoint);
+        let err = lower_schedule(&checkpoint).unwrap_err();
+        assert!(err.contains("no wire equivalent"), "{err}");
+        let torn =
+            FaultSchedule::new().at(1, InjectionPoint::IterationEnd, FaultOp::TruncateWal(0, 8));
+        assert!(lower_schedule(&torn).is_err());
+    }
+}

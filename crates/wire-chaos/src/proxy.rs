@@ -1,0 +1,649 @@
+//! The interposing proxy mesh: one seeded fault-injecting TCP proxy per
+//! directed link of the replication mesh.
+//!
+//! Every `star-serverd` node is booted with an address book that points at
+//! proxies instead of peers: node `i`'s entry for peer `j` is the listen
+//! address of proxy link `i → j`, whose forward side dials node `j`'s real
+//! address. The proxy reassembles replication frames with the shared
+//! [`FrameBuffer`] and rolls each one through the *same*
+//! [`FaultPlane`] the simulator uses — same seed and same per-link frame
+//! sequence produce byte-for-byte the same drop / delay / duplicate /
+//! reorder / corrupt / cut verdicts at the socket layer.
+//!
+//! Counter discipline (what makes failure-aware fences possible):
+//!
+//! * `ingested` — frames fully reassembled off the inbound socket;
+//! * `settled` — frames that reached a terminal verdict (forwarded,
+//!   dropped, stashed or swallowed); `settled == ingested` with nothing
+//!   buffered means the link is quiescent;
+//! * `delivered` — frames actually written toward the destination
+//!   (duplicates count twice, drops and swallows not at all).
+//!
+//! The supervisor fences with *delivered* counts as each receiver's
+//! `expected` vector, so the fence barrier stays exact even when the plane
+//! is dropping or duplicating traffic — the simulator's fence has the same
+//! property because its queues are its own delivery ledger.
+//!
+//! Frames touching a node marked failed are swallowed **without rolling
+//! the plane RNG**, mirroring the simulated network's failed-node check,
+//! which short-circuits before any fault draw — so a kill/recover cycle
+//! leaves the surviving links' fault streams untouched.
+//!
+//! Proxy listen addresses are bound once and never change; a restarted
+//! node gets a fresh real address ([`ProxyMesh::set_target`]) while its
+//! peers keep dialing the same proxy — which is also what makes restarts
+//! race-free under ephemeral ports.
+
+use bytes::Bytes;
+use star_net::{FaultPlane, FaultVerdict, LinkFaults};
+use star_proto::{FrameBuffer, WireMessage};
+use star_replication::{encode_entry_block, split_entry_block};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long forward connects retry (the destination may be restarting).
+const FORWARD_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The mutable forwarding side of one link.
+#[derive(Default)]
+struct LinkState {
+    /// Lazily connected stream toward the destination node.
+    forward: Option<TcpStream>,
+    /// Frames held back by `Reorder` verdicts, released by the next
+    /// delivered frame or a fence flush.
+    stash: Vec<Bytes>,
+}
+
+/// One directed link `from → to`.
+struct Link {
+    from: usize,
+    to: usize,
+    /// The proxy's own listen address (stable for the cluster's lifetime).
+    addr: String,
+    /// The destination node's current real address.
+    target: Mutex<Option<String>>,
+    state: Mutex<LinkState>,
+    ingested: AtomicU64,
+    settled: AtomicU64,
+    delivered: AtomicU64,
+}
+
+struct MeshInner {
+    num_nodes: usize,
+    plane: FaultPlane,
+    failed: Mutex<BTreeSet<usize>>,
+    /// Dense `(from, to)` table; the diagonal entries are `None`.
+    links: Vec<Option<Arc<Link>>>,
+    shutdown: AtomicBool,
+}
+
+impl MeshInner {
+    fn link(&self, from: usize, to: usize) -> &Arc<Link> {
+        self.links[from * self.num_nodes + to].as_ref().expect("no self link")
+    }
+}
+
+/// The full proxy mesh: `n · (n − 1)` interposing proxies plus the shared
+/// fault plane and failed-node set.
+pub struct ProxyMesh {
+    inner: Arc<MeshInner>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ProxyMesh {
+    /// Binds one listener per directed link and starts the accept loops.
+    pub fn start(num_nodes: usize) -> std::io::Result<ProxyMesh> {
+        let mut links: Vec<Option<Arc<Link>>> = Vec::with_capacity(num_nodes * num_nodes);
+        let mut listeners: Vec<(Arc<Link>, TcpListener)> = Vec::new();
+        for from in 0..num_nodes {
+            for to in 0..num_nodes {
+                if from == to {
+                    links.push(None);
+                    continue;
+                }
+                let listener = TcpListener::bind("127.0.0.1:0")?;
+                listener.set_nonblocking(true)?;
+                let link = Arc::new(Link {
+                    from,
+                    to,
+                    addr: listener.local_addr()?.to_string(),
+                    target: Mutex::new(None),
+                    state: Mutex::new(LinkState::default()),
+                    ingested: AtomicU64::new(0),
+                    settled: AtomicU64::new(0),
+                    delivered: AtomicU64::new(0),
+                });
+                links.push(Some(Arc::clone(&link)));
+                listeners.push((link, listener));
+            }
+        }
+        let inner = Arc::new(MeshInner {
+            num_nodes,
+            plane: FaultPlane::default(),
+            failed: Mutex::new(BTreeSet::new()),
+            links,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_threads = listeners
+            .into_iter()
+            .map(|(link, listener)| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || accept_loop(inner, link, listener))
+            })
+            .collect();
+        Ok(ProxyMesh { inner, accept_threads })
+    }
+
+    /// Number of nodes the mesh proxies for.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.num_nodes
+    }
+
+    /// The listen address of the `from → to` proxy.
+    pub fn proxy_addr(&self, from: usize, to: usize) -> String {
+        self.inner.link(from, to).addr.clone()
+    }
+
+    /// The address book node `node` should boot with: every peer entry is
+    /// the matching proxy, the node's own entry is an ephemeral-bind
+    /// placeholder (a node never dials itself).
+    pub fn node_book(&self, node: usize) -> Vec<String> {
+        (0..self.inner.num_nodes)
+            .map(
+                |peer| {
+                    if peer == node {
+                        "127.0.0.1:0".to_string()
+                    } else {
+                        self.proxy_addr(node, peer)
+                    }
+                },
+            )
+            .collect()
+    }
+
+    /// Points every `* → node` proxy at the node's (new) real address.
+    pub fn set_target(&self, node: usize, addr: &str) {
+        for from in 0..self.inner.num_nodes {
+            if from == node {
+                continue;
+            }
+            let link = self.inner.link(from, node);
+            *link.target.lock().unwrap_or_else(|p| p.into_inner()) = Some(addr.to_string());
+            // Any existing forward stream points at the old process.
+            link.state.lock().unwrap_or_else(|p| p.into_inner()).forward = None;
+        }
+    }
+
+    /// Marks `node` failed (or healed). Frames on links touching a failed
+    /// node are swallowed without a fault-plane roll.
+    pub fn set_node_failed(&self, node: usize, failed: bool) {
+        let mut set = self.inner.failed.lock().unwrap_or_else(|p| p.into_inner());
+        if failed {
+            set.insert(node);
+        } else {
+            set.remove(&node);
+        }
+    }
+
+    /// Re-seeds the fault plane (same semantics as the simulator's).
+    pub fn seed(&self, seed: u64) {
+        self.inner.plane.seed(seed);
+    }
+
+    /// Fault probabilities for every link without an override.
+    pub fn set_default_faults(&self, faults: LinkFaults) {
+        self.inner.plane.set_default_faults(faults);
+    }
+
+    /// Fault probabilities for one directed link.
+    pub fn set_link_faults(&self, from: usize, to: usize, faults: LinkFaults) {
+        self.inner.plane.set_link_faults(from, to, faults);
+    }
+
+    /// Clears every fault configuration and cut link.
+    pub fn clear_faults(&self) {
+        self.inner.plane.clear_faults();
+    }
+
+    /// Cuts the bidirectional link between `a` and `b`.
+    pub fn cut_link(&self, a: usize, b: usize) {
+        self.inner.plane.cut_link(a, b);
+    }
+
+    /// Restores a previously cut link.
+    pub fn heal_link(&self, a: usize, b: usize) {
+        self.inner.plane.heal_link(a, b);
+    }
+
+    /// Cumulative frames written toward `to` on the `from → to` link.
+    pub fn delivered(&self, from: usize, to: usize) -> u64 {
+        if from == to {
+            return 0;
+        }
+        self.inner.link(from, to).delivered.load(Ordering::SeqCst)
+    }
+
+    /// The full delivered-count matrix (`[from][to]`, diagonal zero).
+    pub fn delivered_matrix(&self) -> Vec<Vec<u64>> {
+        (0..self.inner.num_nodes)
+            .map(|from| (0..self.inner.num_nodes).map(|to| self.delivered(from, to)).collect())
+            .collect()
+    }
+
+    /// Blocks until every link has ingested everything its sender shipped
+    /// (`shipped[from][to]`, the senders' cumulative counts) and settled it.
+    /// TCP delivers what a killed sender had already written, so this
+    /// converges for dead senders too.
+    pub fn wait_settled(&self, shipped: &[Vec<u64>], timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        for (from, row) in shipped.iter().enumerate().take(self.inner.num_nodes) {
+            for (to, &sent) in row.iter().enumerate().take(self.inner.num_nodes) {
+                if from == to {
+                    continue;
+                }
+                let link = self.inner.link(from, to);
+                loop {
+                    let ingested = link.ingested.load(Ordering::SeqCst);
+                    let settled = link.settled.load(Ordering::SeqCst);
+                    if ingested >= sent && settled == ingested {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "link {from}→{to} not settled: shipped {sent}, ingested {ingested}, \
+                             settled {settled}"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every reorder stash (the fence-time flush; the simulator's
+    /// network does the same when an epoch closes). Stashed frames touching
+    /// a currently failed node are swallowed instead.
+    pub fn flush_all(&self) {
+        for from in 0..self.inner.num_nodes {
+            for to in 0..self.inner.num_nodes {
+                if from != to {
+                    flush_stash(&self.inner, self.inner.link(from, to));
+                }
+            }
+        }
+    }
+
+    /// Stops the accept loops. Forwarding threads drain on their own.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ProxyMesh {
+    fn drop(&mut self) {
+        self.shutdown();
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<MeshInner>, link: Arc<Link>, listener: TcpListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(&inner);
+                let link = Arc::clone(&link);
+                std::thread::spawn(move || serve_inbound(inner, link, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads frames off one inbound connection (the sender's mesh stream) and
+/// pushes each through the fault plane.
+fn serve_inbound(inner: Arc<MeshInner>, link: Arc<Link>, stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        // Drain completed frames before reading more.
+        loop {
+            match frames.next_frame() {
+                Ok(Some(frame)) => process_frame(&inner, &link, frame),
+                Ok(None) => break,
+                // Not self-resynchronising: drop the connection like the
+                // server's own reader does.
+                Err(_) => return,
+            }
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => frames.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn process_frame(inner: &MeshInner, link: &Arc<Link>, frame: Bytes) {
+    link.ingested.fetch_add(1, Ordering::SeqCst);
+    let touching_failed = {
+        let failed = inner.failed.lock().unwrap_or_else(|p| p.into_inner());
+        failed.contains(&link.from) || failed.contains(&link.to)
+    };
+    if touching_failed {
+        // Mirrors the simulated network: the failed-node check precedes any
+        // fault draw, so the surviving links' RNG streams are unperturbed.
+        link.settled.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
+    match inner.plane.roll(link.from, link.to) {
+        FaultVerdict::Deliver { extra_delay } => {
+            sleep_nonzero(extra_delay);
+            forward(link, &frame);
+            flush_stash(inner, link);
+        }
+        FaultVerdict::Drop => {}
+        FaultVerdict::Duplicate { extra_delay } => {
+            sleep_nonzero(extra_delay);
+            forward(link, &frame);
+            forward(link, &frame);
+            flush_stash(inner, link);
+        }
+        FaultVerdict::Reorder => {
+            link.state.lock().unwrap_or_else(|p| p.into_inner()).stash.push(frame);
+        }
+        FaultVerdict::Corrupt { salt, extra_delay } => {
+            sleep_nonzero(extra_delay);
+            let corrupted = corrupt_frame(&frame, salt).unwrap_or(frame);
+            forward(link, &corrupted);
+            flush_stash(inner, link);
+        }
+    }
+    link.settled.fetch_add(1, Ordering::SeqCst);
+}
+
+fn sleep_nonzero(delay: Duration) {
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+}
+
+/// The wire form of the simulator's byzantine bit-flip: decode the
+/// replication frame, corrupt one entry's payload with the plane-drawn
+/// salt (the same entry `ReplicationBatch::corrupt` picks), re-frame.
+fn corrupt_frame(frame: &Bytes, salt: u64) -> Option<Bytes> {
+    let (message, _) = WireMessage::decode(frame).ok()?;
+    let WireMessage::Replication { from, epoch, entries } = message else {
+        return None;
+    };
+    let mut entries = split_entry_block(&entries).ok()?;
+    if entries.is_empty() {
+        return None;
+    }
+    let index = (salt as usize) % entries.len();
+    entries[index].corrupt_payload(salt);
+    let corrupted = WireMessage::Replication { from, epoch, entries: encode_entry_block(&entries) };
+    Some(corrupted.encode())
+}
+
+/// Releases the reorder stash in order (each release is a delivery).
+fn flush_stash(inner: &MeshInner, link: &Arc<Link>) {
+    let stashed: Vec<Bytes> = {
+        let mut state = link.state.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::take(&mut state.stash)
+    };
+    if stashed.is_empty() {
+        return;
+    }
+    let touching_failed = {
+        let failed = inner.failed.lock().unwrap_or_else(|p| p.into_inner());
+        failed.contains(&link.from) || failed.contains(&link.to)
+    };
+    for frame in stashed {
+        if !touching_failed {
+            forward(link, &frame);
+        }
+    }
+}
+
+/// Writes one frame toward the destination, (re)connecting as needed. A
+/// frame that cannot be written is swallowed *without* counting as
+/// delivered, so fence barriers never wait for it.
+fn forward(link: &Arc<Link>, frame: &Bytes) {
+    let mut state = link.state.lock().unwrap_or_else(|p| p.into_inner());
+    if state.forward.is_none() {
+        state.forward = connect_forward(link);
+    }
+    let wrote = match state.forward.as_mut() {
+        Some(stream) => stream.write_all(frame).and_then(|()| stream.flush()).is_ok(),
+        None => false,
+    };
+    if !wrote {
+        // One reconnect: the destination may have just restarted.
+        state.forward = connect_forward(link);
+        let rewrote = match state.forward.as_mut() {
+            Some(stream) => stream.write_all(frame).and_then(|()| stream.flush()).is_ok(),
+            None => false,
+        };
+        if !rewrote {
+            // Destination unreachable: swallow, not delivered.
+            state.forward = None;
+            return;
+        }
+    }
+    link.delivered.fetch_add(1, Ordering::SeqCst);
+}
+
+fn connect_forward(link: &Arc<Link>) -> Option<TcpStream> {
+    let target = link.target.lock().unwrap_or_else(|p| p.into_inner()).clone()?;
+    let deadline = Instant::now() + FORWARD_CONNECT_TIMEOUT;
+    loop {
+        match TcpStream::connect(&target) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_proto::replication_frame_encoded;
+    use star_replication::{EncodedEntry, LogEntry, Payload};
+
+    /// A little sink server that counts and returns the frames it receives.
+    struct Sink {
+        addr: String,
+        frames: Arc<Mutex<Vec<WireMessage>>>,
+        done: Arc<AtomicBool>,
+        handle: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl Sink {
+        fn start() -> Sink {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let frames: Arc<Mutex<Vec<WireMessage>>> = Arc::new(Mutex::new(Vec::new()));
+            let done = Arc::new(AtomicBool::new(false));
+            let (frames2, done2) = (Arc::clone(&frames), Arc::clone(&done));
+            let handle = std::thread::spawn(move || {
+                let mut conns: Vec<(TcpStream, FrameBuffer)> = Vec::new();
+                let mut chunk = [0u8; 4096];
+                while !done2.load(Ordering::SeqCst) {
+                    if let Ok((s, _)) = listener.accept() {
+                        s.set_nonblocking(true).unwrap();
+                        conns.push((s, FrameBuffer::new()));
+                    }
+                    for (stream, fb) in &mut conns {
+                        match stream.read(&mut chunk) {
+                            Ok(n) if n > 0 => fb.push(&chunk[..n]),
+                            _ => {}
+                        }
+                        while let Ok(Some(message)) = fb.next_message() {
+                            frames2.lock().unwrap().push(message);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            Sink { addr, frames, done, handle: Some(handle) }
+        }
+
+        fn received(&self) -> Vec<WireMessage> {
+            self.frames.lock().unwrap().clone()
+        }
+    }
+
+    impl Drop for Sink {
+        fn drop(&mut self) {
+            self.done.store(true, Ordering::SeqCst);
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn entry(key: u64) -> EncodedEntry {
+        let row = star_common::Row::new(vec![star_common::FieldValue::U64(key * 10)]);
+        EncodedEntry::from_owned(LogEntry {
+            table: 0,
+            partition: 0,
+            key,
+            tid: star_common::Tid::from_raw(key + 1),
+            payload: Payload::Value(row),
+        })
+    }
+
+    fn send_frames(addr: &str, count: u64) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for k in 0..count {
+            let frame = replication_frame_encoded(0, 1, &[entry(k)]);
+            stream.write_all(&frame.encode()).unwrap();
+        }
+        stream.flush().unwrap();
+    }
+
+    /// The proxy's per-frame verdicts must be exactly the standalone
+    /// plane's: same seed, same link, same sequence.
+    #[test]
+    fn verdict_stream_matches_standalone_plane() {
+        let mesh = ProxyMesh::start(2).unwrap();
+        mesh.seed(7);
+        mesh.set_link_faults(0, 1, LinkFaults::dropping(0.5));
+        let sink = Sink::start();
+        mesh.set_target(1, &sink.addr);
+
+        let reference = FaultPlane::default();
+        reference.seed(7);
+        reference.set_link_faults(0, 1, LinkFaults::dropping(0.5));
+        let expect_delivered = (0..40)
+            .filter(|_| matches!(reference.roll(0, 1), FaultVerdict::Deliver { .. }))
+            .count() as u64;
+
+        send_frames(&mesh.proxy_addr(0, 1), 40);
+        let shipped = vec![vec![0, 40], vec![0, 0]];
+        mesh.wait_settled(&shipped, Duration::from_secs(10)).unwrap();
+        mesh.flush_all();
+        assert_eq!(mesh.delivered(0, 1), expect_delivered);
+        assert!(expect_delivered > 0 && expect_delivered < 40, "seed 7 must mix verdicts");
+    }
+
+    /// Frames on links touching a failed node are swallowed without
+    /// consuming link RNG, so the fault stream resumes exactly.
+    #[test]
+    fn failed_node_gate_preserves_the_fault_stream() {
+        let mesh = ProxyMesh::start(2).unwrap();
+        mesh.seed(11);
+        mesh.set_link_faults(0, 1, LinkFaults::dropping(0.5));
+        let sink = Sink::start();
+        mesh.set_target(1, &sink.addr);
+
+        let addr = mesh.proxy_addr(0, 1);
+        send_frames(&addr, 10);
+        mesh.wait_settled(&[vec![0, 10], vec![0, 0]], Duration::from_secs(10)).unwrap();
+        let before_failure = mesh.delivered(0, 1);
+        mesh.set_node_failed(1, true);
+        send_frames(&addr, 25);
+        mesh.wait_settled(&[vec![0, 35], vec![0, 0]], Duration::from_secs(10)).unwrap();
+        assert_eq!(mesh.delivered(0, 1), before_failure, "gated frames must not deliver");
+        mesh.set_node_failed(1, false);
+        send_frames(&addr, 10);
+        mesh.wait_settled(&[vec![0, 45], vec![0, 0]], Duration::from_secs(10)).unwrap();
+
+        // Reference: 20 rolls with no gap — the 25 gated frames must not
+        // have advanced the RNG.
+        let reference = FaultPlane::default();
+        reference.seed(11);
+        reference.set_link_faults(0, 1, LinkFaults::dropping(0.5));
+        let expect = (0..20)
+            .filter(|_| matches!(reference.roll(0, 1), FaultVerdict::Deliver { .. }))
+            .count() as u64;
+        assert_eq!(mesh.delivered(0, 1), expect);
+    }
+
+    /// Reordered frames are stashed and released by the fence flush, and a
+    /// corrupt verdict re-frames a decodable replication frame.
+    #[test]
+    fn reorder_stash_flushes_and_corrupt_reframes() {
+        let mesh = ProxyMesh::start(2).unwrap();
+        mesh.seed(3);
+        mesh.set_link_faults(0, 1, LinkFaults::reordering(1.0));
+        let sink = Sink::start();
+        mesh.set_target(1, &sink.addr);
+        send_frames(&mesh.proxy_addr(0, 1), 3);
+        mesh.wait_settled(&[vec![0, 3], vec![0, 0]], Duration::from_secs(10)).unwrap();
+        assert_eq!(mesh.delivered(0, 1), 0, "everything stashed before the flush");
+        mesh.flush_all();
+        assert_eq!(mesh.delivered(0, 1), 3);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.received().len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sink.received().len(), 3);
+
+        mesh.clear_faults();
+        mesh.set_link_faults(0, 1, LinkFaults::corrupting(1.0));
+        send_frames(&mesh.proxy_addr(0, 1), 1);
+        mesh.wait_settled(&[vec![0, 4], vec![0, 0]], Duration::from_secs(10)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.received().len() < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let received = sink.received();
+        let WireMessage::Replication { entries, .. } = &received[3] else {
+            panic!("expected a replication frame, got {:?}", received[3]);
+        };
+        let decoded = split_entry_block(entries).expect("corrupted frame still decodes");
+        assert_ne!(
+            decoded[0].decode().unwrap().payload,
+            entry(0).decode().unwrap().payload,
+            "payload must be corrupted"
+        );
+    }
+}

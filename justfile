@@ -114,9 +114,17 @@ lock-witness:
 server-smoke logdir="target/server-smoke":
     ./scripts/server_smoke.sh {{logdir}}
 
+# Chaos over the wire: replay the committed regression corpus, the seeded
+# socket-level fault sweep, and the SIGKILL/restart/recover cycle against
+# real TCP clusters behind fault-injecting proxies, comparing histories,
+# election logs and replica digests byte-for-byte to the simulation twin.
+wire-chaos seeds="4":
+    cargo build --release -p star-serverd
+    cargo run --release -p star-wire-chaos --bin star-wire-chaos -- --replay-corpus --sweep --seeds {{seeds}} --kill-recover --serverd target/release/star-serverd
+
 # Regenerate the paper's figures (quick scale).
 figures:
     cargo run --release -p star-bench --bin figures -- --quick all
 
 # Everything CI checks, locally.
-ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus server-smoke
+ci: lint star-lint build test lock-witness bench-smoke chaos-smoke chaos-corpus server-smoke wire-chaos
